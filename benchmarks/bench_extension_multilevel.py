@@ -1,0 +1,66 @@
+"""Extension bench: the §VI multi-level (topic + document) framework.
+
+The paper's future-work hypothesis is that adding a document-wise level
+"enhances both topic interpretability and document representation".
+Measured here: topic-level metrics must not degrade, and km-Purity should
+match or improve over plain ContraTopic.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import STRICT, print_block
+from repro.cluster.kmeans import KMeans
+from repro.core import ContraTopicConfig, npmi_kernel
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import format_table
+from repro.extensions import MultiLevelConfig, MultiLevelContraTopic
+from repro.metrics.clustering_metrics import normalized_mutual_information, purity
+from repro.metrics.coherence import coherence_by_percentage
+
+
+def test_multilevel_extension(benchmark, settings_20ng):
+    context = ExperimentContext(settings_20ng)
+    settings = context.settings
+
+    def run():
+        results = {}
+        for name, lambda_document in (("contratopic", 0.0), ("multi-level", 5.0)):
+            backbone = context.build("etm", seed=0)
+            model = MultiLevelContraTopic(
+                backbone,
+                npmi_kernel(context.npmi_train, settings.kernel_temperature),
+                ContraTopicConfig(
+                    lambda_weight=settings.resolved_lambda(),
+                    negative_weight=settings.negative_weight,
+                ),
+                MultiLevelConfig(lambda_document=lambda_document),
+            )
+            model.fit(context.dataset.train)
+            beta = model.topic_word_matrix()
+            coherence = coherence_by_percentage(
+                beta, context.npmi_test, percentages=(0.1, 1.0)
+            )
+            theta = model.transform(context.dataset.test)
+            assignments = KMeans(20, seed=0).fit_predict(theta)
+            results[name] = {
+                "coh@10%": coherence[0.1],
+                "coh@100%": coherence[1.0],
+                "km-purity@20": purity(assignments, context.dataset.test.labels),
+                "km-nmi@20": normalized_mutual_information(
+                    assignments, context.dataset.test.labels
+                ),
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = ["model"] + list(next(iter(results.values())))
+    rows = [[name] + list(values.values()) for name, values in results.items()]
+    print_block(format_table(headers, rows, title="§VI multi-level extension (20NG)"))
+
+    multi = results["multi-level"]
+    single = results["contratopic"]
+    if STRICT:
+        # interpretability must not collapse with the document level added
+        assert multi["coh@100%"] > single["coh@100%"] - 0.08
+        # and document representation should hold up or improve
+        assert multi["km-purity@20"] > single["km-purity@20"] - 0.05

@@ -1,0 +1,36 @@
+"""Figure 2 — coherence & diversity vs. % of selected topics, all models.
+
+The paper's headline comparison.  Expected shape (asserted): ContraTopic's
+full-percentage coherence beats every baseline's; its diversity stays
+competitive with the best baseline rather than collapsing like the
+ProdLDA-family's.
+"""
+
+import pytest
+
+from benchmarks.conftest import STRICT, print_block
+from repro.experiments.fig2_interpretability import (
+    FIG2_MODELS,
+    format_fig2,
+    run_fig2,
+)
+
+
+@pytest.mark.parametrize("dataset", ["20ng", "yahoo", "nytimes"])
+def test_fig2_interpretability(benchmark, dataset, request):
+    settings = request.getfixturevalue(f"settings_{dataset}")
+    result = benchmark.pedantic(
+        run_fig2, args=(settings,), kwargs={"models": FIG2_MODELS}, rounds=1, iterations=1
+    )
+    print_block(format_fig2(result))
+
+    if STRICT:
+        contra_coherence = result.coherence["contratopic"][1.0]
+        baselines = [m for m in FIG2_MODELS if m != "contratopic"]
+        beaten = sum(contra_coherence > result.coherence[m][1.0] for m in baselines)
+        # "ContraTopic outperforms almost every baseline in terms of topic
+        # coherence" — it must beat at least 7 of the 9 baselines overall.
+        assert beaten >= 7, f"contratopic beat only {beaten}/9 baselines on {dataset}"
+
+        # Diversity must not collapse: stay above the ProdLDA family's.
+        assert result.diversity["contratopic"][1.0] > result.diversity["prodlda"][1.0]

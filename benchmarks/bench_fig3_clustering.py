@@ -1,0 +1,37 @@
+"""Figure 3 — km-Purity / km-NMI of document representations.
+
+KMeans over held-out document-topic vectors on the two labeled datasets.
+Expected shape: ContraTopic stays competitive (well above chance and within
+reach of the best baseline) "despite not incorporating any specific
+techniques for document representation".
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import STRICT, print_block
+from repro.experiments.fig3_clustering import FIG3_MODELS, format_fig3, run_fig3
+
+
+@pytest.mark.parametrize("dataset", ["20ng", "yahoo"])
+def test_fig3_document_clustering(benchmark, dataset, request):
+    settings = request.getfixturevalue(f"settings_{dataset}")
+    result = benchmark.pedantic(
+        run_fig3, args=(settings,), kwargs={"models": FIG3_MODELS}, rounds=1, iterations=1
+    )
+    print_block(format_fig3(result))
+
+    contra = np.mean(list(result.km_purity["contratopic"].values()))
+    best_baseline = max(
+        np.mean(list(result.km_purity[m].values()))
+        for m in FIG3_MODELS
+        if m != "contratopic"
+    )
+    chance = 1.0 / 10  # >= 13 labels in every labeled profile
+    assert contra > 2 * chance, "contratopic clustering should beat chance clearly"
+    if STRICT:
+        assert contra > 0.6 * best_baseline, (
+            "contratopic must stay competitive with the best baseline"
+        )
+        # NMI must be informative, not degenerate.
+        assert np.mean(list(result.km_nmi["contratopic"].values())) > 0.2

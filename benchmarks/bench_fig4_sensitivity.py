@@ -1,0 +1,47 @@
+"""Figure 4 — sensitivity of λ and v on 20NG and Yahoo.
+
+Expected shape: coherence of the best topics grows as λ grows from 0 (then
+saturates / dips when λ dominates the ELBO); v shows a fast rise then a
+plateau — "the choice of λ is more sensitive to different datasets while v
+seems to be less sensitive".
+"""
+
+import pytest
+
+from benchmarks.conftest import STRICT, print_block
+from repro.experiments.fig45_sensitivity import (
+    format_sensitivity,
+    run_lambda_sensitivity,
+    run_v_sensitivity,
+)
+
+
+@pytest.mark.parametrize("dataset", ["20ng", "yahoo"])
+def test_fig4_lambda_sensitivity(benchmark, dataset, request):
+    settings = request.getfixturevalue(f"settings_{dataset}")
+    result = benchmark.pedantic(
+        run_lambda_sensitivity, args=(settings,), rounds=1, iterations=1
+    )
+    print_block(format_sensitivity(result))
+
+    lambdas = sorted(result.coherence_min)
+    zero = lambdas[0]
+    assert zero == 0.0
+    if STRICT:
+        # Some positive λ improves all-topic coherence over λ=0.
+        best = max(result.coherence_min[lam] for lam in lambdas[1:])
+        assert best > result.coherence_min[zero]
+
+
+@pytest.mark.parametrize("dataset", ["20ng"])
+def test_fig4_v_sensitivity(benchmark, dataset, request):
+    settings = request.getfixturevalue(f"settings_{dataset}")
+    result = benchmark.pedantic(
+        run_v_sensitivity, args=(settings,), rounds=1, iterations=1
+    )
+    print_block(format_sensitivity(result))
+
+    vs = sorted(result.coherence_min)
+    # v=1 (no positive pairs within a topic sample) should not be the best
+    # choice; some larger v must beat it.
+    assert max(result.coherence_min[v] for v in vs[1:]) >= result.coherence_min[vs[0]]

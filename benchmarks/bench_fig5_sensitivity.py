@@ -1,0 +1,43 @@
+"""Figure 5 — sensitivity of λ and v on NYTimes.
+
+Same protocol as Figure 4 but on the largest profile, whose λ grid is
+scaled up (the paper: "the scale of λ in the NYTimes is also much larger
+than the other two datasets"); the trend must match Figure 4's.
+"""
+
+from benchmarks.conftest import STRICT, print_block
+from repro.experiments.fig45_sensitivity import (
+    LAMBDA_GRID_NYT,
+    format_sensitivity,
+    run_lambda_sensitivity,
+    run_v_sensitivity,
+)
+
+
+def test_fig5_lambda_sensitivity_nytimes(benchmark, settings_nytimes):
+    result = benchmark.pedantic(
+        run_lambda_sensitivity,
+        args=(settings_nytimes,),
+        kwargs={"lambda_grid": LAMBDA_GRID_NYT},
+        rounds=1,
+        iterations=1,
+    )
+    print_block(format_sensitivity(result))
+
+    lambdas = sorted(result.coherence_min)
+    assert lambdas[0] == 0.0
+    if STRICT:
+        assert (
+            max(result.coherence_min[lam] for lam in lambdas[1:])
+            > result.coherence_min[0.0]
+        )
+    # NYTimes is unlabeled: no clustering series should appear.
+    assert not result.km_purity_max
+
+
+def test_fig5_v_sensitivity_nytimes(benchmark, settings_nytimes):
+    result = benchmark.pedantic(
+        run_v_sensitivity, args=(settings_nytimes,), rounds=1, iterations=1
+    )
+    print_block(format_sensitivity(result))
+    assert len(result.coherence_min) >= 4

@@ -1,0 +1,22 @@
+"""Table I — dataset statistics (miniaturized profiles).
+
+Regenerates the paper's dataset summary.  Absolute sizes are scaled down;
+the asserted *relations* (NYTimes largest vocabulary / longest documents /
+most tokens, Yahoo more but shorter documents than 20NG) must hold.
+"""
+
+from benchmarks.conftest import print_block
+from repro.experiments.table1_stats import format_table1, run_table1
+
+
+def test_table1_dataset_statistics(benchmark, settings_20ng):
+    rows = benchmark.pedantic(
+        run_table1, kwargs={"scale": settings_20ng.scale}, rounds=1, iterations=1
+    )
+    print_block(format_table1(rows))
+
+    by_name = {row.name: row for row in rows}
+    assert by_name["yahoo"].training_samples > by_name["20ng"].training_samples
+    assert by_name["yahoo"].average_length < by_name["20ng"].average_length
+    assert by_name["nytimes"].average_length > by_name["20ng"].average_length
+    assert by_name["nytimes"].num_tokens > by_name["yahoo"].num_tokens > by_name["20ng"].num_tokens

@@ -1,0 +1,40 @@
+"""Table II — ablation study (full vs -P / -N / -I / -S) on 20NG.
+
+Expected shape (paper §V.G): the full model leads; removing the negative
+pairs (-N) hurts most — both interpretability and clustering; -P / -I / -S
+sit in between, with -S (no sampling) closest to full.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import STRICT, print_block
+from repro.experiments.table2_ablation import ABLATION_ROWS, format_table2, run_table2
+
+
+def test_table2_ablation(benchmark, settings_20ng):
+    rows = benchmark.pedantic(
+        run_table2,
+        args=(settings_20ng,),
+        kwargs={"variants": ABLATION_ROWS},
+        rounds=1,
+        iterations=1,
+    )
+    print_block(format_table2(rows))
+
+    by_variant = {row.variant: row for row in rows}
+
+    def mean_coherence(variant: str) -> float:
+        return float(np.mean(list(by_variant[variant].coherence.values())))
+
+    def mean_diversity(variant: str) -> float:
+        return float(np.mean(list(by_variant[variant].diversity.values())))
+
+    if STRICT:
+        # The full contrastive objective must beat the negatives-only
+        # variant on coherence (the paper's ~12% drop for -N).
+        assert mean_coherence("full") > mean_coherence("N")
+        # Positives-only loses the diversity pressure relative to full.
+        assert mean_diversity("full") >= mean_diversity("P") - 0.05
+        # Every variant still produces usable topics.
+        for variant in ABLATION_ROWS:
+            assert mean_coherence(variant) > 0.0

@@ -1,0 +1,80 @@
+"""Attach the ContraTopic regularizer to different backbone NTMs (§V.I).
+
+The paper's Figure 6 shows the topic-wise contrastive regularizer is
+architecture-agnostic: it improves ETM, WLDA and WeTe alike.  This example
+trains each backbone with and without λ·L_con on the Yahoo profile and
+prints the before/after interpretability metrics.
+
+    python examples/backbone_substitution.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ContraTopic,
+    ContraTopicConfig,
+    ETM,
+    NTMConfig,
+    WLDA,
+    WeTe,
+    build_embeddings,
+    compute_npmi_matrix,
+    load_yahoo,
+    npmi_kernel,
+    topic_coherence,
+    topic_diversity,
+)
+
+
+def main() -> None:
+    print("Loading the miniaturized Yahoo profile...")
+    dataset = load_yahoo(scale=0.25)
+    embeddings = build_embeddings(dataset.train, dim=50)
+    npmi_train = compute_npmi_matrix(dataset.train)
+    npmi_test = compute_npmi_matrix(dataset.test)
+    kernel = npmi_kernel(npmi_train, temperature=0.25)
+
+    def config(seed: int = 0) -> NTMConfig:
+        return NTMConfig(num_topics=30, hidden_sizes=(64,), epochs=30, batch_size=200, seed=seed)
+
+    def make_backbone(name: str):
+        if name == "etm":
+            return ETM(dataset.vocab_size, config(), embeddings.vectors)
+        if name == "wlda":
+            return WLDA(dataset.vocab_size, config())
+        return WeTe(dataset.vocab_size, config(), embeddings.vectors)
+
+    # λ is grid-searched per configuration in the paper (§V.D); WLDA's
+    # free-logit decoder wants a smaller weight than the embedding models.
+    lambda_for = {"etm": 40.0, "wlda": 10.0, "wete": 40.0}
+
+    header = f"{'backbone':10s} {'coh (plain)':>12s} {'coh (+L_con)':>13s} {'div (plain)':>12s} {'div (+L_con)':>13s}"
+    print("\n" + header)
+    print("-" * len(header))
+    for name in ("etm", "wlda", "wete"):
+        plain = make_backbone(name).fit(dataset.train)
+        regularized = ContraTopic(
+            make_backbone(name),
+            kernel,
+            ContraTopicConfig(lambda_weight=lambda_for[name], negative_weight=3.0),
+        ).fit(dataset.train)
+
+        row = [
+            topic_coherence(plain.topic_word_matrix(), npmi_test),
+            topic_coherence(regularized.topic_word_matrix(), npmi_test),
+            topic_diversity(plain.topic_word_matrix()),
+            topic_diversity(regularized.topic_word_matrix()),
+        ]
+        print(f"{name:10s} {row[0]:12.3f} {row[1]:13.3f} {row[2]:12.3f} {row[3]:13.3f}")
+
+    print(
+        "\nExpected shape (paper Fig. 6): the +L_con column improves or "
+        "matches coherence for every backbone.  At this miniature scale "
+        "the ETM gain is clearest; the full-percentage curves (and the "
+        "per-backbone calibrated λ) live in "
+        "benchmarks/bench_fig6_backbone.py."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Grid-search λ and v on a validation split (§V.D's protocol).
+
+The paper tunes the regularizer hyper-parameters "on a validation set split
+from the training corpus".  This example uses the library's
+:func:`repro.experiments.grid_search.grid_search_contratopic`: sweep
+(λ, v) on a validation split, select by a combined interpretability score,
+refit the winner on the full training set, and report it on test.
+
+    python examples/hyperparameter_search.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ETM,
+    NTMConfig,
+    build_embeddings,
+    compute_npmi_matrix,
+    load_20ng,
+    topic_coherence,
+    topic_diversity,
+)
+from repro.experiments.grid_search import grid_search_contratopic
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    dataset = load_20ng(scale=0.3)
+    print(f"train={len(dataset.train)} docs, test={len(dataset.test)} docs")
+
+    embeddings = build_embeddings(dataset.train, dim=50)
+    config = NTMConfig(num_topics=30, hidden_sizes=(64,), epochs=30, batch_size=150)
+
+    def backbone_factory(vocab_size: int) -> ETM:
+        return ETM(vocab_size, config, embeddings.vectors)
+
+    print("Sweeping (lambda, v) on a 20% validation split...")
+    result, final = grid_search_contratopic(
+        backbone_factory,
+        dataset.train,
+        lambda_grid=(0.0, 10.0, 40.0, 160.0),
+        v_grid=(5, 10),
+        valid_fraction=0.2,
+        seed=0,
+    )
+    print(
+        format_table(
+            ["lambda", "v", "valid coherence", "valid diversity", "score"],
+            result.as_rows(),
+            title="validation grid (best first)",
+        )
+    )
+
+    best = result.best
+    print(f"\nWinner: lambda={best.lambda_weight}, v={best.num_sampled_words}; "
+          "refitted on the full training set.")
+    npmi_test = compute_npmi_matrix(dataset.test)
+    beta = final.topic_word_matrix()
+    print(
+        f"Test: coherence={topic_coherence(beta, npmi_test):.3f}, "
+        f"diversity={topic_diversity(beta):.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

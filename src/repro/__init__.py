@@ -1,0 +1,106 @@
+"""repro — ContraTopic (ICDE 2024) reproduction.
+
+A complete, from-scratch reproduction of "Enhancing Topic Interpretability
+for Neural Topic Modeling through Topic-wise Contrastive Learning" on a
+numpy-only stack: a reverse-mode autodiff engine (:mod:`repro.tensor`), a
+neural-network library (:mod:`repro.nn`), corpus / embedding / metric
+substrates, nine baseline topic models, the ContraTopic model itself
+(:mod:`repro.core`), and an experiment harness regenerating every table
+and figure of the paper (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import load_20ng, build_embeddings, compute_npmi_matrix
+    from repro import ETM, NTMConfig, ContraTopic, ContraTopicConfig, npmi_kernel
+
+    ds = load_20ng(scale=0.3)
+    emb = build_embeddings(ds.train, dim=50)
+    npmi = compute_npmi_matrix(ds.train)
+    backbone = ETM(ds.vocab_size, NTMConfig(num_topics=40), emb.vectors)
+    model = ContraTopic(backbone, npmi_kernel(npmi),
+                        ContraTopicConfig(lambda_weight=200.0))
+    model.fit(ds.train)
+    print(model.top_words(ds.train.vocabulary, 10)[:5])
+"""
+
+from repro.data import (
+    Corpus,
+    Vocabulary,
+    load_20ng,
+    load_yahoo,
+    load_nytimes,
+    load_dataset,
+)
+from repro.embeddings import build_embeddings, EmbeddingStore
+from repro.metrics import (
+    compute_npmi_matrix,
+    NpmiMatrix,
+    topic_coherence,
+    topic_diversity,
+    purity,
+    normalized_mutual_information,
+    word_intrusion_score,
+)
+from repro.models import (
+    NTMConfig,
+    TopicModel,
+    LatentDirichletAllocation,
+    ProdLDA,
+    ETM,
+    WLDA,
+    NSTM,
+    WeTe,
+    NTMR,
+    VTMRL,
+    CLNTM,
+    build_model,
+    available_models,
+)
+from repro.core import (
+    ContraTopic,
+    ContraTopicConfig,
+    ContrastiveMode,
+    npmi_kernel,
+    embedding_kernel,
+    build_variant,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Corpus",
+    "Vocabulary",
+    "load_20ng",
+    "load_yahoo",
+    "load_nytimes",
+    "load_dataset",
+    "build_embeddings",
+    "EmbeddingStore",
+    "compute_npmi_matrix",
+    "NpmiMatrix",
+    "topic_coherence",
+    "topic_diversity",
+    "purity",
+    "normalized_mutual_information",
+    "word_intrusion_score",
+    "NTMConfig",
+    "TopicModel",
+    "LatentDirichletAllocation",
+    "ProdLDA",
+    "ETM",
+    "WLDA",
+    "NSTM",
+    "WeTe",
+    "NTMR",
+    "VTMRL",
+    "CLNTM",
+    "build_model",
+    "available_models",
+    "ContraTopic",
+    "ContraTopicConfig",
+    "ContrastiveMode",
+    "npmi_kernel",
+    "embedding_kernel",
+    "build_variant",
+    "__version__",
+]

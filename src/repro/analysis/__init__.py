@@ -1,0 +1,23 @@
+"""Post-hoc topic analysis: similarity, redundancy, document assignment.
+
+The paper's case study (§V.K) reasons qualitatively about topic mixing and
+topic repetition ("For baselines like CLNTM with high topic consistency
+and poor topic diversity, there are obvious repetitions in their top
+topics"); this package turns those diagnoses into reusable functions.
+"""
+
+from repro.analysis.topics import (
+    topic_similarity_matrix,
+    find_redundant_topics,
+    assign_documents,
+    topic_summaries,
+    TopicSummary,
+)
+
+__all__ = [
+    "topic_similarity_matrix",
+    "find_redundant_topics",
+    "assign_documents",
+    "topic_summaries",
+    "TopicSummary",
+]

@@ -1,0 +1,137 @@
+"""Topic-level diagnostics over a fitted model's outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.vocabulary import Vocabulary
+from repro.errors import ConfigError, ShapeError
+from repro.metrics.coherence import top_word_ids
+from repro.metrics.npmi import NpmiMatrix
+
+
+def _validate_beta(topic_word: np.ndarray) -> np.ndarray:
+    beta = np.asarray(topic_word, dtype=np.float64)
+    if beta.ndim != 2:
+        raise ShapeError(f"topic-word matrix must be 2-D, got {beta.shape}")
+    return beta
+
+
+def topic_similarity_matrix(
+    topic_word: np.ndarray, metric: str = "jensen-shannon", top_n: int = 25
+) -> np.ndarray:
+    """Pairwise topic similarity in [0, 1]; 1 on the diagonal.
+
+    ``jensen-shannon`` converts the JS divergence (base 2, so in [0, 1])
+    into a similarity ``1 - JS``;  ``overlap`` uses the fraction of shared
+    top-``top_n`` words (the quantity topic diversity measures; clipped to
+    the vocabulary size).
+    """
+    beta = _validate_beta(topic_word)
+    k = beta.shape[0]
+    if metric == "jensen-shannon":
+        similarity = np.empty((k, k))
+        logs = np.log2(beta + 1e-12)
+        entropies = -(beta * logs).sum(axis=1)
+        for i in range(k):
+            mixture = 0.5 * (beta[i][None, :] + beta)
+            mixture_entropy = -(mixture * np.log2(mixture + 1e-12)).sum(axis=1)
+            js = mixture_entropy - 0.5 * (entropies[i] + entropies)
+            similarity[i] = 1.0 - np.clip(js, 0.0, 1.0)
+        return similarity
+    if metric == "overlap":
+        top_n = min(top_n, beta.shape[1])
+        tops = top_word_ids(beta, top_n)
+        similarity = np.empty((k, k))
+        sets = [set(row.tolist()) for row in tops]
+        for i in range(k):
+            for j in range(k):
+                similarity[i, j] = len(sets[i] & sets[j]) / top_n
+        return similarity
+    raise ConfigError(f"unknown metric {metric!r}")
+
+
+def find_redundant_topics(
+    topic_word: np.ndarray,
+    threshold: float = 0.5,
+    metric: str = "overlap",
+    top_n: int = 25,
+) -> list[tuple[int, int, float]]:
+    """Topic pairs whose similarity exceeds ``threshold``.
+
+    Returns ``(i, j, similarity)`` tuples sorted by descending similarity —
+    the quantitative form of the paper's "obvious repetitions" diagnosis.
+    """
+    similarity = topic_similarity_matrix(topic_word, metric=metric, top_n=top_n)
+    k = similarity.shape[0]
+    pairs = [
+        (i, j, float(similarity[i, j]))
+        for i in range(k)
+        for j in range(i + 1, k)
+        if similarity[i, j] > threshold
+    ]
+    pairs.sort(key=lambda t: -t[2])
+    return pairs
+
+
+def assign_documents(doc_topic: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+    """Dominant-topic assignment per document; -1 when below ``threshold``.
+
+    A threshold of e.g. 0.3 leaves genuinely mixed documents unassigned,
+    which is usually what a content-analysis user wants.
+    """
+    theta = np.asarray(doc_topic, dtype=np.float64)
+    if theta.ndim != 2:
+        raise ShapeError(f"doc-topic matrix must be 2-D, got {theta.shape}")
+    winners = theta.argmax(axis=1)
+    confident = theta.max(axis=1) >= threshold
+    return np.where(confident, winners, -1)
+
+
+@dataclass(frozen=True)
+class TopicSummary:
+    """Everything a report needs about one topic."""
+
+    index: int
+    top_words: tuple[str, ...]
+    npmi: float
+    prevalence: float          # share of documents assigned to this topic
+    most_similar_topic: int
+    similarity: float
+
+
+def topic_summaries(
+    topic_word: np.ndarray,
+    doc_topic: np.ndarray,
+    vocabulary: Vocabulary,
+    npmi: NpmiMatrix,
+    top_n: int = 10,
+) -> list[TopicSummary]:
+    """One :class:`TopicSummary` per topic, sorted by descending NPMI."""
+    beta = _validate_beta(topic_word)
+    if beta.shape[0] != np.asarray(doc_topic).shape[1]:
+        raise ShapeError("topic_word and doc_topic disagree on topic count")
+    tops = top_word_ids(beta, min(top_n, beta.shape[1]))
+    assignments = assign_documents(doc_topic)
+    counts = np.bincount(assignments[assignments >= 0], minlength=beta.shape[0])
+    prevalence = counts / max(assignments.size, 1)
+    similarity = topic_similarity_matrix(beta, metric="overlap")
+    np.fill_diagonal(similarity, -1.0)
+
+    summaries = []
+    for k in range(beta.shape[0]):
+        nearest = int(np.argmax(similarity[k]))
+        summaries.append(
+            TopicSummary(
+                index=k,
+                top_words=tuple(vocabulary.token_of(int(w)) for w in tops[k]),
+                npmi=npmi.mean_pairwise(tops[k]),
+                prevalence=float(prevalence[k]),
+                most_similar_topic=nearest,
+                similarity=float(similarity[k, nearest]),
+            )
+        )
+    summaries.sort(key=lambda s: -s.npmi)
+    return summaries

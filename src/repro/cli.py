@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``train``     Train any registry model on a dataset profile, report the
+              §V.B metrics, optionally save a checkpoint.
+``evaluate``  Reload a checkpoint and re-score it on the test split.
+``topics``    Train (or reload) and print the top topics with NPMI.
+``datasets``  Print the Table-I statistics of the bundled profiles.
+
+Examples
+--------
+::
+
+    python -m repro datasets
+    python -m repro train --dataset 20ng --model contratopic --epochs 30 \
+        --checkpoint /tmp/ct.npz
+    python -m repro evaluate --dataset 20ng --model contratopic \
+        --checkpoint /tmp/ct.npz
+    python -m repro topics --dataset yahoo --model etm --num-topics 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext, ExperimentSettings
+from repro.experiments.reporting import format_table
+from repro.experiments.table1_stats import format_table1, run_table1
+from repro.io import load_checkpoint, save_checkpoint
+from repro.metrics.coherence import topic_npmi_scores
+from repro.models.registry import available_models
+from repro.training.protocol import evaluate_model
+
+
+def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    return ExperimentSettings(
+        dataset=args.dataset,
+        scale=args.scale,
+        num_topics=args.num_topics,
+        epochs=args.epochs,
+        seeds=(args.seed,),
+        lambda_weight=args.lambda_weight,
+    )
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="20ng", choices=["20ng", "yahoo", "nytimes"])
+    parser.add_argument("--model", default="contratopic", choices=available_models())
+    parser.add_argument("--scale", type=float, default=0.3, help="corpus scale factor")
+    parser.add_argument("--num-topics", type=int, default=40)
+    parser.add_argument("--epochs", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--lambda-weight",
+        type=float,
+        default=None,
+        help="regularizer weight λ (default: the dataset's calibrated value)",
+    )
+
+
+def _build_and_maybe_load(args: argparse.Namespace, out):
+    context = ExperimentContext(_settings_from_args(args))
+    model = context.build(args.model, seed=args.seed)
+    if getattr(args, "checkpoint", None) and args.command == "evaluate":
+        from repro.nn.module import Module
+
+        if not isinstance(model, Module):
+            raise SystemExit("--checkpoint requires a neural model")
+        load_checkpoint(model, args.checkpoint)
+        model._fitted = True
+        model.eval()
+        print(f"loaded checkpoint {args.checkpoint}", file=out)
+    else:
+        print(f"training {args.model} on {args.dataset}...", file=out)
+        model.fit(context.dataset.train)
+    return context, model
+
+
+def _report(context, model, out) -> None:
+    evaluation = evaluate_model(
+        model,
+        context.dataset.test,
+        context.npmi_test,
+        cluster_counts=(20,) if context.dataset.test.labels is not None else (),
+    )
+    rows = [
+        ["coherence@10%", evaluation.coherence[0.1]],
+        ["coherence@100%", evaluation.coherence[1.0]],
+        ["diversity@10%", evaluation.diversity[0.1]],
+        ["diversity@100%", evaluation.diversity[1.0]],
+    ]
+    if evaluation.km_purity:
+        rows.append(["km-purity@20", evaluation.km_purity[20]])
+        rows.append(["km-nmi@20", evaluation.km_nmi[20]])
+    print(format_table(["metric", "value"], rows), file=out)
+
+
+def _cmd_train(args: argparse.Namespace, out) -> int:
+    context, model = _build_and_maybe_load(args, out)
+    _report(context, model, out)
+    if args.checkpoint:
+        from repro.nn.module import Module
+
+        if isinstance(model, Module):
+            save_checkpoint(
+                model,
+                args.checkpoint,
+                extra={"model": args.model, "dataset": args.dataset},
+            )
+            print(f"saved checkpoint to {args.checkpoint}", file=out)
+        else:
+            print("note: non-neural model, checkpoint skipped", file=out)
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace, out) -> int:
+    context, model = _build_and_maybe_load(args, out)
+    _report(context, model, out)
+    return 0
+
+
+def _cmd_topics(args: argparse.Namespace, out) -> int:
+    context, model = _build_and_maybe_load(args, out)
+    beta = model.topic_word_matrix()
+    scores = topic_npmi_scores(beta, context.npmi_test)
+    tops = model.top_words(context.dataset.train.vocabulary, args.num_words)
+    order = np.argsort(-scores)[: args.show]
+    for k in order:
+        print(f"{scores[k]:+.3f}  {' '.join(tops[k])}", file=out)
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace, out) -> int:
+    print(format_table1(run_table1(scale=args.scale)), file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a model and report metrics")
+    _add_model_arguments(train)
+    train.add_argument("--checkpoint", default=None, help="save parameters here")
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a saved checkpoint")
+    _add_model_arguments(evaluate)
+    evaluate.add_argument("--checkpoint", required=True)
+
+    topics = sub.add_parser("topics", help="print top topics")
+    _add_model_arguments(topics)
+    topics.add_argument("--num-words", type=int, default=8)
+    topics.add_argument("--show", type=int, default=10)
+    topics.add_argument("--checkpoint", default=None)
+
+    datasets = sub.add_parser("datasets", help="print Table-I statistics")
+    datasets.add_argument("--scale", type=float, default=0.3)
+    return parser
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
+        "topics": _cmd_topics,
+        "datasets": _cmd_datasets,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

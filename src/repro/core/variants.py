@@ -1,0 +1,64 @@
+"""Ablation variants of ContraTopic (paper Table II).
+
+* ``full``          — the complete model.
+* ``P``  (-P)       — positive pairs only (coherence, no diversity push).
+* ``N``  (-N)       — negative pairs only (diversity, no coherence pull).
+* ``I``  (-I)       — K(·) = word-embedding inner product instead of NPMI.
+* ``S``  (-S)       — no Gumbel sampling; the expectation v·β feeds L_con.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.contrastive import ContrastiveMode
+from repro.core.contratopic import ContraTopic, ContraTopicConfig
+from repro.core.similarity import SimilarityKernel, embedding_kernel, npmi_kernel
+from repro.errors import ConfigError
+from repro.metrics.npmi import NpmiMatrix
+from repro.models.base import NeuralTopicModel
+
+VARIANT_NAMES = ("full", "P", "N", "I", "S")
+
+
+def build_variant(
+    name: str,
+    backbone: NeuralTopicModel,
+    npmi: NpmiMatrix,
+    word_embeddings: np.ndarray | None = None,
+    lambda_weight: float = 40.0,
+    num_sampled_words: int = 10,
+    gumbel_temperature: float = 0.5,
+    kernel_temperature: float = 0.25,
+    negative_weight: float = 3.0,
+) -> ContraTopic:
+    """Construct a named Table-II variant around ``backbone``.
+
+    ``word_embeddings`` is only required for the ``I`` variant.
+    """
+    if name not in VARIANT_NAMES:
+        raise ConfigError(f"unknown variant {name!r}; choose from {VARIANT_NAMES}")
+
+    kernel: SimilarityKernel
+    if name == "I":
+        if word_embeddings is None:
+            raise ConfigError("variant 'I' requires word embeddings")
+        kernel = embedding_kernel(word_embeddings, temperature=kernel_temperature)
+    else:
+        kernel = npmi_kernel(npmi, temperature=kernel_temperature)
+
+    mode = ContrastiveMode.FULL
+    if name == "P":
+        mode = ContrastiveMode.POSITIVE_ONLY
+    elif name == "N":
+        mode = ContrastiveMode.NEGATIVE_ONLY
+
+    config = ContraTopicConfig(
+        lambda_weight=lambda_weight,
+        num_sampled_words=num_sampled_words,
+        gumbel_temperature=gumbel_temperature,
+        mode=mode,
+        use_sampling=(name != "S"),
+        negative_weight=negative_weight,
+    )
+    return ContraTopic(backbone, kernel, config)

@@ -1,0 +1,52 @@
+"""Corpus substrate: vocabularies, documents, preprocessing and datasets.
+
+The paper evaluates on 20 Newsgroups, UIUC Yahoo Answers and NYTimes.  None
+of these can be downloaded in this offline environment, so the package ships
+a ground-truth synthetic corpus generator (:mod:`repro.data.synthetic`) over
+hand-written *theme banks*, with dataset profiles that miniaturize each of
+the paper's corpora (:mod:`repro.data.datasets`).  The full real-text
+preprocessing pipeline from the paper (tokenize, stop-word removal,
+document-frequency filters, short-document removal) is implemented in
+:mod:`repro.data.preprocessing` and applied to the generated raw text, so a
+user with the real corpora can substitute them directly.
+"""
+
+from repro.data.vocabulary import Vocabulary
+from repro.data.corpus import Corpus, CorpusStats
+from repro.data.preprocessing import (
+    PreprocessConfig,
+    Preprocessor,
+    simple_tokenize,
+    STOP_WORDS,
+)
+from repro.data.synthetic import SyntheticCorpusConfig, SyntheticCorpusGenerator, THEME_BANKS
+from repro.data.datasets import (
+    DatasetProfile,
+    load_20ng,
+    load_yahoo,
+    load_nytimes,
+    load_dataset,
+    DATASET_PROFILES,
+)
+from repro.data.loaders import BatchIterator, train_valid_split
+
+__all__ = [
+    "Vocabulary",
+    "Corpus",
+    "CorpusStats",
+    "PreprocessConfig",
+    "Preprocessor",
+    "simple_tokenize",
+    "STOP_WORDS",
+    "SyntheticCorpusConfig",
+    "SyntheticCorpusGenerator",
+    "THEME_BANKS",
+    "DatasetProfile",
+    "load_20ng",
+    "load_yahoo",
+    "load_nytimes",
+    "load_dataset",
+    "DATASET_PROFILES",
+    "BatchIterator",
+    "train_valid_split",
+]

@@ -1,0 +1,172 @@
+"""The :class:`Corpus` container: bag-of-words documents plus labels.
+
+A corpus stores documents as lists of token ids (order preserved for
+window-based co-occurrence counting) and materializes dense or sparse
+bag-of-words matrices on demand.  It also computes the statistics reported
+in the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.data.vocabulary import Vocabulary
+from repro.errors import CorpusError
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """The per-dataset statistics reported in Table I of the paper."""
+
+    vocabulary_size: int
+    num_documents: int
+    average_length: float
+    num_tokens: int
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "Vocabulary Size": self.vocabulary_size,
+            "Documents": self.num_documents,
+            "Average Length": round(self.average_length, 1),
+            "Number of Tokens": self.num_tokens,
+        }
+
+
+class Corpus:
+    """Documents as token-id sequences, with an optional label per document.
+
+    Parameters
+    ----------
+    documents:
+        One list/array of token ids per document.  Must be non-empty lists of
+        ids valid for ``vocabulary``.
+    vocabulary:
+        The (usually frozen) vocabulary the ids index into.
+    labels:
+        Optional integer class label per document (document labels exist for
+        20NG and Yahoo in the paper; NYTimes has none).
+    label_names:
+        Optional printable name per label id.
+    """
+
+    def __init__(
+        self,
+        documents: Sequence[Sequence[int]],
+        vocabulary: Vocabulary,
+        labels: Sequence[int] | None = None,
+        label_names: Sequence[str] | None = None,
+    ):
+        if not documents:
+            raise CorpusError("corpus must contain at least one document")
+        self.documents = [np.asarray(doc, dtype=np.int64) for doc in documents]
+        self.vocabulary = vocabulary
+        vocab_size = len(vocabulary)
+        for i, doc in enumerate(self.documents):
+            if doc.size == 0:
+                raise CorpusError(f"document {i} is empty")
+            if doc.min() < 0 or doc.max() >= vocab_size:
+                raise CorpusError(
+                    f"document {i} has token ids outside [0, {vocab_size})"
+                )
+        if labels is not None:
+            labels_arr = np.asarray(labels, dtype=np.int64)
+            if labels_arr.shape != (len(self.documents),):
+                raise CorpusError(
+                    f"labels shape {labels_arr.shape} does not match "
+                    f"{len(self.documents)} documents"
+                )
+            self.labels: np.ndarray | None = labels_arr
+        else:
+            self.labels = None
+        self.label_names = list(label_names) if label_names is not None else None
+        self._bow_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocabulary)
+
+    @property
+    def num_labels(self) -> int:
+        if self.labels is None:
+            return 0
+        return int(self.labels.max()) + 1
+
+    def document_lengths(self) -> np.ndarray:
+        return np.array([doc.size for doc in self.documents], dtype=np.int64)
+
+    def stats(self) -> CorpusStats:
+        """Statistics in the style of the paper's Table I."""
+        lengths = self.document_lengths()
+        return CorpusStats(
+            vocabulary_size=self.vocab_size,
+            num_documents=len(self),
+            average_length=float(lengths.mean()),
+            num_tokens=int(lengths.sum()),
+        )
+
+    # ------------------------------------------------------------------
+    def bow_matrix(self, dtype=np.float64) -> np.ndarray:
+        """Dense ``(docs, vocab)`` bag-of-words count matrix (cached)."""
+        if self._bow_cache is None:
+            self._bow_cache = np.asarray(
+                self.bow_sparse().todense(), dtype=np.float64
+            )
+        if dtype == np.float64:
+            return self._bow_cache
+        return self._bow_cache.astype(dtype)
+
+    def bow_sparse(self) -> sparse.csr_matrix:
+        """Sparse CSR bag-of-words count matrix."""
+        indptr = [0]
+        indices: list[int] = []
+        data: list[int] = []
+        for doc in self.documents:
+            ids, counts = np.unique(doc, return_counts=True)
+            indices.extend(ids.tolist())
+            data.extend(counts.tolist())
+            indptr.append(len(indices))
+        return sparse.csr_matrix(
+            (np.array(data, dtype=np.float64), np.array(indices), np.array(indptr)),
+            shape=(len(self), self.vocab_size),
+        )
+
+    def binary_doc_word(self) -> sparse.csr_matrix:
+        """Sparse boolean doc-word incidence (for NPMI co-occurrence)."""
+        mat = self.bow_sparse()
+        mat.data = np.ones_like(mat.data)
+        return mat
+
+    # ------------------------------------------------------------------
+    def subset(self, indices: Iterable[int]) -> "Corpus":
+        """A new corpus restricted to ``indices`` (shares the vocabulary)."""
+        idx = list(indices)
+        if not idx:
+            raise CorpusError("subset indices must be non-empty")
+        docs = [self.documents[i] for i in idx]
+        labels = self.labels[idx] if self.labels is not None else None
+        return Corpus(docs, self.vocabulary, labels=labels, label_names=self.label_names)
+
+    def word_document_frequency(self) -> np.ndarray:
+        """Number of documents containing each word, shape ``(vocab,)``."""
+        return np.asarray(self.binary_doc_word().sum(axis=0)).ravel()
+
+    def word_frequency(self) -> np.ndarray:
+        """Total count of each word across the corpus, shape ``(vocab,)``."""
+        return np.asarray(self.bow_sparse().sum(axis=0)).ravel()
+
+    def top_words(self, n: int = 10) -> list[str]:
+        """The ``n`` most frequent tokens in the corpus."""
+        order = np.argsort(-self.word_frequency())[:n]
+        return [self.vocabulary.token_of(int(i)) for i in order]
+
+    def __repr__(self) -> str:
+        labeled = "labeled" if self.labels is not None else "unlabeled"
+        return f"Corpus(docs={len(self)}, vocab={self.vocab_size}, {labeled})"

@@ -1,0 +1,190 @@
+"""Miniaturized dataset profiles for the paper's three corpora.
+
+Each profile generates a synthetic raw-text corpus from theme banks (see
+:mod:`repro.data.synthetic`), runs the paper's preprocessing pipeline, and
+splits train/test.  Profiles mirror the *relative* characteristics of
+Table I — Yahoo has more, shorter documents than 20NG; NYTimes has the most
+documents, the longest documents and the largest vocabulary (it includes
+Spanish-language themes, as the paper's Table VI shows) — at a scale that
+trains on CPU in seconds.
+
+A ``scale`` argument multiplies document counts, so experiments can trade
+fidelity for speed uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.corpus import Corpus
+from repro.data.preprocessing import PreprocessConfig, Preprocessor
+from repro.data.synthetic import SyntheticCorpusConfig, SyntheticCorpusGenerator
+from repro.data.theme_banks import THEME_BANKS
+from repro.errors import ConfigError
+
+_20NG_THEMES = (
+    "space", "medicine", "christianity", "atheism", "mideast", "guns",
+    "armenia", "cryptography", "hockey", "baseball", "graphics",
+    "windows_os", "pc_hardware", "mac_hardware", "xwindows", "electronics",
+    "autos", "motorcycles", "forsale", "us_politics", "waco",
+)
+
+_YAHOO_THEMES = (
+    "cooking", "dieting", "pets", "relationships", "finance", "gadgets",
+    "gaming", "computers_help", "fashion", "wrestling", "education",
+    "travel", "christianity",
+)
+
+_NYT_THEMES = (
+    "israel_palestine", "afghan_war", "russia", "markets", "film", "nba",
+    "nfl", "golf", "spanish_news", "mlb_angels", "us_politics", "cooking",
+    "medicine", "guns", "space", "armenia", "travel", "education",
+)
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Recipe for one miniaturized corpus."""
+
+    name: str
+    themes: tuple[str, ...]
+    num_train: int
+    num_test: int
+    average_length: float
+    labeled: bool
+    min_doc_count: int = 3
+    doc_topic_alpha: float = 0.08
+    seed: int = 2024
+
+    def __post_init__(self) -> None:
+        unknown = [t for t in self.themes if t not in THEME_BANKS]
+        if unknown:
+            raise ConfigError(f"profile {self.name}: unknown themes {unknown}")
+
+
+DATASET_PROFILES: dict[str, DatasetProfile] = {
+    # 20NG: mid-sized, 20 labels, ~60-token documents.
+    "20ng": DatasetProfile(
+        name="20ng",
+        themes=_20NG_THEMES,
+        num_train=1500,
+        num_test=1000,
+        average_length=60.0,
+        labeled=True,
+        seed=20,
+    ),
+    # Yahoo: more, shorter documents; fewer labels.
+    "yahoo": DatasetProfile(
+        name="yahoo",
+        themes=_YAHOO_THEMES,
+        num_train=2400,
+        num_test=1600,
+        average_length=46.0,
+        labeled=True,
+        seed=46,
+    ),
+    # NYTimes: most documents, longest documents, widest vocabulary,
+    # no labels (the paper only clusters 20NG and Yahoo).
+    "nytimes": DatasetProfile(
+        name="nytimes",
+        themes=_NYT_THEMES,
+        num_train=2600,
+        num_test=1700,
+        average_length=140.0,
+        labeled=False,
+        min_doc_count=4,
+        seed=345,
+    ),
+}
+
+
+@dataclass
+class Dataset:
+    """A loaded dataset: train/test corpora sharing one vocabulary."""
+
+    name: str
+    train: Corpus
+    test: Corpus
+    label_names: list[str] | None
+    profile: DatasetProfile
+
+    @property
+    def vocab_size(self) -> int:
+        return self.train.vocab_size
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int | None = None) -> Dataset:
+    """Generate + preprocess one of the miniaturized paper corpora.
+
+    Parameters
+    ----------
+    name:
+        ``"20ng"``, ``"yahoo"`` or ``"nytimes"``.
+    scale:
+        Multiplier on the train/test document counts (e.g. ``0.25`` for the
+        fast test-suite configuration).
+    seed:
+        Overrides the profile's generation seed (for multi-seed protocols).
+    """
+    try:
+        profile = DATASET_PROFILES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown dataset {name!r}; choose from {sorted(DATASET_PROFILES)}"
+        ) from None
+    if scale <= 0:
+        raise ConfigError("scale must be positive")
+
+    num_train = max(40, int(round(profile.num_train * scale)))
+    num_test = max(20, int(round(profile.num_test * scale)))
+    gen_config = SyntheticCorpusConfig(
+        themes=profile.themes,
+        num_documents=num_train + num_test,
+        average_length=profile.average_length,
+        doc_topic_alpha=profile.doc_topic_alpha,
+        seed=profile.seed if seed is None else seed,
+    )
+    texts, labels, _ = SyntheticCorpusGenerator(gen_config).generate()
+
+    train_texts, test_texts = texts[:num_train], texts[num_train:]
+    train_labels: Sequence[int] | None = labels[:num_train]
+    test_labels: Sequence[int] | None = labels[num_train:]
+    label_names: list[str] | None = list(profile.themes)
+    if not profile.labeled:
+        train_labels = None
+        test_labels = None
+        label_names = None
+
+    pre = Preprocessor(
+        PreprocessConfig(min_doc_count=_scaled_min_count(profile, scale))
+    )
+    train = pre.fit_transform(train_texts, labels=train_labels, label_names=label_names)
+    test = pre.transform(test_texts, labels=test_labels, label_names=label_names)
+    return Dataset(
+        name=profile.name,
+        train=train,
+        test=test,
+        label_names=label_names,
+        profile=profile,
+    )
+
+
+def _scaled_min_count(profile: DatasetProfile, scale: float) -> int:
+    """Scale the absolute min-document-count filter with corpus size."""
+    return max(2, int(round(profile.min_doc_count * min(scale, 1.0))))
+
+
+def load_20ng(scale: float = 1.0, seed: int | None = None) -> Dataset:
+    """The miniaturized 20 Newsgroups profile (labeled, 21 themes)."""
+    return load_dataset("20ng", scale=scale, seed=seed)
+
+
+def load_yahoo(scale: float = 1.0, seed: int | None = None) -> Dataset:
+    """The miniaturized Yahoo Answers profile (labeled, shorter docs)."""
+    return load_dataset("yahoo", scale=scale, seed=seed)
+
+
+def load_nytimes(scale: float = 1.0, seed: int | None = None) -> Dataset:
+    """The miniaturized NYTimes profile (unlabeled, long docs, wide vocab)."""
+    return load_dataset("nytimes", scale=scale, seed=seed)

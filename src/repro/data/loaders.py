@@ -1,0 +1,78 @@
+"""Mini-batching and train/validation splitting over corpora."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.errors import ConfigError
+
+
+class BatchIterator:
+    """Yield shuffled bag-of-words mini-batches from a corpus.
+
+    Each epoch re-shuffles with the supplied generator, so training is a
+    deterministic function of (corpus, seed).  Batches are dense
+    ``(batch, vocab)`` float64 count matrices, matching what the VAE models
+    consume.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        batch_size: int,
+        rng: np.random.Generator,
+        drop_last: bool = False,
+    ):
+        if batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        self.corpus = corpus
+        self.batch_size = batch_size
+        self.drop_last = drop_last
+        self._rng = rng
+        self._bow = corpus.bow_matrix()
+
+    def __len__(self) -> int:
+        n = len(self.corpus)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        order = self._rng.permutation(len(self.corpus))
+        for start in range(0, len(order), self.batch_size):
+            batch_idx = order[start : start + self.batch_size]
+            if self.drop_last and batch_idx.size < self.batch_size:
+                return
+            yield self._bow[batch_idx]
+
+    def batches_with_indices(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Like iteration, but also yields the document indices per batch."""
+        order = self._rng.permutation(len(self.corpus))
+        for start in range(0, len(order), self.batch_size):
+            batch_idx = order[start : start + self.batch_size]
+            if self.drop_last and batch_idx.size < self.batch_size:
+                return
+            yield self._bow[batch_idx], batch_idx
+
+
+def train_valid_split(
+    corpus: Corpus, valid_fraction: float, rng: np.random.Generator
+) -> tuple[Corpus, Corpus]:
+    """Randomly split a corpus into train and validation subsets.
+
+    Used for the paper's hyper-parameter grid search, which runs "on a
+    validation set split from the training corpus".
+    """
+    if not 0.0 < valid_fraction < 1.0:
+        raise ConfigError("valid_fraction must be in (0, 1)")
+    n = len(corpus)
+    n_valid = max(1, int(round(n * valid_fraction)))
+    if n_valid >= n:
+        raise ConfigError("validation split would consume the whole corpus")
+    order = rng.permutation(n)
+    valid_idx = order[:n_valid].tolist()
+    train_idx = order[n_valid:].tolist()
+    return corpus.subset(train_idx), corpus.subset(valid_idx)

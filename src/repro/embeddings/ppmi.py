@@ -1,0 +1,41 @@
+"""Positive point-wise mutual information from co-occurrence counts."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ShapeError
+
+
+def ppmi_matrix(
+    counts: sparse.spmatrix | np.ndarray,
+    shift: float = 0.0,
+    smoothing: float = 0.75,
+) -> np.ndarray:
+    """PPMI of a symmetric co-occurrence count matrix.
+
+    ``PPMI_ij = max(0, log( p_ij / (p_i * q_j) ) - shift)`` where ``q`` is
+    the context distribution raised to ``smoothing`` (the α=0.75 context
+    smoothing of Levy, Goldberg & Dagan 2015, which improves rare-word
+    vectors).
+
+    Returns a dense matrix — vocabulary sizes here are small enough, and
+    the SVD consumer needs dense anyway.
+    """
+    dense = counts.toarray() if sparse.issparse(counts) else np.asarray(counts, float)
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise ShapeError(f"co-occurrence matrix must be square, got {dense.shape}")
+    total = dense.sum()
+    if total <= 0:
+        return np.zeros_like(dense)
+    joint = dense / total
+    row = joint.sum(axis=1)
+    context = joint.sum(axis=0)
+    if smoothing != 1.0:
+        context = context**smoothing
+        context = context / context.sum()
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pmi = np.log(joint) - np.log(np.outer(row, context))
+    pmi = np.where(joint > 0, pmi, -np.inf)
+    return np.maximum(pmi - shift, 0.0)

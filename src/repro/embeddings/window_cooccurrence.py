@@ -1,0 +1,55 @@
+"""Sliding-window co-occurrence counting over token sequences.
+
+Unlike the document-level counts used for NPMI coherence, embedding
+training uses window-level counts with the GloVe-style ``1/distance``
+weighting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.data.corpus import Corpus
+from repro.errors import ConfigError
+
+
+def window_cooccurrence_counts(
+    corpus: Corpus,
+    window_size: int = 5,
+    distance_weighting: bool = True,
+) -> sparse.csr_matrix:
+    """Symmetric ``(vocab, vocab)`` window co-occurrence counts.
+
+    Parameters
+    ----------
+    corpus:
+        Token-id documents (order within documents matters here).
+    window_size:
+        Tokens to the right considered context (symmetrized).
+    distance_weighting:
+        GloVe's ``1/d`` weighting of a co-occurrence at distance ``d``.
+    """
+    if window_size < 1:
+        raise ConfigError("window_size must be >= 1")
+    v = corpus.vocab_size
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+    for doc in corpus.documents:
+        n = doc.size
+        for offset in range(1, min(window_size, n - 1) + 1):
+            left = doc[:-offset]
+            right = doc[offset:]
+            weight = 1.0 / offset if distance_weighting else 1.0
+            w = np.full(left.size, weight)
+            rows.append(left)
+            cols.append(right)
+            vals.append(w)
+    if not rows:
+        return sparse.csr_matrix((v, v))
+    row = np.concatenate(rows)
+    col = np.concatenate(cols)
+    val = np.concatenate(vals)
+    counts = sparse.coo_matrix((val, (row, col)), shape=(v, v)).tocsr()
+    return counts + counts.T  # symmetrize

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array had an incompatible shape for the requested operation."""
+
+
+class GradientError(ReproError, RuntimeError):
+    """Backpropagation was requested on an invalid graph state."""
+
+
+class VocabularyError(ReproError, KeyError):
+    """A token or token id was not present in the vocabulary."""
+
+
+class CorpusError(ReproError, ValueError):
+    """A corpus failed validation (empty documents, label mismatch, ...)."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value was out of its legal range."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted model was called before ``fit``."""

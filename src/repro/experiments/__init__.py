@@ -1,0 +1,33 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run_*`` function returning structured results and
+a ``format_*`` function rendering the paper-style rows/series, so the
+benchmark suite (and the examples) can both execute and display them.
+
+| Paper artefact | Module |
+|---|---|
+| Table I (dataset stats)            | :mod:`repro.experiments.table1_stats` |
+| Figure 2 (coherence/diversity)     | :mod:`repro.experiments.fig2_interpretability` |
+| Figure 3 (km-Purity / km-NMI)      | :mod:`repro.experiments.fig3_clustering` |
+| Table II (ablation)                | :mod:`repro.experiments.table2_ablation` |
+| Figures 4-5 (λ / v sensitivity)    | :mod:`repro.experiments.fig45_sensitivity` |
+| Figure 6 (backbone substitution)   | :mod:`repro.experiments.fig6_backbone` |
+| Table III (word intrusion)         | :mod:`repro.experiments.table3_intrusion` |
+| Tables IV-VI (case study)          | :mod:`repro.experiments.tables456_casestudy` |
+"""
+
+from repro.experiments.context import ExperimentContext, ExperimentSettings, DEFAULT_LAMBDAS
+from repro.experiments.grid_search import (
+    GridPoint,
+    GridSearchResult,
+    grid_search_contratopic,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentSettings",
+    "DEFAULT_LAMBDAS",
+    "GridPoint",
+    "GridSearchResult",
+    "grid_search_contratopic",
+]

@@ -1,0 +1,89 @@
+"""Figure 2 — topic coherence and diversity vs. percentage of topics.
+
+The paper's headline comparison: ten models × three datasets, coherence
+(top row) and diversity (bottom row) as the fraction of selected topics
+(ranked by NPMI) grows from 10% to 100%.  Expected shape: ContraTopic's
+coherence curve dominates every baseline at most percentages while its
+diversity stays among the highest; CLNTM shows strong head-coherence but
+poor diversity (redundant topics); likelihood-only baselines decay faster
+as low-quality tail topics are included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.context import ExperimentContext, ExperimentSettings
+from repro.experiments.reporting import format_series
+from repro.training.protocol import EvaluationResult, multi_seed_evaluation
+
+FIG2_MODELS = (
+    "lda",
+    "prodlda",
+    "wlda",
+    "etm",
+    "nstm",
+    "wete",
+    "ntmr",
+    "vtmrl",
+    "clntm",
+    "contratopic",
+)
+
+
+@dataclass
+class Fig2Result:
+    """Per-model coherence/diversity series for one dataset."""
+
+    dataset: str
+    coherence: dict[str, dict[float, float]] = field(default_factory=dict)
+    diversity: dict[str, dict[float, float]] = field(default_factory=dict)
+
+
+def run_fig2(
+    settings: ExperimentSettings,
+    models: Sequence[str] = FIG2_MODELS,
+) -> Fig2Result:
+    """Train every model on one dataset and collect the Figure-2 series."""
+    context = ExperimentContext(settings)
+    result = Fig2Result(dataset=settings.dataset)
+    for name in models:
+        evaluation: EvaluationResult = multi_seed_evaluation(
+            context.factory(name),
+            context.dataset.train,
+            context.dataset.test,
+            context.npmi_test,
+            seeds=settings.seeds,
+            model_name=name,
+            cluster_counts=(),  # clustering belongs to Figure 3
+        )
+        result.coherence[name] = evaluation.coherence
+        result.diversity[name] = evaluation.diversity
+    return result
+
+
+def format_fig2(result: Fig2Result, charts: bool = True) -> str:
+    from repro.viz import ascii_line_chart
+
+    parts = [
+        format_series(
+            result.coherence,
+            title=f"Figure 2 (top) — topic coherence on {result.dataset}",
+        ),
+        "",
+        format_series(
+            result.diversity,
+            title=f"Figure 2 (bottom) — topic diversity on {result.dataset}",
+        ),
+    ]
+    if charts:
+        parts += [
+            "",
+            ascii_line_chart(
+                result.coherence,
+                title=f"[chart] coherence vs %topics ({result.dataset})",
+                y_label="NPMI",
+            ),
+        ]
+    return "\n".join(parts)

@@ -1,0 +1,81 @@
+"""Figure 3 — km-Purity and km-NMI of document-topic representations.
+
+KMeans is applied to held-out document-topic vectors on the two labeled
+datasets (20NG, Yahoo) for 20..100 clusters.  Expected shape: ContraTopic
+is competitive on 20NG without using any representation-specific technique;
+some baselines (ETM, VTMRL in the paper) may edge it out on Yahoo while
+losing badly on interpretability — the trade-off §V.F discusses at length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.context import ExperimentContext, ExperimentSettings
+from repro.experiments.reporting import format_series
+from repro.training.protocol import CLUSTER_COUNTS, multi_seed_evaluation
+
+FIG3_MODELS = ("lda", "prodlda", "wlda", "etm", "ntmr", "vtmrl", "clntm", "contratopic")
+
+
+@dataclass
+class Fig3Result:
+    """Per-model km-Purity / km-NMI curves for one labeled dataset."""
+
+    dataset: str
+    km_purity: dict[str, dict[int, float]] = field(default_factory=dict)
+    km_nmi: dict[str, dict[int, float]] = field(default_factory=dict)
+
+
+def run_fig3(
+    settings: ExperimentSettings,
+    models: Sequence[str] = FIG3_MODELS,
+    cluster_counts: Sequence[int] = CLUSTER_COUNTS,
+) -> Fig3Result:
+    """Train each model and cluster its held-out document representations."""
+    context = ExperimentContext(settings)
+    if context.dataset.test.labels is None:
+        raise ValueError(
+            f"dataset {settings.dataset!r} has no labels; Figure 3 needs them"
+        )
+    result = Fig3Result(dataset=settings.dataset)
+    for name in models:
+        evaluation = multi_seed_evaluation(
+            context.factory(name),
+            context.dataset.train,
+            context.dataset.test,
+            context.npmi_test,
+            seeds=settings.seeds,
+            model_name=name,
+            cluster_counts=cluster_counts,
+        )
+        result.km_purity[name] = evaluation.km_purity
+        result.km_nmi[name] = evaluation.km_nmi
+    return result
+
+
+def format_fig3(result: Fig3Result) -> str:
+    purity_series = {
+        name: {float(k): v for k, v in curve.items()}
+        for name, curve in result.km_purity.items()
+    }
+    nmi_series = {
+        name: {float(k): v for k, v in curve.items()}
+        for name, curve in result.km_nmi.items()
+    }
+    return "\n".join(
+        [
+            format_series(
+                purity_series,
+                x_label="#clusters",
+                title=f"Figure 3a — km-Purity on {result.dataset}",
+            ),
+            "",
+            format_series(
+                nmi_series,
+                x_label="#clusters",
+                title=f"Figure 3b — km-NMI on {result.dataset}",
+            ),
+        ]
+    )

@@ -1,0 +1,134 @@
+"""Figures 4 & 5 — sensitivity analysis of λ and v.
+
+The paper sweeps λ (the regularizer weight) and v (words sampled per
+topic), reporting the max- and min-percentage values of coherence,
+diversity and km-Purity.  Expected shape:
+
+* λ↑ — coherence increases steadily (especially for the most coherent
+  topics); diversity and km-Purity rise first, then decline once λ is so
+  large it overwhelms the ELBO;
+* v↑ — coherence and km-Purity rise quickly then plateau (v is the less
+  sensitive hyper-parameter).
+
+Figure 4 covers 20NG/Yahoo; Figure 5 covers NYTimes, whose λ scale is
+"much larger than the other two datasets" — the sweep grids below keep
+that relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.context import ExperimentContext, ExperimentSettings
+from repro.experiments.reporting import format_series
+from repro.training.protocol import multi_seed_evaluation
+
+# λ grids: NYTimes's grid is scaled up, as in the paper.
+LAMBDA_GRID_SMALL = (0.0, 25.0, 100.0, 200.0, 400.0, 800.0)
+LAMBDA_GRID_NYT = (0.0, 75.0, 300.0, 600.0, 1200.0, 2400.0)
+V_GRID = (1, 4, 7, 10, 13, 19)
+
+
+@dataclass
+class SensitivityResult:
+    """Metric extremes per swept value: ``{metric: {swept_value: score}}``."""
+
+    dataset: str
+    parameter: str  # "lambda" or "v"
+    coherence_max: dict[float, float] = field(default_factory=dict)
+    coherence_min: dict[float, float] = field(default_factory=dict)
+    diversity_max: dict[float, float] = field(default_factory=dict)
+    diversity_min: dict[float, float] = field(default_factory=dict)
+    km_purity_max: dict[float, float] = field(default_factory=dict)
+    km_purity_min: dict[float, float] = field(default_factory=dict)
+
+
+def _record(result: SensitivityResult, value: float, evaluation) -> None:
+    coh = evaluation.coherence
+    div = evaluation.diversity
+    result.coherence_max[value] = coh[min(coh)]     # smallest % = best topics
+    result.coherence_min[value] = coh[max(coh)]     # 100% = all topics
+    result.diversity_max[value] = max(div.values())
+    result.diversity_min[value] = min(div.values())
+    if evaluation.km_purity:
+        result.km_purity_max[value] = max(evaluation.km_purity.values())
+        result.km_purity_min[value] = min(evaluation.km_purity.values())
+
+
+def run_lambda_sensitivity(
+    settings: ExperimentSettings,
+    lambda_grid: Sequence[float] | None = None,
+) -> SensitivityResult:
+    """Sweep λ for ContraTopic on one dataset."""
+    if lambda_grid is None:
+        lambda_grid = (
+            LAMBDA_GRID_NYT if settings.dataset == "nytimes" else LAMBDA_GRID_SMALL
+        )
+    context = ExperimentContext(settings)
+    labeled = context.dataset.test.labels is not None
+    result = SensitivityResult(dataset=settings.dataset, parameter="lambda")
+    for lam in lambda_grid:
+        evaluation = multi_seed_evaluation(
+            context.factory("contratopic", lambda_weight=lam),
+            context.dataset.train,
+            context.dataset.test,
+            context.npmi_test,
+            seeds=settings.seeds,
+            model_name=f"lambda={lam}",
+            cluster_counts=(20, 100) if labeled else (),
+        )
+        _record(result, float(lam), evaluation)
+    return result
+
+
+def run_v_sensitivity(
+    settings: ExperimentSettings,
+    v_grid: Sequence[int] = V_GRID,
+) -> SensitivityResult:
+    """Sweep v (sampled words per topic) for ContraTopic on one dataset."""
+    context = ExperimentContext(settings)
+    labeled = context.dataset.test.labels is not None
+    result = SensitivityResult(dataset=settings.dataset, parameter="v")
+    for v in v_grid:
+        evaluation = multi_seed_evaluation(
+            context.factory("contratopic", num_sampled_words=v),
+            context.dataset.train,
+            context.dataset.test,
+            context.npmi_test,
+            seeds=settings.seeds,
+            model_name=f"v={v}",
+            cluster_counts=(20, 100) if labeled else (),
+        )
+        _record(result, float(v), evaluation)
+    return result
+
+
+def format_sensitivity(result: SensitivityResult) -> str:
+    series = {
+        "coherence (max%)": result.coherence_max,
+        "coherence (min%)": result.coherence_min,
+        "diversity (max%)": result.diversity_max,
+        "diversity (min%)": result.diversity_min,
+    }
+    if result.km_purity_max:
+        series["km-purity (max)"] = result.km_purity_max
+        series["km-purity (min)"] = result.km_purity_min
+    from repro.viz import ascii_line_chart
+
+    figure = "5" if result.dataset == "nytimes" else "4"
+    table = format_series(
+        series,
+        x_label=result.parameter,
+        title=(
+            f"Figure {figure} — {result.parameter} sensitivity on "
+            f"{result.dataset}"
+        ),
+    )
+    chart = ascii_line_chart(
+        {"coherence (min%)": result.coherence_min,
+         "diversity (min%)": result.diversity_min},
+        title=f"[chart] {result.parameter} sweep ({result.dataset})",
+        height=12,
+    )
+    return f"{table}\n\n{chart}"

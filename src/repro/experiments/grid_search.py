@@ -1,0 +1,146 @@
+"""Hyper-parameter grid search on a validation split (§V.D).
+
+The paper: "we keep the shared hyper-parameters unchanged and perform the
+grid search for other hyper-parameters such as λ, v, τ_g ... on a
+validation set split from the training corpus."  This module packages that
+workflow: split, sweep the regularizer grid, select by a combined
+interpretability score, refit the winner on the full training set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.contratopic import ContraTopic, ContraTopicConfig
+from repro.core.similarity import npmi_kernel
+from repro.data.corpus import Corpus
+from repro.data.loaders import train_valid_split
+from repro.errors import ConfigError
+from repro.metrics.coherence import topic_coherence
+from repro.metrics.diversity import topic_diversity
+from repro.metrics.npmi import compute_npmi_matrix
+from repro.models.base import NeuralTopicModel
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One evaluated configuration and its validation scores."""
+
+    lambda_weight: float
+    num_sampled_words: int
+    coherence: float
+    diversity: float
+    score: float
+
+
+@dataclass
+class GridSearchResult:
+    """All evaluated points plus the selected configuration."""
+
+    points: list[GridPoint] = field(default_factory=list)
+
+    @property
+    def best(self) -> GridPoint:
+        if not self.points:
+            raise ConfigError("grid search evaluated no points")
+        return max(self.points, key=lambda p: p.score)
+
+    def as_rows(self) -> list[list[object]]:
+        """Rows for :func:`repro.experiments.reporting.format_table`."""
+        return [
+            [p.lambda_weight, p.num_sampled_words, p.coherence, p.diversity, p.score]
+            for p in sorted(self.points, key=lambda p: -p.score)
+        ]
+
+
+def interpretability_score(
+    coherence: float, diversity: float, diversity_weight: float = 0.5
+) -> float:
+    """The default selection criterion: both facets matter (paper §IV.A)."""
+    return coherence + diversity_weight * diversity
+
+
+def grid_search_contratopic(
+    backbone_factory,
+    train_corpus: Corpus,
+    lambda_grid: Sequence[float] = (0.0, 10.0, 40.0, 160.0),
+    v_grid: Sequence[int] = (5, 10),
+    valid_fraction: float = 0.2,
+    kernel_temperature: float = 0.25,
+    negative_weight: float = 3.0,
+    gumbel_temperature: float = 0.5,
+    diversity_weight: float = 0.5,
+    seed: int = 0,
+) -> tuple[GridSearchResult, ContraTopic]:
+    """Sweep (λ, v) on a validation split, then refit the winner.
+
+    Parameters
+    ----------
+    backbone_factory:
+        ``(vocab_size) -> NeuralTopicModel`` building a fresh, unfitted
+        backbone each call (construction must be deterministic for a fair
+        comparison across grid points).
+    train_corpus:
+        Full training corpus; a validation split is carved out internally.
+
+    Returns
+    -------
+    (result, final_model):
+        The scored grid and a ContraTopic refitted on the *full* training
+        corpus with the winning configuration.
+    """
+    if not lambda_grid or not v_grid:
+        raise ConfigError("lambda_grid and v_grid must be non-empty")
+    rng = np.random.default_rng(seed)
+    train, valid = train_valid_split(train_corpus, valid_fraction, rng)
+    train_npmi = compute_npmi_matrix(train)
+    valid_npmi = compute_npmi_matrix(valid)
+    kernel = npmi_kernel(train_npmi, temperature=kernel_temperature)
+
+    result = GridSearchResult()
+    for lambda_weight in lambda_grid:
+        for v in v_grid:
+            backbone: NeuralTopicModel = backbone_factory(train.vocab_size)
+            model = ContraTopic(
+                backbone,
+                kernel,
+                ContraTopicConfig(
+                    lambda_weight=lambda_weight,
+                    num_sampled_words=v,
+                    gumbel_temperature=gumbel_temperature,
+                    negative_weight=negative_weight,
+                ),
+            )
+            model.fit(train)
+            beta = model.topic_word_matrix()
+            coherence = topic_coherence(beta, valid_npmi)
+            diversity = topic_diversity(beta)
+            result.points.append(
+                GridPoint(
+                    lambda_weight=lambda_weight,
+                    num_sampled_words=v,
+                    coherence=coherence,
+                    diversity=diversity,
+                    score=interpretability_score(
+                        coherence, diversity, diversity_weight
+                    ),
+                )
+            )
+
+    best = result.best
+    full_npmi = compute_npmi_matrix(train_corpus)
+    final = ContraTopic(
+        backbone_factory(train_corpus.vocab_size),
+        npmi_kernel(full_npmi, temperature=kernel_temperature),
+        ContraTopicConfig(
+            lambda_weight=best.lambda_weight,
+            num_sampled_words=best.num_sampled_words,
+            gumbel_temperature=gumbel_temperature,
+            negative_weight=negative_weight,
+        ),
+    )
+    final.fit(train_corpus)
+    return result, final

@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results as paper-style tables.
+
+All experiments print through these helpers so benchmark output is uniform
+and diffable.  ``paper_vs_measured`` renders the EXPERIMENTS.md comparison
+rows.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table; floats rendered with 3 decimals."""
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping[float, float]],
+    x_label: str = "% topics",
+    title: str | None = None,
+) -> str:
+    """Render ``{line_name: {x: y}}`` as a table with one column per x.
+
+    This is the textual analogue of a Figure-2 style line plot.
+    """
+    xs = sorted({x for line in series.values() for x in line})
+    headers = [x_label] + [_x_header(x) for x in xs]
+    rows = []
+    for name, line in series.items():
+        rows.append([name] + [line.get(x, float("nan")) for x in xs])
+    return format_table(headers, rows, title=title)
+
+
+def _x_header(x: float) -> str:
+    if isinstance(x, float) and 0 < x <= 1:
+        return f"{int(round(x * 100))}%"
+    if isinstance(x, float) and x.is_integer():
+        return str(int(x))
+    return str(x)
+
+
+def paper_vs_measured(
+    rows: Sequence[tuple[str, object, object]],
+    title: str | None = None,
+) -> str:
+    """Three-column comparison: metric, paper-reported, measured here."""
+    return format_table(
+        ["metric", "paper", "measured"],
+        [list(r) for r in rows],
+        title=title,
+    )

@@ -1,0 +1,86 @@
+"""Run every experiment end to end and print all paper artefacts.
+
+``python -m repro.experiments.runner [--fast]`` reproduces Table I,
+Figure 2, Figure 3, Table II, Figures 4-6 and Tables III-VI in one go,
+printing each in paper-style text form.  The benchmark suite runs the same
+functions one artefact at a time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.context import ExperimentSettings
+from repro.experiments.fig2_interpretability import format_fig2, run_fig2
+from repro.experiments.fig3_clustering import format_fig3, run_fig3
+from repro.experiments.fig45_sensitivity import (
+    format_sensitivity,
+    run_lambda_sensitivity,
+    run_v_sensitivity,
+)
+from repro.experiments.fig6_backbone import format_fig6, run_fig6
+from repro.experiments.table1_stats import format_table1, run_table1
+from repro.experiments.table2_ablation import format_table2, run_table2
+from repro.experiments.table3_intrusion import format_table3, run_table3
+from repro.experiments.tables456_casestudy import format_casestudy, run_casestudy
+
+
+def run_all(fast: bool = False, out=sys.stdout) -> None:
+    """Execute every experiment; ``fast`` shrinks corpora and epochs."""
+    def settings(dataset: str) -> ExperimentSettings:
+        s = ExperimentSettings(dataset=dataset)
+        return s.fast() if fast else s
+
+    def section(title: str) -> None:
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}", file=out)
+
+    start = time.time()
+    section("Table I")
+    print(format_table1(run_table1(scale=settings("20ng").scale)), file=out)
+
+    for dataset in ("20ng", "yahoo", "nytimes"):
+        section(f"Figure 2 — {dataset}")
+        print(format_fig2(run_fig2(settings(dataset))), file=out)
+
+    for dataset in ("20ng", "yahoo"):
+        section(f"Figure 3 — {dataset}")
+        print(format_fig3(run_fig3(settings(dataset))), file=out)
+
+    section("Table II — ablation (20NG)")
+    print(format_table2(run_table2(settings("20ng"))), file=out)
+
+    for dataset in ("20ng", "yahoo", "nytimes"):
+        fig = "5" if dataset == "nytimes" else "4"
+        section(f"Figure {fig} — sensitivity on {dataset}")
+        print(format_sensitivity(run_lambda_sensitivity(settings(dataset))), file=out)
+        print("", file=out)
+        print(format_sensitivity(run_v_sensitivity(settings(dataset))), file=out)
+
+    for dataset in ("20ng", "yahoo"):
+        section(f"Figure 6 — backbone substitution on {dataset}")
+        print(format_fig6(run_fig6(settings(dataset)), dataset), file=out)
+
+    section("Table III — word intrusion (20NG)")
+    print(format_table3(run_table3(settings("20ng"))), file=out)
+
+    for dataset in ("20ng", "yahoo", "nytimes"):
+        section(f"Case study — {dataset}")
+        print(format_casestudy(run_casestudy(settings(dataset)), dataset), file=out)
+
+    print(f"\nAll experiments finished in {time.time() - start:.1f}s", file=out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true", help="smaller corpora / fewer epochs"
+    )
+    args = parser.parse_args(argv)
+    run_all(fast=args.fast)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

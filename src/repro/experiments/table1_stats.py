@@ -1,0 +1,74 @@
+"""Table I — summary statistics of the three datasets.
+
+The paper's absolute numbers (below) cannot be matched offline — the
+corpora are miniaturized — but the *relations* are preserved and asserted
+by the test-suite: NYTimes has the widest vocabulary, the most documents,
+the longest documents and by far the most tokens; Yahoo has more and
+shorter documents than 20NG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.datasets import load_dataset
+from repro.experiments.reporting import format_table
+
+# Paper Table I (vocab, train, test, avg length, tokens).
+PAPER_TABLE1 = {
+    "20ng": (5770, 10827, 7183, 59.8, 1_076_941),
+    "yahoo": (7394, 89808, 59873, 45.9, 6_872_000),
+    "nytimes": (34330, 179814, 119876, 345.7, 103_608_732),
+}
+
+
+@dataclass
+class DatasetStatsRow:
+    """One Table-I row for a loaded dataset."""
+
+    name: str
+    vocabulary_size: int
+    training_samples: int
+    test_samples: int
+    average_length: float
+    num_tokens: int
+
+
+def run_table1(scale: float = 0.3) -> list[DatasetStatsRow]:
+    """Load each profile and collect its Table-I statistics."""
+    rows = []
+    for name in ("20ng", "yahoo", "nytimes"):
+        ds = load_dataset(name, scale=scale)
+        train_stats = ds.train.stats()
+        test_stats = ds.test.stats()
+        rows.append(
+            DatasetStatsRow(
+                name=name,
+                vocabulary_size=train_stats.vocabulary_size,
+                training_samples=train_stats.num_documents,
+                test_samples=test_stats.num_documents,
+                average_length=train_stats.average_length,
+                num_tokens=train_stats.num_tokens + test_stats.num_tokens,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[DatasetStatsRow]) -> str:
+    """Render measured rows next to the paper's, Table-I style."""
+    headers = ["dataset", "vocab", "train", "test", "avg len", "tokens", "(paper vocab/train/avg)"]
+    body = []
+    for row in rows:
+        paper = PAPER_TABLE1[row.name]
+        body.append(
+            [
+                row.name,
+                row.vocabulary_size,
+                row.training_samples,
+                row.test_samples,
+                round(row.average_length, 1),
+                row.num_tokens,
+                f"{paper[0]}/{paper[1]}/{paper[3]}",
+            ]
+        )
+    return format_table(headers, body, title="Table I — dataset statistics (miniaturized)")

@@ -1,0 +1,125 @@
+"""Table II — ablation study of ContraTopic's design decisions.
+
+Variants (paper §V.G):
+* ContraTopic-P — positive pairs only (coherence ≈ -5%, diversity drops);
+* ContraTopic-N — negative pairs only (largest decline, ≈ -12%, and the
+  clustering quality deteriorates significantly);
+* ContraTopic-I — inner-product kernel instead of NPMI (worse coherence);
+* ContraTopic-S — expectation instead of Gumbel sampling (smallest drop).
+
+Expected ordering: full > S ≥ P ≈ I > N on coherence/diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.variants import build_variant
+from repro.experiments.context import ExperimentContext, ExperimentSettings
+from repro.experiments.reporting import format_table
+from repro.training.protocol import multi_seed_evaluation
+
+ABLATION_ROWS = ("full", "P", "N", "I", "S")
+COHERENCE_PERCENTAGES = (0.1, 0.5, 0.9)
+PURITY_CLUSTERS = (20, 60, 100)
+
+# Paper Table II (20NG): coherence@10/50/90, diversity@10/50/90,
+# km-purity@20/60/100 percent of clusters.
+PAPER_TABLE2 = {
+    "full": ((0.54, 0.36, 0.28), (0.98, 0.86, 0.72), (0.37, 0.44, 0.46)),
+    "P": ((0.44, 0.33, 0.27), (0.98, 0.83, 0.69), (0.36, 0.45, 0.44)),
+    "N": ((0.42, 0.27, 0.19), (0.95, 0.69, 0.61), (0.34, 0.37, 0.38)),
+    "I": ((0.45, 0.33, 0.26), (0.95, 0.84, 0.70), (0.35, 0.45, 0.44)),
+    "S": ((0.50, 0.34, 0.26), (0.96, 0.85, 0.72), (0.36, 0.44, 0.45)),
+}
+
+
+@dataclass
+class AblationRow:
+    """One Table-II row: the three metric triplets for one variant.
+
+    Std dictionaries are filled when multiple seeds were run, enabling the
+    paper's mean±std cell format.
+    """
+
+    variant: str
+    coherence: dict[float, float]
+    diversity: dict[float, float]
+    km_purity: dict[int, float] = field(default_factory=dict)
+    coherence_std: dict[float, float] = field(default_factory=dict)
+    diversity_std: dict[float, float] = field(default_factory=dict)
+    km_purity_std: dict[int, float] = field(default_factory=dict)
+
+
+def run_table2(
+    settings: ExperimentSettings,
+    variants: Sequence[str] = ABLATION_ROWS,
+) -> list[AblationRow]:
+    """Train and score each ablation variant with a shared ETM backbone."""
+    context = ExperimentContext(settings)
+    rows: list[AblationRow] = []
+    for variant in variants:
+        def factory(seed: int, variant=variant):
+            backbone = context.build("etm", seed=seed)
+            # `build("etm")` has no regularizer; wrap it in the variant.
+            return build_variant(
+                variant,
+                backbone,
+                context.npmi_train,
+                word_embeddings=context.embeddings.vectors,
+                lambda_weight=settings.resolved_lambda(),
+                num_sampled_words=settings.num_sampled_words,
+                gumbel_temperature=settings.gumbel_temperature,
+                kernel_temperature=settings.kernel_temperature,
+                negative_weight=settings.negative_weight,
+            )
+
+        evaluation = multi_seed_evaluation(
+            factory,
+            context.dataset.train,
+            context.dataset.test,
+            context.npmi_test,
+            seeds=settings.seeds,
+            model_name=f"ContraTopic-{variant}" if variant != "full" else "ContraTopic",
+            cluster_counts=PURITY_CLUSTERS if context.dataset.test.labels is not None else (),
+        )
+        rows.append(
+            AblationRow(
+                variant=variant,
+                coherence=evaluation.coherence,
+                diversity=evaluation.diversity,
+                km_purity=evaluation.km_purity,
+                coherence_std=evaluation.coherence_std,
+                diversity_std=evaluation.diversity_std,
+                km_purity_std=evaluation.km_purity_std,
+            )
+        )
+    return rows
+
+
+def format_table2(rows: list[AblationRow]) -> str:
+    headers = (
+        ["variant"]
+        + [f"coh@{int(p*100)}%" for p in COHERENCE_PERCENTAGES]
+        + [f"div@{int(p*100)}%" for p in COHERENCE_PERCENTAGES]
+        + [f"purity@{c}" for c in PURITY_CLUSTERS]
+        + ["paper coh@10/50/90"]
+    )
+    def cell(mean_map, std_map, key) -> object:
+        mean = mean_map.get(key, float("nan"))
+        if key in std_map:
+            return f"{mean:.3f}±{std_map[key]:.2f}"
+        return mean
+
+    body = []
+    for row in rows:
+        paper = PAPER_TABLE2[row.variant][0]
+        body.append(
+            [f"ContraTopic-{row.variant}" if row.variant != "full" else "ContraTopic"]
+            + [cell(row.coherence, row.coherence_std, p) for p in COHERENCE_PERCENTAGES]
+            + [cell(row.diversity, row.diversity_std, p) for p in COHERENCE_PERCENTAGES]
+            + [cell(row.km_purity, row.km_purity_std, c) for c in PURITY_CLUSTERS]
+            + ["/".join(f"{v:.2f}" for v in paper)]
+        )
+    return format_table(headers, body, title="Table II — ablation study")

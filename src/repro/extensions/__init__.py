@@ -1,0 +1,29 @@
+"""Extensions beyond the paper's main results — its §VI future-work items.
+
+* :mod:`repro.extensions.online` — the online/streaming setting ("extend
+  our method to an online setting where documents are partitioned into
+  time slices"): slice-by-slice training with warm starts, an
+  exponentially-decayed NPMI kernel, and topic-evolution tracking.
+* :mod:`repro.extensions.multilevel` — the "unified multi-level
+  contrastive learning framework that incorporates both topic-wise and
+  document-wise approaches".
+"""
+
+from repro.extensions.online import (
+    OnlineContraTopic,
+    OnlineConfig,
+    SliceResult,
+    DriftingStreamConfig,
+    generate_drifting_stream,
+)
+from repro.extensions.multilevel import MultiLevelContraTopic, MultiLevelConfig
+
+__all__ = [
+    "OnlineContraTopic",
+    "OnlineConfig",
+    "SliceResult",
+    "DriftingStreamConfig",
+    "generate_drifting_stream",
+    "MultiLevelContraTopic",
+    "MultiLevelConfig",
+]

@@ -1,0 +1,250 @@
+"""Online ContraTopic: the paper's §VI streaming future-work item.
+
+Documents arrive in *time slices* (cf. On-line LDA, AlSumait et al. 2008).
+Per slice the model:
+
+1. re-estimates the slice's NPMI matrix and blends it into a running
+   exponentially-decayed kernel (so the contrastive similarity tracks the
+   corpus as language use drifts, without forgetting instantly);
+2. warm-starts the network from the previous slice's parameters and
+   fine-tunes for a few epochs;
+3. records per-topic top words, enabling drift/emergence analyses.
+
+A synthetic *drifting stream* generator is included: theme popularity
+evolves over slices and new themes can be injected mid-stream, so the
+emergence-detection code path is exercised by real signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.contratopic import ContraTopic, ContraTopicConfig
+from repro.core.similarity import npmi_kernel
+from repro.data.corpus import Corpus
+from repro.data.preprocessing import PreprocessConfig, Preprocessor
+from repro.data.synthetic import SyntheticCorpusConfig, SyntheticCorpusGenerator
+from repro.data.theme_banks import THEME_BANKS
+from repro.errors import ConfigError, NotFittedError
+from repro.metrics.npmi import NpmiMatrix, compute_npmi_matrix
+from repro.models.base import NeuralTopicModel
+
+
+@dataclass
+class OnlineConfig:
+    """Knobs of the online trainer.
+
+    ``kernel_decay`` is the exponential forgetting factor ρ of the running
+    NPMI kernel: N_t = ρ·N_{t-1} + (1-ρ)·N_slice.  ``epochs_per_slice``
+    replaces the backbone config's epoch count after the first slice
+    (warm-started fine-tuning needs fewer passes).
+    """
+
+    kernel_decay: float = 0.7
+    epochs_per_slice: int = 10
+    kernel_temperature: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.kernel_decay < 1.0:
+            raise ConfigError("kernel_decay must be in [0, 1)")
+        if self.epochs_per_slice < 1:
+            raise ConfigError("epochs_per_slice must be >= 1")
+
+
+@dataclass
+class SliceResult:
+    """What the online model records after each slice."""
+
+    slice_index: int
+    top_words: list[list[str]]
+    topic_drift: np.ndarray  # (K,) cosine distance of β rows vs prev slice
+    mean_drift: float
+
+
+class OnlineContraTopic:
+    """Slice-by-slice ContraTopic with a decayed NPMI kernel.
+
+    Parameters
+    ----------
+    backbone_factory:
+        Builds a *fresh* unfitted backbone (called once, for slice 0); its
+        parameters are then carried across slices via state dicts.
+    regularizer_config:
+        ContraTopic regularizer settings shared by every slice.
+    online_config:
+        Streaming-specific settings.
+    """
+
+    def __init__(
+        self,
+        backbone_factory: Callable[[], NeuralTopicModel],
+        regularizer_config: ContraTopicConfig | None = None,
+        online_config: OnlineConfig | None = None,
+    ):
+        self._factory = backbone_factory
+        self.regularizer_config = regularizer_config or ContraTopicConfig()
+        self.online_config = online_config or OnlineConfig()
+        self.model: ContraTopic | None = None
+        self.kernel_matrix: np.ndarray | None = None
+        self.history: list[SliceResult] = []
+        self._previous_beta: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def partial_fit(self, corpus: Corpus) -> SliceResult:
+        """Consume one time slice and return its evolution record."""
+        cfg = self.online_config
+        slice_npmi = compute_npmi_matrix(corpus).matrix
+        if self.kernel_matrix is None:
+            self.kernel_matrix = slice_npmi
+        else:
+            if self.kernel_matrix.shape != slice_npmi.shape:
+                raise ConfigError(
+                    "all slices must share one vocabulary; got matrices of "
+                    f"shape {self.kernel_matrix.shape} and {slice_npmi.shape}"
+                )
+            self.kernel_matrix = (
+                cfg.kernel_decay * self.kernel_matrix
+                + (1.0 - cfg.kernel_decay) * slice_npmi
+            )
+        kernel = npmi_kernel(
+            NpmiMatrix(self.kernel_matrix), temperature=cfg.kernel_temperature
+        )
+
+        previous_state = None
+        if self.model is not None:
+            previous_state = self.model.state_dict()
+
+        backbone = self._factory()
+        if previous_state is not None:
+            backbone.config.epochs = cfg.epochs_per_slice
+        model = ContraTopic(backbone, kernel, self.regularizer_config)
+        if previous_state is not None:
+            model.load_state_dict(previous_state)
+        model.fit(corpus)
+        self.model = model
+
+        beta = model.topic_word_matrix()
+        drift = self._drift(beta)
+        tops = model.top_words(corpus.vocabulary, 10)
+        result = SliceResult(
+            slice_index=len(self.history),
+            top_words=tops,
+            topic_drift=drift,
+            mean_drift=float(drift.mean()),
+        )
+        self.history.append(result)
+        self._previous_beta = beta
+        return result
+
+    def _drift(self, beta: np.ndarray) -> np.ndarray:
+        """Per-topic cosine distance between consecutive β rows."""
+        if self._previous_beta is None:
+            return np.zeros(beta.shape[0])
+        prev = self._previous_beta
+        num = (beta * prev).sum(axis=1)
+        denom = np.linalg.norm(beta, axis=1) * np.linalg.norm(prev, axis=1) + 1e-12
+        return 1.0 - num / denom
+
+    # ------------------------------------------------------------------
+    def transform(self, corpus: Corpus) -> np.ndarray:
+        if self.model is None:
+            raise NotFittedError("no slice has been consumed yet")
+        return self.model.transform(corpus)
+
+    def topic_word_matrix(self) -> np.ndarray:
+        if self.model is None:
+            raise NotFittedError("no slice has been consumed yet")
+        return self.model.topic_word_matrix()
+
+    def emerging_topics(self, threshold: float = 0.3) -> list[int]:
+        """Topics whose latest drift exceeds ``threshold``.
+
+        Large drift flags a topic that re-specialized onto new vocabulary —
+        the online analogue of trend detection.
+        """
+        if not self.history:
+            return []
+        latest = self.history[-1].topic_drift
+        return [int(k) for k in np.flatnonzero(latest > threshold)]
+
+
+# ----------------------------------------------------------------------
+# drifting synthetic stream
+# ----------------------------------------------------------------------
+@dataclass
+class DriftingStreamConfig:
+    """A stream whose theme popularity drifts across slices.
+
+    ``base_themes`` are present throughout; each entry of
+    ``emerging_themes`` is switched on from slice ``emerge_at`` onward,
+    taking an increasing share of the documents.
+    """
+
+    base_themes: Sequence[str] = ("space", "medicine", "finance")
+    emerging_themes: Sequence[str] = ("wrestling",)
+    emerge_at: int = 2
+    num_slices: int = 4
+    docs_per_slice: int = 300
+    average_length: float = 50.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for theme in tuple(self.base_themes) + tuple(self.emerging_themes):
+            if theme not in THEME_BANKS:
+                raise ConfigError(f"unknown theme {theme!r}")
+        if self.num_slices < 1:
+            raise ConfigError("num_slices must be >= 1")
+        if not 0 <= self.emerge_at:
+            raise ConfigError("emerge_at must be >= 0")
+
+
+def generate_drifting_stream(
+    config: DriftingStreamConfig,
+) -> tuple[list[Corpus], Preprocessor, Corpus]:
+    """Generate time-sliced corpora over one shared vocabulary.
+
+    Returns ``(slices, preprocessor, union_corpus)``.  The preprocessor is
+    fitted on the union of all slices (the online model requires one
+    vocabulary) and returned for indexing future documents; the union
+    corpus is a balanced sample over *all* themes — train word embeddings
+    on it, because embeddings trained on the first slice alone assign
+    zero vectors to words of themes that have not emerged yet, making it
+    impossible for any embedding-decoder topic to adopt them later.
+    """
+    all_themes = tuple(config.base_themes) + tuple(config.emerging_themes)
+    slice_texts: list[list[str]] = []
+    for t in range(config.num_slices):
+        active = list(config.base_themes)
+        if t >= config.emerge_at:
+            active += list(config.emerging_themes)
+        generator = SyntheticCorpusGenerator(
+            SyntheticCorpusConfig(
+                themes=tuple(active),
+                num_documents=config.docs_per_slice,
+                average_length=config.average_length,
+                seed=config.seed * 1000 + t,
+            )
+        )
+        texts, _, _ = generator.generate()
+        slice_texts.append(texts)
+
+    # One vocabulary for the whole stream: fit on a union sample that
+    # includes every theme (mirrors fitting on an initial backlog).
+    union_generator = SyntheticCorpusGenerator(
+        SyntheticCorpusConfig(
+            themes=all_themes,
+            num_documents=config.docs_per_slice,
+            average_length=config.average_length,
+            seed=config.seed + 999_331,
+        )
+    )
+    union_texts, _, _ = union_generator.generate()
+    preprocessor = Preprocessor(PreprocessConfig(min_doc_count=2))
+    preprocessor.fit(union_texts + [t for batch in slice_texts for t in batch])
+
+    slices = [preprocessor.transform(texts) for texts in slice_texts]
+    union_corpus = preprocessor.transform(union_texts)
+    return slices, preprocessor, union_corpus

@@ -1,0 +1,109 @@
+"""Persistence: save/load model parameters, vocabularies and corpora.
+
+Checkpoints are plain ``.npz`` archives (parameters under their dotted
+names plus a small metadata header), so they need nothing beyond numpy and
+can be inspected with ``np.load``.  Vocabularies and corpora serialize to
+``.npz`` as well, keeping a trained pipeline fully restorable offline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.data.vocabulary import Vocabulary
+from repro.errors import ReproError
+from repro.nn.module import Module
+
+_META_KEY = "__repro_meta__"
+_FORMAT_VERSION = 1
+
+
+class CheckpointError(ReproError, ValueError):
+    """A checkpoint file was malformed or incompatible."""
+
+
+def save_checkpoint(model: Module, path: str | Path, extra: dict | None = None) -> None:
+    """Write a module's parameters (and optional metadata) to ``path``.
+
+    ``extra`` must be JSON-serializable; it travels in the archive header
+    (useful for hyper-parameters or training provenance).
+    """
+    path = Path(path)
+    state = model.state_dict()
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "model_class": type(model).__name__,
+        "extra": extra or {},
+    }
+    arrays = dict(state)
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(model: Module, path: str | Path) -> dict:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    Returns the ``extra`` metadata dictionary.  Raises
+    :class:`CheckpointError` on format or class mismatches (class mismatch
+    is a warning-level condition: it raises only when parameter names
+    don't line up, since e.g. a ContraTopic checkpoint legitimately loads
+    into another ContraTopic with a different kernel).
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise CheckpointError(f"{path} is not a repro checkpoint")
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {meta.get('format_version')}"
+            )
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    try:
+        model.load_state_dict(state)
+    except (KeyError, ValueError) as exc:
+        raise CheckpointError(f"checkpoint does not fit the model: {exc}") from exc
+    return meta.get("extra", {})
+
+
+def save_corpus(corpus: Corpus, path: str | Path) -> None:
+    """Serialize a corpus (documents, labels, vocabulary) to ``.npz``."""
+    path = Path(path)
+    lengths = np.array([doc.size for doc in corpus.documents])
+    flat = np.concatenate(corpus.documents)
+    arrays: dict[str, np.ndarray] = {
+        "lengths": lengths,
+        "tokens": flat,
+        "vocabulary": np.array(corpus.vocabulary.tokens(), dtype=np.str_),
+    }
+    if corpus.labels is not None:
+        arrays["labels"] = corpus.labels
+    if corpus.label_names is not None:
+        arrays["label_names"] = np.array(corpus.label_names, dtype=np.str_)
+    np.savez_compressed(path, **arrays)
+
+
+def load_corpus(path: str | Path) -> Corpus:
+    """Restore a corpus saved by :func:`save_corpus`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        lengths = archive["lengths"]
+        flat = archive["tokens"]
+        vocab = Vocabulary(str(t) for t in archive["vocabulary"]).freeze()
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        documents = [
+            flat[offsets[i] : offsets[i + 1]] for i in range(lengths.size)
+        ]
+        labels = archive["labels"] if "labels" in archive.files else None
+        label_names = (
+            [str(n) for n in archive["label_names"]]
+            if "label_names" in archive.files
+            else None
+        )
+    return Corpus(documents, vocab, labels=labels, label_names=label_names)

@@ -1,0 +1,75 @@
+"""External clustering quality: purity and normalized mutual information.
+
+These score the paper's km-Purity / km-NMI evaluation: run KMeans on
+document-topic vectors, then compare the cluster assignment against the
+human-annotated document labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def _validate(assignments: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    assignments = np.asarray(assignments, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if assignments.shape != labels.shape or assignments.ndim != 1:
+        raise ShapeError(
+            f"assignments {assignments.shape} and labels {labels.shape} "
+            "must be equal-length 1-D arrays"
+        )
+    if assignments.size == 0:
+        raise ShapeError("cannot score an empty clustering")
+    return assignments, labels
+
+
+def contingency_table(assignments: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """``(clusters, classes)`` count table of the two partitions."""
+    assignments, labels = _validate(assignments, labels)
+    n_clusters = int(assignments.max()) + 1
+    n_classes = int(labels.max()) + 1
+    table = np.zeros((n_clusters, n_classes), dtype=np.int64)
+    np.add.at(table, (assignments, labels), 1)
+    return table
+
+
+def purity(assignments: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of points whose cluster's majority class matches their own.
+
+    purity = (1/N) * sum_c max_j |cluster_c ∩ class_j| — in [0, 1],
+    1 when every cluster is label-pure.
+    """
+    table = contingency_table(assignments, labels)
+    return float(table.max(axis=1).sum() / table.sum())
+
+
+def normalized_mutual_information(
+    assignments: np.ndarray, labels: np.ndarray
+) -> float:
+    """NMI(C, L) = 2 I(C; L) / (H(C) + H(L)) — in [0, 1].
+
+    Returns 0 when either partition is constant (zero entropy), matching the
+    convention of scikit-learn's arithmetic-mean NMI.
+    """
+    table = contingency_table(assignments, labels).astype(np.float64)
+    n = table.sum()
+    joint = table / n
+    p_cluster = joint.sum(axis=1)
+    p_class = joint.sum(axis=0)
+
+    nonzero = joint > 0
+    outer = np.outer(p_cluster, p_class)
+    mutual_info = float(
+        (joint[nonzero] * np.log(joint[nonzero] / outer[nonzero])).sum()
+    )
+
+    h_cluster = float(-(p_cluster[p_cluster > 0] * np.log(p_cluster[p_cluster > 0])).sum())
+    h_class = float(-(p_class[p_class > 0] * np.log(p_class[p_class > 0])).sum())
+    if h_cluster <= 0.0 or h_class <= 0.0:
+        return 0.0
+    # Mutual information is non-negative in exact arithmetic; clamp the
+    # O(1e-16) float noise that appears for near-independent partitions.
+    value = 2.0 * mutual_info / (h_cluster + h_class)
+    return float(min(1.0, max(0.0, value)))

@@ -1,0 +1,71 @@
+"""Document-level word co-occurrence counting.
+
+Topic-coherence NPMI is conventionally estimated from boolean document
+co-occurrence: ``p(w) = df(w) / D`` and ``p(w_i, w_j) = df(w_i, w_j) / D``
+where ``df`` counts documents containing the word (pair).  The joint-count
+matrix is computed with one sparse matrix product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.data.corpus import Corpus
+from repro.errors import ShapeError
+
+
+class DocumentCooccurrence:
+    """Document-frequency marginals and pairwise joint counts for a corpus.
+
+    Attributes
+    ----------
+    num_documents:
+        Number of documents counted.
+    doc_freq:
+        ``(vocab,)`` — documents containing each word.
+    joint:
+        ``(vocab, vocab)`` dense symmetric matrix of documents containing
+        both words; the diagonal equals ``doc_freq``.
+    """
+
+    def __init__(self, num_documents: int, doc_freq: np.ndarray, joint: np.ndarray):
+        if joint.shape != (doc_freq.size, doc_freq.size):
+            raise ShapeError(
+                f"joint shape {joint.shape} inconsistent with vocab {doc_freq.size}"
+            )
+        self.num_documents = num_documents
+        self.doc_freq = doc_freq
+        self.joint = joint
+
+    @classmethod
+    def from_corpus(cls, corpus: Corpus) -> "DocumentCooccurrence":
+        """Count document co-occurrence with a single sparse product."""
+        incidence = corpus.binary_doc_word()  # (docs, vocab), 0/1
+        joint = (incidence.T @ incidence).toarray()
+        doc_freq = np.diag(joint).copy()
+        return cls(len(corpus), doc_freq, joint)
+
+    @classmethod
+    def from_bow(cls, bow: np.ndarray | sparse.spmatrix) -> "DocumentCooccurrence":
+        """Count from a (docs, vocab) count matrix directly."""
+        if sparse.issparse(bow):
+            incidence = bow.tocsr().copy()
+            incidence.data = np.ones_like(incidence.data)
+        else:
+            incidence = sparse.csr_matrix((np.asarray(bow) > 0).astype(np.float64))
+        joint = (incidence.T @ incidence).toarray()
+        doc_freq = np.diag(joint).copy()
+        return cls(incidence.shape[0], doc_freq, joint)
+
+    @property
+    def vocab_size(self) -> int:
+        return self.doc_freq.size
+
+    def marginal_probability(self) -> np.ndarray:
+        """``p(w)`` estimated as document frequency over document count."""
+        return self.doc_freq / self.num_documents
+
+    def joint_probability(self) -> np.ndarray:
+        """``p(w_i, w_j)`` estimated from joint document frequency."""
+        return self.joint / self.num_documents

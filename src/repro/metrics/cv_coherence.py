@@ -1,0 +1,105 @@
+"""The C_v topic-coherence metric (Röder, Both & Hinneburg, 2015).
+
+The paper's §IV.A discussion weighs NPMI against "automatic evaluation
+metrics such as NPMI or C_v"; this module provides C_v so users can check
+that conclusions are metric-robust.
+
+C_v works on a boolean sliding window over the corpus:
+
+1. estimate p(w) and p(w_i, w_j) from windows of width 110 (here: width
+   configurable, documents shorter than the window count as one window);
+2. every top word w_i of a topic gets a *context vector* of NPMI values
+   against all top words of the topic;
+3. each word's vector is compared (cosine) with the vector of the whole
+   top-word set (one-set segmentation, S_one_set);
+4. the topic's C_v is the mean cosine over its top words, and the model's
+   C_v is the mean over topics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.errors import ConfigError
+from repro.metrics.coherence import top_word_ids
+
+
+def sliding_window_cooccurrence(
+    corpus: Corpus, window_size: int = 110
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Boolean sliding-window counts.
+
+    Returns ``(word_counts, joint_counts, num_windows)`` where counts are
+    numbers of windows containing the word (pair).  Pair counts are
+    restricted to nothing — the full V×V matrix is produced (vocabularies
+    here are small; for big V restrict to the evaluated top words first).
+    """
+    if window_size < 2:
+        raise ConfigError("window_size must be >= 2")
+    v = corpus.vocab_size
+    word_counts = np.zeros(v)
+    joint = np.zeros((v, v))
+    num_windows = 0
+    for doc in corpus.documents:
+        n = doc.size
+        if n <= window_size:
+            windows = [doc]
+        else:
+            windows = [doc[i : i + window_size] for i in range(n - window_size + 1)]
+        for window in windows:
+            ids = np.unique(window)
+            word_counts[ids] += 1.0
+            joint[np.ix_(ids, ids)] += 1.0
+            num_windows += 1
+    return word_counts, joint, num_windows
+
+
+def _npmi_from_window_counts(
+    word_counts: np.ndarray, joint: np.ndarray, num_windows: int, eps: float = 1e-12
+) -> np.ndarray:
+    p_w = word_counts / max(num_windows, 1)
+    p_joint = joint / max(num_windows, 1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pmi = np.log((p_joint + eps) / (np.outer(p_w, p_w) + eps))
+        denom = -np.log(p_joint + eps)
+        npmi = pmi / denom
+    npmi = np.where(p_joint > 0, npmi, 0.0)
+    npmi = np.where(p_joint >= 1.0, 1.0, npmi)
+    return np.clip(npmi, -1.0, 1.0)
+
+
+def cv_coherence(
+    topic_word: np.ndarray,
+    corpus: Corpus,
+    top_n: int = 10,
+    window_size: int = 110,
+) -> float:
+    """Mean C_v over all topics, estimated on ``corpus``."""
+    scores = cv_per_topic(topic_word, corpus, top_n=top_n, window_size=window_size)
+    return float(scores.mean())
+
+
+def cv_per_topic(
+    topic_word: np.ndarray,
+    corpus: Corpus,
+    top_n: int = 10,
+    window_size: int = 110,
+) -> np.ndarray:
+    """Per-topic C_v scores, shape ``(K,)``."""
+    word_counts, joint, num_windows = sliding_window_cooccurrence(
+        corpus, window_size=window_size
+    )
+    npmi = _npmi_from_window_counts(word_counts, joint, num_windows)
+    tops = top_word_ids(np.asarray(topic_word, dtype=np.float64), top_n)
+    scores = np.empty(tops.shape[0])
+    for k, words in enumerate(tops):
+        vectors = npmi[np.ix_(words, words)]  # context vectors per word
+        set_vector = vectors.sum(axis=0)      # S_one_set aggregate
+        cosines = []
+        set_norm = np.linalg.norm(set_vector) + 1e-12
+        for row in vectors:
+            row_norm = np.linalg.norm(row) + 1e-12
+            cosines.append(float(row @ set_vector) / (row_norm * set_norm))
+        scores[k] = float(np.mean(cosines))
+    return scores

@@ -1,0 +1,63 @@
+"""Topic diversity under the paper's protocol.
+
+"Topic diversity measures the percentage of unique words in the top K_TD
+words of selected topics" with K_TD = 25.  As with coherence, the score is
+reported over the top p% of topics ranked by NPMI (Figure 2, second row).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.metrics.coherence import (
+    DEFAULT_PERCENTAGES,
+    select_topics_by_coherence,
+    top_word_ids,
+    topic_npmi_scores,
+)
+from repro.metrics.npmi import NpmiMatrix
+
+DEFAULT_TOP_WORDS_DIVERSITY = 25
+
+
+def topic_diversity(
+    topic_word: np.ndarray,
+    top_n: int = DEFAULT_TOP_WORDS_DIVERSITY,
+    topic_indices: np.ndarray | None = None,
+) -> float:
+    """Fraction of unique words among the selected topics' top words."""
+    tops = top_word_ids(topic_word, top_n)
+    if topic_indices is not None:
+        tops = tops[np.asarray(topic_indices, dtype=np.intp)]
+    total = tops.size
+    unique = np.unique(tops).size
+    return float(unique / total)
+
+
+def diversity_by_percentage(
+    topic_word: np.ndarray,
+    npmi: NpmiMatrix,
+    percentages: Sequence[float] = DEFAULT_PERCENTAGES,
+    top_n: int = DEFAULT_TOP_WORDS_DIVERSITY,
+    coherence_top_n: int = 10,
+) -> dict[float, float]:
+    """The Figure-2 diversity series: ``{percentage: diversity}``.
+
+    Topics are ranked by their NPMI coherence (as in the coherence series)
+    and diversity is measured within each selected prefix.
+    """
+    scores = topic_npmi_scores(topic_word, npmi, top_n=coherence_top_n)
+    ranked = np.argsort(-scores)
+    k = ranked.size
+    result: dict[float, float] = {}
+    for p in percentages:
+        if not 0.0 < p <= 1.0:
+            raise ConfigError(f"percentage must be in (0, 1], got {p}")
+        n_selected = max(1, int(round(k * p)))
+        result[p] = topic_diversity(
+            topic_word, top_n=top_n, topic_indices=ranked[:n_selected]
+        )
+    return result

@@ -1,0 +1,109 @@
+"""Normalized point-wise mutual information (NPMI) matrices.
+
+NPMI(w_i, w_j) = log( p(w_i, w_j) / (p(w_i) p(w_j)) ) / ( -log p(w_i, w_j) )
+
+lies in [-1, 1]: 1 for words that always co-occur, 0 for independent words,
+-1 for words that never co-occur.  The paper precomputes the full V×V NPMI
+matrix on the *training* corpus and uses it both as the similarity kernel
+K(·) of the contrastive regularizer (§IV.A) and — recomputed on *test*
+documents — as the coherence evaluation metric (§V.B).  The §V.E analysis
+notes the O(V^2) space cost of keeping this matrix around; that cost is
+inherited faithfully here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.errors import ShapeError
+from repro.metrics.cooccurrence import DocumentCooccurrence
+
+
+class NpmiMatrix:
+    """A precomputed dense NPMI matrix with convenience lookups."""
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ShapeError(f"NPMI matrix must be square, got {matrix.shape}")
+        self.matrix = matrix
+
+    @property
+    def vocab_size(self) -> int:
+        return self.matrix.shape[0]
+
+    def __getitem__(self, index) -> np.ndarray:
+        return self.matrix[index]
+
+    def pair(self, i: int, j: int) -> float:
+        return float(self.matrix[i, j])
+
+    def submatrix(self, word_ids: np.ndarray) -> np.ndarray:
+        """NPMI restricted to ``word_ids`` (used when scoring one topic)."""
+        ids = np.asarray(word_ids, dtype=np.intp)
+        return self.matrix[np.ix_(ids, ids)]
+
+    def mean_pairwise(self, word_ids: np.ndarray) -> float:
+        """Mean NPMI over unordered pairs of distinct words in ``word_ids``."""
+        ids = np.asarray(word_ids, dtype=np.intp)
+        n = ids.size
+        if n < 2:
+            return 0.0
+        sub = self.submatrix(ids)
+        total = sub.sum() - np.trace(sub)
+        return float(total / (n * (n - 1)))
+
+
+def compute_npmi_matrix(
+    source: Corpus | DocumentCooccurrence,
+    epsilon: float = 1e-12,
+    never_cooccur_value: float = -1.0,
+) -> NpmiMatrix:
+    """Precompute the dense NPMI matrix from document co-occurrence.
+
+    Parameters
+    ----------
+    source:
+        A corpus (counted internally) or precounted co-occurrence.
+    epsilon:
+        Numerical guard inside the logs.
+    never_cooccur_value:
+        NPMI assigned to pairs with zero joint document frequency.  The
+        theoretical limit is -1; some implementations use 0.  -1 is the
+        natural choice for the contrastive kernel because it actively
+        repels words that never co-occur.
+
+    Notes
+    -----
+    The diagonal is set to 1 (a word is maximally associated with itself),
+    though no consumer in this library reads the diagonal.
+    """
+    cooc = (
+        source
+        if isinstance(source, DocumentCooccurrence)
+        else DocumentCooccurrence.from_corpus(source)
+    )
+    p_word = cooc.marginal_probability()
+    p_joint = cooc.joint_probability()
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pmi = np.log(p_joint + epsilon) - np.log(
+            np.outer(p_word, p_word) + epsilon
+        )
+        denom = -np.log(p_joint + epsilon)
+        npmi = pmi / denom
+
+    zero_joint = p_joint <= 0.0
+    npmi = np.where(zero_joint, never_cooccur_value, npmi)
+    # Degenerate p(w_i, w_j) = 1 (both words in every document): the
+    # normalizer -log p is 0; the dependence limit is +1.
+    npmi = np.where(p_joint >= 1.0, 1.0, npmi)
+    # Words that never occur at all are undefined; treat as uninformative 0.
+    absent = p_word <= 0.0
+    if absent.any():
+        npmi[absent, :] = 0.0
+        npmi[:, absent] = 0.0
+    np.fill_diagonal(npmi, 1.0)
+    npmi = np.clip(npmi, -1.0, 1.0)
+    return NpmiMatrix(npmi)

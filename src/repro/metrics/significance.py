@@ -1,0 +1,103 @@
+"""Statistical comparison of models across random seeds.
+
+The paper runs each model three times "by modifying only the random seeds
+and reporting the mean values" and Table II reports mean±std.  These
+helpers provide the aggregation plus two standard tests for claiming one
+model beats another: Welch's t-test (unequal variances) and a paired
+bootstrap over seed-level scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """Mean ± standard deviation of a per-seed metric."""
+
+    mean: float
+    std: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f}±{self.std:.2f}"
+
+
+def mean_std(values) -> MeanStd:
+    """Aggregate per-seed scores into the paper's mean±std format."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ConfigError("cannot aggregate an empty score list")
+    return MeanStd(
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        n=array.size,
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of comparing model A against model B on one metric."""
+
+    mean_difference: float  # mean(A) - mean(B)
+    p_value: float
+    significant: bool
+    method: str
+
+
+def welch_t_test(
+    scores_a, scores_b, alpha: float = 0.05
+) -> ComparisonResult:
+    """Welch's unequal-variance t-test on two per-seed score lists."""
+    a = np.asarray(list(scores_a), dtype=np.float64)
+    b = np.asarray(list(scores_b), dtype=np.float64)
+    if a.size < 2 or b.size < 2:
+        raise ConfigError("welch_t_test needs at least two scores per side")
+    statistic, p_value = stats.ttest_ind(a, b, equal_var=False)
+    del statistic
+    return ComparisonResult(
+        mean_difference=float(a.mean() - b.mean()),
+        p_value=float(p_value),
+        significant=bool(p_value < alpha),
+        method="welch-t",
+    )
+
+
+def paired_bootstrap(
+    scores_a,
+    scores_b,
+    n_resamples: int = 10_000,
+    alpha: float = 0.05,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Paired bootstrap over seed-matched scores.
+
+    The p-value is the (two-sided) bootstrap probability that the sign of
+    the mean difference flips under resampling.
+    """
+    a = np.asarray(list(scores_a), dtype=np.float64)
+    b = np.asarray(list(scores_b), dtype=np.float64)
+    if a.shape != b.shape or a.size < 2:
+        raise ConfigError("paired_bootstrap needs equal-length lists (>= 2)")
+    differences = a - b
+    observed = float(differences.mean())
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, a.size, size=(n_resamples, a.size))
+    resampled_means = differences[indices].mean(axis=1)
+    if observed >= 0:
+        flips = float((resampled_means <= 0).mean())
+    else:
+        flips = float((resampled_means >= 0).mean())
+    p_value = min(1.0, 2.0 * flips)
+    return ComparisonResult(
+        mean_difference=observed,
+        p_value=p_value,
+        significant=bool(p_value < alpha),
+        method="paired-bootstrap",
+    )

@@ -1,0 +1,45 @@
+"""Topic models: the paper's nine baselines (plus ECRTM) and shared
+infrastructure.
+
+All models implement the :class:`~repro.models.base.TopicModel` interface
+(fit / topic_word_matrix / transform / top_words), so the experiment harness
+treats LDA, the VAE family, the OT family and ContraTopic uniformly.
+"""
+
+from repro.models.base import (
+    TopicModel,
+    NeuralTopicModel,
+    NTMConfig,
+    VaeEncoder,
+)
+from repro.models.lda import LatentDirichletAllocation, LdaConfig
+from repro.models.prodlda import ProdLDA
+from repro.models.etm import ETM
+from repro.models.wlda import WLDA
+from repro.models.ntmr import NTMR
+from repro.models.vtmrl import VTMRL
+from repro.models.clntm import CLNTM
+from repro.models.ecrtm import ECRTM
+from repro.models.nstm import NSTM
+from repro.models.wete import WeTe
+from repro.models.registry import build_model, available_models
+
+__all__ = [
+    "TopicModel",
+    "NeuralTopicModel",
+    "NTMConfig",
+    "VaeEncoder",
+    "LatentDirichletAllocation",
+    "LdaConfig",
+    "ProdLDA",
+    "ETM",
+    "WLDA",
+    "NTMR",
+    "VTMRL",
+    "CLNTM",
+    "ECRTM",
+    "NSTM",
+    "WeTe",
+    "build_model",
+    "available_models",
+]

@@ -1,0 +1,275 @@
+"""Shared topic-model interface and the common VAE scaffolding (§III.B).
+
+The generative story shared by the paper's VAE-based NTMs:
+
+1. θ ~ LogisticNormal(μ0, σ0²)   (approximating the Dirichlet prior)
+2. for each word: z ~ Cat(θ); w ~ Cat(β_z)
+
+with amortized inference q(θ|w): an MLP over the bag-of-words produces
+μ(w), log σ(w); θ = softmax(μ + σ ⊙ ε).  Subclasses differ only in how the
+topic-word matrix β is parameterized and which extra loss terms they add.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.data.loaders import BatchIterator
+from repro.data.vocabulary import Vocabulary
+from repro.errors import ConfigError, NotFittedError
+from repro.nn import BatchNorm1d, Linear, MLP, Module
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, no_grad
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.training.callbacks import Callback
+
+
+@dataclass
+class NTMConfig:
+    """Hyper-parameters shared by every neural topic model here.
+
+    Scaled-down defaults relative to the paper (encoder 800→128 hidden
+    units, 100→20 topics, batch 1000→256) so CPU training finishes in
+    seconds; the paper's values can be passed explicitly.
+    """
+
+    num_topics: int = 20
+    hidden_sizes: tuple[int, ...] = (128, 128)
+    activation: str = "selu"
+    dropout: float = 0.2
+    learning_rate: float = 2e-3
+    batch_size: int = 256
+    epochs: int = 30
+    embedding_dim: int = 100
+    beta_temperature: float = 0.1  # τ_β of ETM-style decoders
+    grad_clip: float = 10.0
+    kl_weight: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_topics < 2:
+            raise ConfigError("num_topics must be >= 2")
+        if self.epochs < 1:
+            raise ConfigError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        if self.learning_rate <= 0:
+            raise ConfigError("learning_rate must be positive")
+        if self.beta_temperature <= 0:
+            raise ConfigError("beta_temperature must be positive")
+
+
+class TopicModel(abc.ABC):
+    """The uniform interface every topic model implements."""
+
+    @abc.abstractmethod
+    def fit(self, corpus: Corpus) -> "TopicModel":
+        """Train on a corpus; returns self for chaining."""
+
+    @abc.abstractmethod
+    def topic_word_matrix(self) -> np.ndarray:
+        """``(K, V)`` matrix with rows on the simplex."""
+
+    @abc.abstractmethod
+    def transform(self, corpus: Corpus) -> np.ndarray:
+        """``(D, K)`` document-topic proportions for a (held-out) corpus."""
+
+    def top_words(self, vocabulary: Vocabulary, n: int = 10) -> list[list[str]]:
+        """Top-``n`` word strings per topic."""
+        beta = self.topic_word_matrix()
+        order = np.argsort(-beta, axis=1)[:, :n]
+        return [[vocabulary.token_of(int(w)) for w in row] for row in order]
+
+
+class VaeEncoder(Module):
+    """q(θ|w): MLP trunk then linear μ / log σ heads with batch-norm.
+
+    Matches the paper's description: three-layer perceptron, SeLU,
+    dropout 0.5, batch norm (§V.D) — widths are configurable.
+    """
+
+    def __init__(self, vocab_size: int, config: NTMConfig, rng: np.random.Generator):
+        super().__init__()
+        sizes = [vocab_size, *config.hidden_sizes]
+        self.trunk = MLP(
+            sizes,
+            rng,
+            activation=config.activation,
+            dropout=config.dropout,
+            final_activation=True,
+        )
+        hidden = sizes[-1]
+        self.mu_head = Linear(hidden, config.num_topics, rng)
+        self.logvar_head = Linear(hidden, config.num_topics, rng)
+        self.mu_bn = BatchNorm1d(config.num_topics, affine=False)
+        self.logvar_bn = BatchNorm1d(config.num_topics, affine=False)
+
+    def forward(self, bow: Tensor) -> tuple[Tensor, Tensor]:
+        # Normalizing counts keeps the encoder input scale stable across
+        # documents of very different lengths.
+        total = Tensor(bow.data.sum(axis=1, keepdims=True).clip(min=1.0))
+        pi = self.trunk(bow / total)
+        mu = self.mu_bn(self.mu_head(pi))
+        logvar = self.logvar_bn(self.logvar_head(pi))
+        return mu, logvar
+
+
+class NeuralTopicModel(TopicModel, Module):
+    """Common machinery: encoder, reparameterization, ELBO, training loop.
+
+    Subclasses must implement :meth:`beta` (the differentiable topic-word
+    matrix) and may override :meth:`extra_loss` (regularizers — this is the
+    hook ContraTopic uses), :meth:`reconstruction_loss` (OT-based models
+    replace the categorical likelihood), and :meth:`kl_loss` (WLDA swaps
+    the KL for MMD).
+    """
+
+    def __init__(self, vocab_size: int, config: NTMConfig):
+        Module.__init__(self)
+        self.vocab_size = vocab_size
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self.encoder = VaeEncoder(vocab_size, config, self._rng)
+        self._fitted = False
+        self.history: list[dict[str, float]] = []
+
+    # ------------------------------------------------------------------
+    # pieces subclasses provide / may override
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def beta(self) -> Tensor:
+        """Differentiable ``(K, V)`` topic-word matrix (rows on simplex)."""
+
+    def reconstruction_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor:
+        """Default: mean categorical negative log-likelihood (ETM-style)."""
+        word_probs = theta @ beta
+        log_probs = (word_probs + 1e-12).log()
+        return F.cross_entropy_with_probs(log_probs, bow)
+
+    def kl_loss(self, mu: Tensor, logvar: Tensor, theta: Tensor) -> Tensor:
+        """Default: closed-form KL to the standard-normal logistic prior."""
+        return F.kl_normal_standard(mu, logvar)
+
+    def extra_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor | None:
+        """Optional regularizer; ContraTopic plugs its L_con in here."""
+        return None
+
+    # ------------------------------------------------------------------
+    # shared machinery
+    # ------------------------------------------------------------------
+    def encode_theta(self, bow: np.ndarray, sample: bool = True) -> tuple[Tensor, Tensor, Tensor]:
+        """Return (θ, μ, logvar) for a batch of counts."""
+        bow_t = Tensor(np.asarray(bow, dtype=np.float64))
+        mu, logvar = self.encoder(bow_t)
+        if sample and self.training:
+            eps = Tensor(self._rng.standard_normal(mu.shape))
+            z = mu + (logvar * 0.5).exp() * eps
+        else:
+            z = mu
+        theta = F.softmax(z, axis=1)
+        return theta, mu, logvar
+
+    def loss_on_batch(self, bow: np.ndarray) -> tuple[Tensor, dict[str, float]]:
+        """Total training loss for one bag-of-words batch, plus components."""
+        theta, mu, logvar = self.encode_theta(bow, sample=True)
+        beta = self.beta()
+        rec = self.reconstruction_loss(theta, beta, bow)
+        kl = self.kl_loss(mu, logvar, theta)
+        loss = rec + kl * self.config.kl_weight
+        parts = {"rec": rec.item(), "kl": kl.item()}
+        extra = self.extra_loss(theta, beta, bow)
+        if extra is not None:
+            loss = loss + extra
+            parts["extra"] = extra.item()
+        parts["total"] = loss.item()
+        return loss, parts
+
+    def fit(
+        self,
+        corpus: Corpus,
+        callbacks: Sequence["Callback"] = (),
+    ) -> "NeuralTopicModel":
+        """Algorithm-1 style epoch/mini-batch training with Adam.
+
+        Parameters
+        ----------
+        corpus:
+            Training corpus (vocabulary must match the model's).
+        callbacks:
+            :class:`repro.training.callbacks.Callback` instances observing
+            the epoch loop; any callback returning True from
+            ``on_epoch_end`` stops training early.
+        """
+        if corpus.vocab_size != self.vocab_size:
+            raise ConfigError(
+                f"corpus vocab {corpus.vocab_size} != model vocab {self.vocab_size}"
+            )
+        self.train()
+        self.on_fit_start(corpus)
+        for callback in callbacks:
+            callback.on_fit_start(self)
+        optimizer = Adam(self.parameters(), lr=self.config.learning_rate)
+        batches = BatchIterator(
+            corpus,
+            batch_size=self.config.batch_size,
+            rng=np.random.default_rng(self.config.seed + 1),
+        )
+        for epoch in range(self.config.epochs):
+            epoch_parts: dict[str, float] = {}
+            n_batches = 0
+            for bow in batches:
+                optimizer.zero_grad()
+                loss, parts = self.loss_on_batch(bow)
+                loss.backward()
+                clip_grad_norm(self.parameters(), self.config.grad_clip)
+                optimizer.step()
+                for key, value in parts.items():
+                    epoch_parts[key] = epoch_parts.get(key, 0.0) + value
+                n_batches += 1
+            logs = {k: v / max(n_batches, 1) for k, v in epoch_parts.items()}
+            self.history.append(logs | {"epoch": float(epoch)})
+            stop = False
+            for callback in callbacks:
+                stop = callback.on_epoch_end(self, epoch, logs) or stop
+            if stop:
+                break
+        for callback in callbacks:
+            callback.on_fit_end(self)
+        self.eval()
+        self._fitted = True
+        return self
+
+    def on_fit_start(self, corpus: Corpus) -> None:
+        """Hook run before training (e.g. CLNTM precomputes tf-idf)."""
+
+    # ------------------------------------------------------------------
+    # TopicModel interface
+    # ------------------------------------------------------------------
+    def topic_word_matrix(self) -> np.ndarray:
+        self._require_fitted()
+        with no_grad():
+            return self.beta().data.copy()
+
+    def transform(self, corpus: Corpus) -> np.ndarray:
+        self._require_fitted()
+        self.eval()
+        bow = corpus.bow_matrix()
+        thetas: list[np.ndarray] = []
+        with no_grad():
+            for start in range(0, bow.shape[0], self.config.batch_size):
+                theta, _, _ = self.encode_theta(
+                    bow[start : start + self.config.batch_size], sample=False
+                )
+                thetas.append(theta.data)
+        return np.concatenate(thetas, axis=0)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")

@@ -1,0 +1,88 @@
+"""CLNTM — contrastive learning for neural topic models (Nguyen & Luu, 2021).
+
+The paper's representative *document-wise* contrastive baseline, and the
+method ContraTopic is contrasted against in §IV.E: CLNTM perturbs each
+document's bag-of-words using tf-idf salience — the positive view keeps the
+salient words, the negative view deletes them — and applies an InfoNCE loss
+over the *document-topic* representations.  Any benefit to the topic-word
+matrix is indirect, which is exactly the weakness ContraTopic's topic-wise
+loss addresses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.models.base import NTMConfig
+from repro.models.prodlda import ProdLDA
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class CLNTM(ProdLDA):
+    """ProdLDA + document-wise InfoNCE with tf-idf driven views.
+
+    Parameters
+    ----------
+    contrastive_weight:
+        Weight of the InfoNCE term in the loss.
+    salient_fraction:
+        Fraction of a document's present words (by tf-idf) treated salient.
+    temperature:
+        InfoNCE softmax temperature.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        config: NTMConfig,
+        contrastive_weight: float = 1.0,
+        salient_fraction: float = 0.25,
+        temperature: float = 0.5,
+    ):
+        super().__init__(vocab_size, config)
+        self.contrastive_weight = contrastive_weight
+        self.salient_fraction = salient_fraction
+        self.temperature = temperature
+        self._idf: np.ndarray | None = None
+
+    def on_fit_start(self, corpus: Corpus) -> None:
+        doc_freq = corpus.word_document_frequency()
+        self._idf = np.log((len(corpus) + 1.0) / (doc_freq + 1.0)) + 1.0
+
+    def _augment(self, bow: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Positive view keeps tf-idf-salient words; negative deletes them."""
+        if self._idf is None:  # transform-time or unit-test use
+            self._idf = np.ones(self.vocab_size)
+        tfidf = bow * self._idf[None, :]
+        positive = np.zeros_like(bow)
+        negative = bow.copy()
+        for i in range(bow.shape[0]):
+            present = np.flatnonzero(bow[i] > 0)
+            if present.size == 0:
+                continue
+            n_salient = max(1, int(round(present.size * self.salient_fraction)))
+            salient = present[np.argsort(-tfidf[i, present])[:n_salient]]
+            positive[i, salient] = bow[i, salient]
+            negative[i, salient] = 0.0
+        return positive, negative
+
+    def extra_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor:
+        positive_bow, negative_bow = self._augment(np.asarray(bow, dtype=np.float64))
+        theta_pos, _, _ = self.encode_theta(positive_bow, sample=False)
+        theta_neg, _, _ = self.encode_theta(negative_bow, sample=False)
+
+        anchor = _l2_normalize(theta)
+        pos = _l2_normalize(theta_pos)
+        neg = _l2_normalize(theta_neg)
+        sim_pos = (anchor * pos).sum(axis=1) * (1.0 / self.temperature)
+        sim_neg = (anchor * neg).sum(axis=1) * (1.0 / self.temperature)
+        # InfoNCE with one positive and one negative per anchor:
+        # -log( e^{s+} / (e^{s+} + e^{s-}) ) = softplus(s- - s+)
+        return F.softplus(sim_neg - sim_pos).mean() * self.contrastive_weight
+
+
+def _l2_normalize(x: Tensor) -> Tensor:
+    norm = ((x * x).sum(axis=1, keepdims=True) + 1e-12).sqrt()
+    return x / norm

@@ -1,0 +1,59 @@
+"""ETM — the Embedded Topic Model (Dieng, Ruiz & Blei, 2020).
+
+Words and topics live in a shared embedding space: with word embeddings ρ
+(frozen, as in the paper: "We freeze the word embeddings during the
+training time for stability") and learned topic embeddings t_k, the
+topic-word distribution is ``β_k = softmax(ρ t_k / τ_β)``.  ETM is the
+backbone model of ContraTopic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.models.base import NeuralTopicModel, NTMConfig
+from repro.nn import init
+from repro.nn.module import Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class ETM(NeuralTopicModel):
+    """Embedded topic model with frozen word embeddings.
+
+    Parameters
+    ----------
+    vocab_size:
+        Size of the vocabulary.
+    config:
+        Shared NTM hyper-parameters (``beta_temperature`` is ETM's τ_β).
+    word_embeddings:
+        ``(V, e)`` pre-trained vectors (ρ).  Kept constant during training.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        config: NTMConfig,
+        word_embeddings: np.ndarray,
+    ):
+        super().__init__(vocab_size, config)
+        rho = np.asarray(word_embeddings, dtype=np.float64)
+        if rho.shape[0] != vocab_size:
+            raise ShapeError(
+                f"embeddings rows {rho.shape[0]} != vocab size {vocab_size}"
+            )
+        # Row-normalize so the τ_β temperature has a consistent scale.
+        norms = np.linalg.norm(rho, axis=1, keepdims=True) + 1e-12
+        self.rho = Tensor(rho / norms)  # frozen: a plain constant tensor
+        self.topic_embeddings = Parameter(
+            init.xavier_uniform((config.num_topics, rho.shape[1]), self._rng)
+        )
+
+    def beta(self) -> Tensor:
+        """β = softmax(ρ tᵀ / τ_β) over the vocabulary axis."""
+        logits = (self.topic_embeddings @ self.rho.T) * (
+            1.0 / self.config.beta_temperature
+        )
+        return F.softmax(logits, axis=1)

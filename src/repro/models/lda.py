@@ -1,0 +1,154 @@
+"""Latent Dirichlet Allocation via collapsed Gibbs sampling (Blei et al.,
+2003; Griffiths & Steyvers, 2004).
+
+The conventional-topic-model baseline.  Collapsed Gibbs integrates out θ
+and β analytically and resamples each token's topic assignment from
+
+    p(z = k | rest) ∝ (n_dk + α) * (n_kw + η) / (n_k + V η)
+
+Held-out documents are folded in by running the same sampler with the
+topic-word counts frozen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.errors import ConfigError, NotFittedError
+from repro.models.base import TopicModel
+
+
+@dataclass
+class LdaConfig:
+    """Collapsed-Gibbs hyper-parameters."""
+
+    num_topics: int = 20
+    alpha: float = 0.1
+    eta: float = 0.01
+    iterations: int = 60
+    foldin_iterations: int = 20
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_topics < 2:
+            raise ConfigError("num_topics must be >= 2")
+        if self.alpha <= 0 or self.eta <= 0:
+            raise ConfigError("alpha and eta must be positive")
+        if self.iterations < 1:
+            raise ConfigError("iterations must be >= 1")
+
+
+class LatentDirichletAllocation(TopicModel):
+    """Collapsed Gibbs LDA implementing the shared TopicModel interface."""
+
+    def __init__(self, vocab_size: int, config: LdaConfig | None = None):
+        self.vocab_size = vocab_size
+        self.config = config or LdaConfig()
+        self._topic_word_counts: np.ndarray | None = None
+        self._topic_totals: np.ndarray | None = None
+        self._doc_topic_counts: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, corpus: Corpus) -> "LatentDirichletAllocation":
+        if corpus.vocab_size != self.vocab_size:
+            raise ConfigError(
+                f"corpus vocab {corpus.vocab_size} != model vocab {self.vocab_size}"
+            )
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        k, v = cfg.num_topics, self.vocab_size
+
+        docs = corpus.documents
+        assignments = [rng.integers(k, size=doc.size) for doc in docs]
+        n_kw = np.zeros((k, v))
+        n_k = np.zeros(k)
+        n_dk = np.zeros((len(docs), k))
+        for d, (doc, z) in enumerate(zip(docs, assignments)):
+            np.add.at(n_kw, (z, doc), 1.0)
+            np.add.at(n_k, z, 1.0)
+            np.add.at(n_dk[d], z, 1.0)
+
+        for _ in range(cfg.iterations):
+            self._sweep(docs, assignments, n_kw, n_k, n_dk, rng, frozen_beta=False)
+
+        self._topic_word_counts = n_kw
+        self._topic_totals = n_k
+        self._doc_topic_counts = n_dk
+        return self
+
+    def _sweep(
+        self,
+        docs,
+        assignments,
+        n_kw: np.ndarray,
+        n_k: np.ndarray,
+        n_dk: np.ndarray,
+        rng: np.random.Generator,
+        frozen_beta: bool,
+    ) -> None:
+        """One Gibbs sweep over every token of every document."""
+        cfg = self.config
+        v_eta = self.vocab_size * cfg.eta
+        for d, doc in enumerate(docs):
+            z_doc = assignments[d]
+            doc_counts = n_dk[d]
+            for i, word in enumerate(doc):
+                old = z_doc[i]
+                doc_counts[old] -= 1.0
+                if not frozen_beta:
+                    n_kw[old, word] -= 1.0
+                    n_k[old] -= 1.0
+                weights = (doc_counts + cfg.alpha) * (
+                    (n_kw[:, word] + cfg.eta) / (n_k + v_eta)
+                )
+                weights_sum = weights.sum()
+                new = int(rng.choice(cfg.num_topics, p=weights / weights_sum))
+                z_doc[i] = new
+                doc_counts[new] += 1.0
+                if not frozen_beta:
+                    n_kw[new, word] += 1.0
+                    n_k[new] += 1.0
+
+    # ------------------------------------------------------------------
+    def topic_word_matrix(self) -> np.ndarray:
+        self._require_fitted()
+        cfg = self.config
+        beta = self._topic_word_counts + cfg.eta
+        return beta / beta.sum(axis=1, keepdims=True)
+
+    def transform(self, corpus: Corpus) -> np.ndarray:
+        """Fold-in inference: Gibbs with the topic-word counts frozen."""
+        self._require_fitted()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + 17)
+        k = cfg.num_topics
+        docs = corpus.documents
+        assignments = [rng.integers(k, size=doc.size) for doc in docs]
+        n_dk = np.zeros((len(docs), k))
+        for d, z in enumerate(assignments):
+            np.add.at(n_dk[d], z, 1.0)
+        for _ in range(cfg.foldin_iterations):
+            self._sweep(
+                docs,
+                assignments,
+                self._topic_word_counts,
+                self._topic_totals,
+                n_dk,
+                rng,
+                frozen_beta=True,
+            )
+        theta = n_dk + cfg.alpha
+        return theta / theta.sum(axis=1, keepdims=True)
+
+    def training_doc_topic(self) -> np.ndarray:
+        """Document-topic proportions from the training sweep counts."""
+        self._require_fitted()
+        theta = self._doc_topic_counts + self.config.alpha
+        return theta / theta.sum(axis=1, keepdims=True)
+
+    def _require_fitted(self) -> None:
+        if self._topic_word_counts is None:
+            raise NotFittedError("LDA has not been fitted")

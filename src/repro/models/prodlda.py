@@ -1,0 +1,37 @@
+"""ProdLDA (Srivastava & Sutton, 2017).
+
+Replaces LDA's mixture-of-multinomials decoder with a *product of experts*:
+the unnormalized topic-word weights combine additively in logit space,
+``p(w|θ) = softmax(θ B)`` where ``B`` is an unconstrained (K, V) matrix
+passed through batch normalisation (the original uses a BN layer over the
+decoder logits to stabilise training).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import NeuralTopicModel, NTMConfig
+from repro.nn import init
+from repro.nn.module import Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class ProdLDA(NeuralTopicModel):
+    """VAE topic model with a product-of-experts decoder."""
+
+    def __init__(self, vocab_size: int, config: NTMConfig):
+        super().__init__(vocab_size, config)
+        self.topic_logits = Parameter(
+            init.xavier_uniform((config.num_topics, vocab_size), self._rng)
+        )
+
+    def beta(self) -> Tensor:
+        """Rows of softmax(B): the reported topic-word distributions."""
+        return F.softmax(self.topic_logits, axis=1)
+
+    def reconstruction_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor:
+        # Product of experts: mix in logit space, then normalize.
+        log_probs = F.log_softmax(theta @ self.topic_logits, axis=1)
+        return F.cross_entropy_with_probs(log_probs, bow)

@@ -1,0 +1,145 @@
+"""Model registry: build any evaluated model by name with shared resources.
+
+The experiment harness compares ten models (Figure 2 / Table III).  This
+registry centralizes their construction so every experiment uses identical
+shared hyper-parameters, mirroring the paper's "we keep the shared
+hyper-parameters unchanged" protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.metrics.npmi import NpmiMatrix
+from repro.models.base import NTMConfig, TopicModel
+from repro.models.clntm import CLNTM
+from repro.models.ecrtm import ECRTM
+from repro.models.etm import ETM
+from repro.models.lda import LatentDirichletAllocation, LdaConfig
+from repro.models.nstm import NSTM
+from repro.models.ntmr import NTMR
+from repro.models.prodlda import ProdLDA
+from repro.models.vtmrl import VTMRL
+from repro.models.wete import WeTe
+from repro.models.wlda import WLDA
+
+
+def available_models() -> tuple[str, ...]:
+    """Names accepted by :func:`build_model` (paper Figure-2 lineup)."""
+    return (
+        "lda",
+        "prodlda",
+        "wlda",
+        "etm",
+        "nstm",
+        "wete",
+        "ntmr",
+        "vtmrl",
+        "clntm",
+        "ecrtm",
+        "contratopic",
+    )
+
+
+def build_model(
+    name: str,
+    vocab_size: int,
+    config: NTMConfig,
+    word_embeddings: np.ndarray | None = None,
+    npmi: NpmiMatrix | None = None,
+    contratopic_lambda: float = 40.0,
+    contratopic_v: int = 10,
+    contratopic_tau: float = 0.5,
+    contratopic_kernel_temperature: float = 0.25,
+    contratopic_negative_weight: float = 3.0,
+    backbone: str = "etm",
+) -> TopicModel:
+    """Construct one of the paper's evaluated models.
+
+    Parameters
+    ----------
+    word_embeddings:
+        Required by embedding-based models (etm, nstm, wete, ntmr,
+        contratopic with an etm/nstm/wete backbone).
+    npmi:
+        Required by vtmrl and contratopic (the NPMI kernel / reward).
+    backbone:
+        Backbone for contratopic: ``etm`` (paper default), ``wlda`` or
+        ``wete`` (the §V.I substitution study).
+    """
+    name = name.lower()
+    if name == "lda":
+        return LatentDirichletAllocation(
+            vocab_size,
+            LdaConfig(num_topics=config.num_topics, seed=config.seed),
+        )
+    if name == "prodlda":
+        return ProdLDA(vocab_size, config)
+    if name == "wlda":
+        return WLDA(vocab_size, config)
+    if name == "etm":
+        return ETM(vocab_size, config, _need_embeddings(name, word_embeddings))
+    if name == "nstm":
+        return NSTM(vocab_size, config, _need_embeddings(name, word_embeddings))
+    if name == "wete":
+        return WeTe(vocab_size, config, _need_embeddings(name, word_embeddings))
+    if name == "ntmr":
+        return NTMR(vocab_size, config, _need_embeddings(name, word_embeddings))
+    if name == "vtmrl":
+        return VTMRL(vocab_size, config, _need_npmi(name, npmi))
+    if name == "clntm":
+        return CLNTM(vocab_size, config)
+    if name == "ecrtm":
+        return ECRTM(vocab_size, config, _need_embeddings(name, word_embeddings))
+    if name == "contratopic":
+        from repro.core.contratopic import ContraTopic, ContraTopicConfig
+        from repro.core.similarity import npmi_kernel
+
+        backbone_model = _build_backbone(
+            backbone, vocab_size, config, word_embeddings
+        )
+        return ContraTopic(
+            backbone_model,
+            npmi_kernel(
+                _need_npmi(name, npmi),
+                temperature=contratopic_kernel_temperature,
+            ),
+            ContraTopicConfig(
+                lambda_weight=contratopic_lambda,
+                num_sampled_words=contratopic_v,
+                gumbel_temperature=contratopic_tau,
+                negative_weight=contratopic_negative_weight,
+            ),
+        )
+    raise ConfigError(f"unknown model {name!r}; choose from {available_models()}")
+
+
+def _build_backbone(
+    backbone: str,
+    vocab_size: int,
+    config: NTMConfig,
+    word_embeddings: np.ndarray | None,
+):
+    backbone = backbone.lower()
+    if backbone == "etm":
+        return ETM(vocab_size, config, _need_embeddings("etm", word_embeddings))
+    if backbone == "wlda":
+        return WLDA(vocab_size, config)
+    if backbone == "wete":
+        return WeTe(vocab_size, config, _need_embeddings("wete", word_embeddings))
+    if backbone == "prodlda":
+        return ProdLDA(vocab_size, config)
+    raise ConfigError(f"unknown contratopic backbone {backbone!r}")
+
+
+def _need_embeddings(name: str, emb: np.ndarray | None) -> np.ndarray:
+    if emb is None:
+        raise ConfigError(f"model {name!r} requires word embeddings")
+    return emb
+
+
+def _need_npmi(name: str, npmi: NpmiMatrix | None) -> NpmiMatrix:
+    if npmi is None:
+        raise ConfigError(f"model {name!r} requires a precomputed NPMI matrix")
+    return npmi

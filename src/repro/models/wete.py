@@ -1,0 +1,96 @@
+"""WeTe — representing mixtures of word embeddings with mixtures of topic
+embeddings (Wang et al., 2022).
+
+Views each document as a *set* of word embeddings and measures, via
+bidirectional conditional transport, how well the set of topic embeddings
+covers it: the forward direction moves each observed word to its best
+topics (weighted by θ), the backward direction moves each topic back to
+the document's words.  Both directions use a softmax transport kernel in
+embedding space, so the loss is fully differentiable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.models.base import NeuralTopicModel, NTMConfig
+from repro.nn import init
+from repro.nn.module import Parameter
+from repro.ot.costs import cosine_cost_matrix
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class WeTe(NeuralTopicModel):
+    """Bidirectional conditional-transport topic model.
+
+    Parameters
+    ----------
+    transport_temperature:
+        Softmax temperature of the conditional transport kernels.
+    ct_weight:
+        Weight of the conditional-transport term relative to the retained
+        categorical reconstruction.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        config: NTMConfig,
+        word_embeddings: np.ndarray,
+        transport_temperature: float = 0.3,
+        ct_weight: float = 2.0,
+    ):
+        super().__init__(vocab_size, config)
+        rho = np.asarray(word_embeddings, dtype=np.float64)
+        if rho.shape[0] != vocab_size:
+            raise ShapeError(
+                f"embeddings rows {rho.shape[0]} != vocab size {vocab_size}"
+            )
+        norms = np.linalg.norm(rho, axis=1, keepdims=True) + 1e-12
+        self.rho = Tensor(rho / norms)
+        self.topic_embeddings = Parameter(
+            init.xavier_uniform((config.num_topics, rho.shape[1]), self._rng)
+        )
+        self.transport_temperature = transport_temperature
+        self.ct_weight = ct_weight
+
+    def beta(self) -> Tensor:
+        logits = (self.topic_embeddings @ self.rho.T) * (
+            1.0 / self.config.beta_temperature
+        )
+        return F.softmax(logits, axis=1)
+
+    def reconstruction_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor:
+        bow = np.asarray(bow, dtype=np.float64)
+        word_dist = Tensor(bow / np.maximum(bow.sum(axis=1, keepdims=True), 1.0))
+        cost = cosine_cost_matrix(self.rho, self.topic_embeddings)  # (V, K)
+        inv_temp = 1.0 / self.transport_temperature
+
+        # Forward CT: word -> topic, weighted by θ.
+        # π(k|v, d) ∝ θ_dk exp(-C_vk / τ); expected cost over observed words.
+        fwd_logits = (-cost) * inv_temp  # (V, K)
+        fwd_kernel = fwd_logits.exp()  # (V, K)
+        weighted = theta.reshape(theta.shape[0], 1, -1) * fwd_kernel.reshape(
+            1, *fwd_kernel.shape
+        )  # (B, V, K)
+        norm = weighted.sum(axis=2, keepdims=True) + 1e-12
+        pi_fwd = weighted / norm
+        fwd_cost = (pi_fwd * cost.reshape(1, *cost.shape)).sum(axis=2)  # (B, V)
+        forward = (word_dist * fwd_cost).sum(axis=1).mean()
+
+        # Backward CT: topic -> word, weighted by the document's word dist.
+        bwd_kernel = fwd_kernel.T  # (K, V)
+        weighted_b = word_dist.reshape(word_dist.shape[0], 1, -1) * bwd_kernel.reshape(
+            1, *bwd_kernel.shape
+        )  # (B, K, V)
+        norm_b = weighted_b.sum(axis=2, keepdims=True) + 1e-12
+        pi_bwd = weighted_b / norm_b
+        bwd_cost = (pi_bwd * cost.T.reshape(1, *bwd_kernel.shape)).sum(axis=2)  # (B, K)
+        backward = (theta * bwd_cost).sum(axis=1).mean()
+
+        ct = (forward + backward) * self.ct_weight
+        log_probs = (theta @ beta + 1e-12).log()
+        rec = F.cross_entropy_with_probs(log_probs, bow)
+        return ct + rec * 0.1

@@ -1,0 +1,75 @@
+"""WLDA — topic modeling with Wasserstein autoencoders (Nan et al., 2019).
+
+Replaces the VAE's KL term with a Maximum Mean Discrepancy (MMD) penalty
+between the batch of inferred document-topic vectors and samples from a
+Dirichlet prior.  The decoder is a plain (K, V) softmax matrix.
+
+The MMD uses the information-diffusion kernel on the simplex from the WLDA
+paper: ``k(x, y) = exp(-arccos²(Σ √(x_i y_i)))`` — computed here on
+√-transformed θ with a differentiable arccos surrogate (we use the
+equivalent geodesic form with the numerically-friendlier ``2 - 2·Σ√(xy)``
+chordal approximation, which preserves the kernel's ordering).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import NeuralTopicModel, NTMConfig
+from repro.nn import init
+from repro.nn.module import Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+def mmd_loss(sample_a: Tensor, sample_b: Tensor, bandwidth: float = 1.0) -> Tensor:
+    """Unbiased-ish MMD² with the simplex diffusion kernel.
+
+    Both inputs are batches of points on the simplex, ``(n, K)`` each.
+    """
+    def kernel(x: Tensor, y: Tensor) -> Tensor:
+        # Bhattacharyya affinity: Σ_i sqrt(x_i y_i) ∈ (0, 1]
+        affinity = (x + 1e-12).sqrt() @ (y + 1e-12).sqrt().T
+        affinity = affinity.clip(0.0, 1.0)
+        # chordal distance² on the sphere of √θ: 2 - 2·affinity
+        dist_sq = (1.0 - affinity) * 2.0
+        return (-dist_sq * (1.0 / bandwidth)).exp()
+
+    k_aa = kernel(sample_a, sample_a).mean()
+    k_bb = kernel(sample_b, sample_b).mean()
+    k_ab = kernel(sample_a, sample_b).mean()
+    return k_aa + k_bb - k_ab * 2.0
+
+
+class WLDA(NeuralTopicModel):
+    """Wasserstein-autoencoder topic model (MMD instead of KL)."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        config: NTMConfig,
+        dirichlet_alpha: float = 0.1,
+        mmd_weight: float = 20.0,
+    ):
+        super().__init__(vocab_size, config)
+        self.dirichlet_alpha = dirichlet_alpha
+        self.mmd_weight = mmd_weight
+        self.topic_logits = Parameter(
+            init.xavier_uniform((config.num_topics, vocab_size), self._rng)
+        )
+
+    def beta(self) -> Tensor:
+        return F.softmax(self.topic_logits, axis=1)
+
+    def encode_theta(self, bow: np.ndarray, sample: bool = True):
+        # WAE: deterministic encoder — θ = softmax(μ), no noise injection.
+        theta, mu, logvar = super().encode_theta(bow, sample=False)
+        return theta, mu, logvar
+
+    def kl_loss(self, mu: Tensor, logvar: Tensor, theta: Tensor) -> Tensor:
+        """MMD between encoded θ batch and Dirichlet prior samples."""
+        prior = self._rng.dirichlet(
+            np.full(self.config.num_topics, self.dirichlet_alpha),
+            size=theta.shape[0],
+        )
+        return mmd_loss(theta, Tensor(prior)) * self.mmd_weight

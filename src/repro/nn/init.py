@@ -1,0 +1,64 @@
+"""Weight initialisation schemes.
+
+All initializers take an explicit ``numpy.random.Generator`` so that model
+construction is fully deterministic under a seed — a requirement for the
+paper's three-seed evaluation protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = gain * sqrt(6/(fan_in+fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(
+    shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier normal: N(0, gain^2 * 2/(fan_in+fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, nonlinearity: str = "relu"
+) -> np.ndarray:
+    """He/Kaiming uniform, appropriate for ReLU-family activations."""
+    fan_in, _ = _fans(shape)
+    gain = np.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(
+    shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02
+) -> np.ndarray:
+    """Plain N(0, std^2) initialisation (used for embedding tables)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for a weight of the given shape."""
+    if len(shape) < 1:
+        raise ValueError("initialisation requires at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out

@@ -1,0 +1,215 @@
+"""Layers required by the paper's models.
+
+The paper's encoder is "a three-layer perceptron of 800 hidden units and
+SeLU as the activation function, followed by a dropout layer (rate = 0.5)
+and a batch norm layer" — everything needed for that (and for the baseline
+architectures) lives here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+_ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
+    "relu": F.relu,
+    "selu": F.selu,
+    "tanh": F.tanh,
+    "sigmoid": F.sigmoid,
+    "softplus": F.softplus,
+    "gelu": F.gelu,
+    "leaky_relu": F.leaky_relu,
+    "identity": lambda x: x,
+}
+
+
+def get_activation(name: str) -> Callable[[Tensor], Tensor]:
+    """Look up an activation function by name."""
+    try:
+        return _ACTIVATIONS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}"
+        ) from None
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with Xavier-uniform initialisation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"Linear expected last dim {self.in_features}, got {x.shape}"
+            )
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ConfigError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the feature axis of ``(batch, features)``.
+
+    Running statistics are tracked with exponential moving averages and used
+    in eval mode, matching the standard semantics.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        momentum: float = 0.1,
+        eps: float = 1e-5,
+        affine: bool = True,
+    ):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(init.ones((num_features,)))
+            self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"BatchNorm1d expected (batch, {self.num_features}), got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=0, keepdims=True)
+            # Update running stats with detached values.
+            batch_var = var.data.reshape(-1)
+            n = x.shape[0]
+            unbiased = batch_var * (n / max(n - 1, 1))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean
+                + self.momentum * mean.data.reshape(-1)
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * unbiased
+            )
+            normed = centered / (var + self.eps).sqrt()
+        else:
+            mean_c = Tensor(self.running_mean[None, :])
+            var_c = Tensor(self.running_var[None, :])
+            normed = (x - mean_c) / (var_c + self.eps).sqrt()
+        if self.affine:
+            normed = normed * self.weight + self.bias
+        return normed
+
+
+class Identity(Module):
+    """No-op module, useful as a placeholder."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Activation(Module):
+    """Wrap a named activation function as a module."""
+
+    def __init__(self, name: str):
+        super().__init__()
+        self.name = name
+        self._fn = get_activation(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._fn(x)
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: list[str] = []
+        for i, module in enumerate(modules):
+            name = f"layer{i}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a uniform activation between layers.
+
+    ``sizes`` gives the full chain of widths, e.g. ``[V, 800, 800, 800]``
+    builds the paper's three-layer 800-unit encoder trunk.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: np.random.Generator,
+        activation: str = "selu",
+        dropout: float = 0.0,
+        final_activation: bool = True,
+    ):
+        super().__init__()
+        if len(sizes) < 2:
+            raise ConfigError("MLP needs at least input and output sizes")
+        layers: list[Module] = []
+        n_affine = len(sizes) - 1
+        for i in range(n_affine):
+            layers.append(Linear(sizes[i], sizes[i + 1], rng))
+            is_last = i == n_affine - 1
+            if not is_last or final_activation:
+                layers.append(Activation(activation))
+                if dropout > 0.0:
+                    layers.append(Dropout(dropout, rng))
+        self.body = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)

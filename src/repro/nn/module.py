@@ -1,0 +1,165 @@
+"""The :class:`Module` base class: a tree of named parameters.
+
+Modules register two kinds of attributes automatically on assignment:
+:class:`Parameter` leaves (trainable tensors) and child modules.  This gives
+PyTorch-style ergonomics — ``model.parameters()`` walks the whole tree —
+without any metaclass machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is always trainable and owned by a module."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network components.
+
+    Subclasses implement :meth:`forward`; instances are callable.  Assigning
+    a :class:`Parameter` or another :class:`Module` to an attribute registers
+    it so that :meth:`parameters` and :meth:`named_parameters` see it.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            if value.name is None:
+                value.name = name
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        elif name in getattr(self, "_buffers", {}):
+            self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Track a non-trainable array (e.g. BatchNorm running stats) so it
+        is included in :meth:`state_dict` and restored on load."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, array)`` for every registered buffer."""
+        for name, value in self._buffers.items():
+            yield (f"{prefix}{name}", value)
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def _set_buffer_by_path(self, dotted: str, value: np.ndarray) -> None:
+        *parents, leaf = dotted.split(".")
+        target: Module = self
+        for part in parents:
+            target = target._modules[part]
+        target.register_buffer(leaf, value)
+
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` over the whole module tree."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return all trainable parameters in the tree (deduplicated)."""
+        seen: set[int] = set()
+        result: list[Parameter] = []
+        for _, param in self.named_parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                result.append(param)
+        return result
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects Dropout / BatchNorm)."""
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    _BUFFER_PREFIX = "buffer::"
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot parameters and buffers as plain arrays (copies).
+
+        Buffer entries are prefixed with ``buffer::`` to keep the two
+        namespaces distinct in serialized checkpoints.
+        """
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        for name, value in self.named_buffers():
+            state[f"{self._BUFFER_PREFIX}{name}"] = np.array(value, copy=True)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load values produced by :meth:`state_dict`; shapes must match.
+
+        Missing buffer entries are tolerated (older checkpoints); missing
+        or unexpected *parameters* are errors.
+        """
+        param_state = {
+            k: v for k, v in state.items() if not k.startswith(self._BUFFER_PREFIX)
+        }
+        own = dict(self.named_parameters())
+        missing = set(own) - set(param_state)
+        unexpected = set(param_state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(param_state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{value.shape} vs {param.data.shape}"
+                )
+            param.data = value.copy()
+        own_buffers = dict(self.named_buffers())
+        for key, value in state.items():
+            if not key.startswith(self._BUFFER_PREFIX):
+                continue
+            name = key[len(self._BUFFER_PREFIX):]
+            if name not in own_buffers:
+                raise KeyError(f"unexpected buffer {name!r} in state dict")
+            self._set_buffer_by_path(name, np.array(value, copy=True))
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.size for p in self.parameters())

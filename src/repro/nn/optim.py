@@ -1,0 +1,140 @@
+"""First-order optimizers over :class:`~repro.nn.module.Parameter` lists.
+
+Adam follows Kingma & Ba (2015) with bias correction, matching the paper's
+training setup (Adam, lr = 5e-4).  SGD (with optional momentum and weight
+decay) and AdaGrad (used by the mini-GloVe trainer) round out the set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in-place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging divergence).
+    """
+    params = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+class Optimizer:
+    """Base class: stores parameters and provides ``zero_grad``."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float):
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ConfigError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, vel in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                vel *= self.momentum
+                vel += grad
+                grad = vel
+            p.data = p.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigError(f"betas must lie in [0, 1), got {betas}")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1**self._t
+        bias2 = 1.0 - beta2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad (Duchi et al., 2011) — used by the mini-GloVe trainer."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 0.05,
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters, lr)
+        self.eps = eps
+        self._accum = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, accum in zip(self.parameters, self._accum):
+            if p.grad is None:
+                continue
+            accum += p.grad**2
+            p.data = p.data - self.lr * p.grad / (np.sqrt(accum) + self.eps)

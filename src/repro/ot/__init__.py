@@ -1,0 +1,12 @@
+"""Optimal-transport substrate for the NSTM and WeTe baselines."""
+
+from repro.ot.sinkhorn import sinkhorn, sinkhorn_divergence_loss, SinkhornResult
+from repro.ot.costs import cosine_cost_matrix, euclidean_cost_matrix
+
+__all__ = [
+    "sinkhorn",
+    "sinkhorn_divergence_loss",
+    "SinkhornResult",
+    "cosine_cost_matrix",
+    "euclidean_cost_matrix",
+]

@@ -1,0 +1,30 @@
+"""Ground-cost matrices between embedding sets.
+
+NSTM builds its transport cost from cosine distance between word and topic
+embeddings; WeTe uses (negative) inner products.  Both costs are provided
+as differentiable :class:`~repro.tensor.tensor.Tensor` expressions so the
+embeddings can be trained through the transport objective.
+"""
+
+from __future__ import annotations
+
+from repro.tensor.tensor import Tensor, as_tensor
+
+
+def cosine_cost_matrix(a: Tensor, b: Tensor, eps: float = 1e-8) -> Tensor:
+    """``1 - cosine_similarity`` between rows of ``a`` (n,d) and ``b`` (m,d)."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    a_norm = ((a * a).sum(axis=1, keepdims=True) + eps).sqrt()
+    b_norm = ((b * b).sum(axis=1, keepdims=True) + eps).sqrt()
+    sim = (a / a_norm) @ (b / b_norm).T
+    return 1.0 - sim
+
+
+def euclidean_cost_matrix(a: Tensor, b: Tensor) -> Tensor:
+    """Squared Euclidean distances between rows of ``a`` (n,d) and ``b`` (m,d)."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    a_sq = (a * a).sum(axis=1, keepdims=True)
+    b_sq = (b * b).sum(axis=1, keepdims=True)
+    return a_sq + b_sq.T - (a @ b.T) * 2.0

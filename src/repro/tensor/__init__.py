@@ -1,0 +1,48 @@
+"""A small reverse-mode automatic-differentiation engine over numpy.
+
+This package is the stand-in for PyTorch's autograd in this reproduction
+(the execution environment provides no deep-learning framework).  It offers
+a :class:`Tensor` type supporting broadcasting arithmetic, matrix products,
+reductions, indexing and the transcendental functions needed by the neural
+topic models in :mod:`repro.models`, together with functional helpers
+(softmax, log-softmax, KL terms) and a finite-difference gradient checker
+used by the test-suite to certify every operator's gradient.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, as_tensor
+from repro.tensor import functional
+from repro.tensor.functional import (
+    softmax,
+    log_softmax,
+    logsumexp,
+    sigmoid,
+    tanh,
+    relu,
+    selu,
+    softplus,
+    cross_entropy_with_probs,
+    kl_normal_standard,
+    mse,
+)
+from repro.tensor.gradcheck import gradcheck, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "functional",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "sigmoid",
+    "tanh",
+    "relu",
+    "selu",
+    "softplus",
+    "cross_entropy_with_probs",
+    "kl_normal_standard",
+    "mse",
+    "gradcheck",
+    "numerical_gradient",
+]

@@ -1,0 +1,158 @@
+"""Differentiable functional building blocks on top of :class:`Tensor`.
+
+These are the composite operations shared by every model in the library:
+numerically-stable softmax / log-softmax / logsumexp, the common activation
+functions, and the closed-form loss terms used by VAE-style topic models
+(reconstruction cross-entropy against a bag-of-words, and the KL divergence
+between a diagonal Gaussian and the standard normal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, as_tensor
+
+_SELU_ALPHA = 1.6732632423543772
+_SELU_SCALE = 1.0507009873554805
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable ``log(sum(exp(x)))`` along ``axis``."""
+    x = as_tensor(x)
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))  # constant, no grad
+    out = ((x - shift).exp().sum(axis=axis, keepdims=True)).log() + shift
+    if not keepdims:
+        out = out.squeeze(axis if axis >= 0 else x.ndim + axis)
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with the max-shift stabilisation."""
+    x = as_tensor(x)
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    e = (x - shift).exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (more stable than ``softmax(x).log()``)."""
+    x = as_tensor(x)
+    return x - logsumexp(x, axis=axis, keepdims=True)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid computed via tanh for numerical robustness."""
+    x = as_tensor(x)
+    return (tanh(x * 0.5) + 1.0) * 0.5
+
+
+def tanh(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    out_data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * (1.0 - out_data**2))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    out_data = np.maximum(x.data, 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * (x.data > 0.0))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    x = as_tensor(x)
+    out_data = np.where(x.data > 0.0, x.data, negative_slope * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            slope = np.where(x.data > 0.0, 1.0, negative_slope)
+            x._accumulate(grad * slope)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def selu(x: Tensor) -> Tensor:
+    """Scaled exponential linear unit (the paper's encoder activation)."""
+    x = as_tensor(x)
+    positive = x.data > 0.0
+    out_data = _SELU_SCALE * np.where(
+        positive, x.data, _SELU_ALPHA * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            deriv = _SELU_SCALE * np.where(
+                positive, 1.0, _SELU_ALPHA * np.exp(np.minimum(x.data, 0.0))
+            )
+            x._accumulate(grad * deriv)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softplus(x: Tensor) -> Tensor:
+    """``log(1 + exp(x))`` computed stably for large ``|x|``."""
+    x = as_tensor(x)
+    out_data = np.logaddexp(0.0, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            # d/dx softplus = sigmoid(x)
+            x._accumulate(grad * (0.5 * (np.tanh(0.5 * x.data) + 1.0)))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    x = as_tensor(x)
+    c = float(np.sqrt(2.0 / np.pi))
+    inner = (x + x * x * x * 0.044715) * c
+    return x * 0.5 * (tanh(inner) + 1.0)
+
+
+def cross_entropy_with_probs(
+    log_word_probs: Tensor, bow: np.ndarray | Tensor
+) -> Tensor:
+    """Negative log-likelihood of bag-of-words counts under word log-probs.
+
+    Parameters
+    ----------
+    log_word_probs:
+        ``(batch, vocab)`` log-probabilities (rows of ``log(theta @ beta)``).
+    bow:
+        ``(batch, vocab)`` observed word counts (not differentiated).
+
+    Returns
+    -------
+    Scalar tensor: mean over the batch of ``-sum_v bow[d, v] * log p[d, v]``.
+    """
+    counts = bow.data if isinstance(bow, Tensor) else np.asarray(bow, dtype=np.float64)
+    counts_t = Tensor(counts)
+    per_doc = -(log_word_probs * counts_t).sum(axis=1)
+    return per_doc.mean()
+
+
+def kl_normal_standard(mu: Tensor, logvar: Tensor) -> Tensor:
+    """Mean KL( N(mu, exp(logvar)) || N(0, I) ) over the batch.
+
+    Uses the closed form ``0.5 * sum(exp(logvar) + mu^2 - 1 - logvar)``.
+    """
+    per_doc = ((logvar.exp() + mu * mu - 1.0 - logvar) * 0.5).sum(axis=1)
+    return per_doc.mean()
+
+
+def mse(prediction: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error against a constant (non-differentiated) target."""
+    target_data = target.data if isinstance(target, Tensor) else np.asarray(target)
+    diff = prediction - Tensor(target_data)
+    return (diff * diff).mean()

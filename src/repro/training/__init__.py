@@ -1,0 +1,39 @@
+"""Training & evaluation protocol layer.
+
+Wraps model fitting with the paper's evaluation protocol: NPMI computed on
+the *test* set ("we evaluate the topic coherence on the unseen test data to
+make fair comparisons"), coherence/diversity by topic percentage, KMeans
+clustering of document-topic vectors, and the three-random-seed averaging
+of §V.F.
+"""
+
+from repro.training.seed import set_global_seed, spawn_rng
+from repro.training.protocol import (
+    EvaluationResult,
+    evaluate_model,
+    train_and_evaluate,
+    multi_seed_evaluation,
+    CLUSTER_COUNTS,
+)
+from repro.training.callbacks import (
+    Callback,
+    EarlyStopping,
+    HistoryLogger,
+    LambdaCallback,
+    ValidationEvaluator,
+)
+
+__all__ = [
+    "set_global_seed",
+    "spawn_rng",
+    "EvaluationResult",
+    "evaluate_model",
+    "train_and_evaluate",
+    "multi_seed_evaluation",
+    "CLUSTER_COUNTS",
+    "Callback",
+    "EarlyStopping",
+    "HistoryLogger",
+    "LambdaCallback",
+    "ValidationEvaluator",
+]

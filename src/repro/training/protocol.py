@@ -1,0 +1,175 @@
+"""The paper's evaluation protocol, as reusable functions.
+
+§V.B: topic coherence = average NPMI over top-10 words, reported over the
+top p% of topics (p = 10%..100%); topic diversity = unique fraction of
+top-25 words over the same topic selections; document representation =
+km-Purity / km-NMI of KMeans over document-topic vectors with 20..100
+clusters.  §V.F: every model is run for three random seeds and means are
+reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeans
+from repro.data.corpus import Corpus
+from repro.metrics.clustering_metrics import normalized_mutual_information, purity
+from repro.metrics.coherence import DEFAULT_PERCENTAGES, coherence_by_percentage
+from repro.metrics.diversity import diversity_by_percentage
+from repro.metrics.npmi import NpmiMatrix
+from repro.models.base import TopicModel
+
+CLUSTER_COUNTS = (20, 40, 60, 80, 100)
+
+
+@dataclass
+class EvaluationResult:
+    """All §V.B metrics for one fitted model on one dataset.
+
+    The ``*_std`` dictionaries are populated by
+    :func:`multi_seed_evaluation` when more than one seed was run,
+    enabling the paper's Table-II ``mean±std`` reporting.
+    """
+
+    model_name: str
+    coherence: dict[float, float]
+    diversity: dict[float, float]
+    km_purity: dict[int, float] = field(default_factory=dict)
+    km_nmi: dict[int, float] = field(default_factory=dict)
+    coherence_std: dict[float, float] = field(default_factory=dict)
+    diversity_std: dict[float, float] = field(default_factory=dict)
+    km_purity_std: dict[int, float] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, float]:
+        """Flat scalar summary used by reports and tests."""
+        out = {
+            "coherence@10%": self.coherence.get(0.1, float("nan")),
+            "coherence@100%": self.coherence.get(1.0, float("nan")),
+            "diversity@10%": self.diversity.get(0.1, float("nan")),
+            "diversity@100%": self.diversity.get(1.0, float("nan")),
+        }
+        if self.km_purity:
+            first = min(self.km_purity)
+            last = max(self.km_purity)
+            out["km_purity@min"] = self.km_purity[first]
+            out["km_purity@max"] = self.km_purity[last]
+        return out
+
+
+def evaluate_model(
+    model: TopicModel,
+    test_corpus: Corpus,
+    test_npmi: NpmiMatrix,
+    percentages: Sequence[float] = DEFAULT_PERCENTAGES,
+    cluster_counts: Sequence[int] = CLUSTER_COUNTS,
+    model_name: str | None = None,
+    clustering_seed: int = 0,
+) -> EvaluationResult:
+    """Score a fitted model with the full §V.B protocol.
+
+    Clustering metrics are only computed when the test corpus has labels
+    (20NG and Yahoo in the paper; NYTimes is skipped, as there).  Cluster
+    counts exceeding the number of test documents are skipped.
+    """
+    topic_word = model.topic_word_matrix()
+    coherence = coherence_by_percentage(topic_word, test_npmi, percentages=percentages)
+    diversity = diversity_by_percentage(topic_word, test_npmi, percentages=percentages)
+
+    km_purity: dict[int, float] = {}
+    km_nmi: dict[int, float] = {}
+    if test_corpus.labels is not None:
+        doc_topic = model.transform(test_corpus)
+        for n_clusters in cluster_counts:
+            if n_clusters > len(test_corpus):
+                continue
+            assignments = KMeans(n_clusters, seed=clustering_seed).fit_predict(doc_topic)
+            km_purity[n_clusters] = purity(assignments, test_corpus.labels)
+            km_nmi[n_clusters] = normalized_mutual_information(
+                assignments, test_corpus.labels
+            )
+    return EvaluationResult(
+        model_name=model_name or type(model).__name__,
+        coherence=coherence,
+        diversity=diversity,
+        km_purity=km_purity,
+        km_nmi=km_nmi,
+    )
+
+
+def train_and_evaluate(
+    model_factory: Callable[[int], TopicModel],
+    train_corpus: Corpus,
+    test_corpus: Corpus,
+    test_npmi: NpmiMatrix,
+    seed: int = 0,
+    model_name: str | None = None,
+    cluster_counts: Sequence[int] = CLUSTER_COUNTS,
+) -> EvaluationResult:
+    """Build (with ``seed``), fit on train, and evaluate on test."""
+    model = model_factory(seed)
+    model.fit(train_corpus)
+    return evaluate_model(
+        model,
+        test_corpus,
+        test_npmi,
+        cluster_counts=cluster_counts,
+        model_name=model_name,
+        clustering_seed=seed,
+    )
+
+
+def multi_seed_evaluation(
+    model_factory: Callable[[int], TopicModel],
+    train_corpus: Corpus,
+    test_corpus: Corpus,
+    test_npmi: NpmiMatrix,
+    seeds: Sequence[int] = (0, 1, 2),
+    model_name: str | None = None,
+    cluster_counts: Sequence[int] = CLUSTER_COUNTS,
+) -> EvaluationResult:
+    """§V.F protocol: average the evaluation over several random seeds."""
+    results = [
+        train_and_evaluate(
+            model_factory,
+            train_corpus,
+            test_corpus,
+            test_npmi,
+            seed=seed,
+            model_name=model_name,
+            cluster_counts=cluster_counts,
+        )
+        for seed in seeds
+    ]
+    return _mean_results(results)
+
+
+def _mean_results(results: Sequence[EvaluationResult]) -> EvaluationResult:
+    """Average metric dictionaries key-wise across seeds (with stds)."""
+    if not results:
+        raise ValueError("no results to aggregate")
+
+    def mean_dict(dicts: Sequence[dict]) -> dict:
+        keys = dicts[0].keys()
+        return {k: float(np.mean([d[k] for d in dicts])) for k in keys}
+
+    def std_dict(dicts: Sequence[dict]) -> dict:
+        if len(dicts) < 2 or not dicts[0]:
+            return {}
+        keys = dicts[0].keys()
+        return {k: float(np.std([d[k] for d in dicts], ddof=1)) for k in keys}
+
+    has_clustering = bool(results[0].km_purity)
+    return EvaluationResult(
+        model_name=results[0].model_name,
+        coherence=mean_dict([r.coherence for r in results]),
+        diversity=mean_dict([r.diversity for r in results]),
+        km_purity=mean_dict([r.km_purity for r in results]) if has_clustering else {},
+        km_nmi=mean_dict([r.km_nmi for r in results]) if has_clustering else {},
+        coherence_std=std_dict([r.coherence for r in results]),
+        diversity_std=std_dict([r.diversity for r in results]),
+        km_purity_std=std_dict([r.km_purity for r in results]) if has_clustering else {},
+    )

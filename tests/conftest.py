@@ -1,0 +1,88 @@
+"""Shared fixtures: small corpora, embeddings and NPMI matrices.
+
+Everything is session-scoped and deterministic so the suite stays fast —
+the expensive resources (dataset generation, NPMI precompute, embedding
+training) are built once and reused by every test module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_20ng, load_yahoo
+from repro.data.corpus import Corpus
+from repro.data.vocabulary import Vocabulary
+from repro.embeddings import build_embeddings
+from repro.metrics import compute_npmi_matrix
+from repro.models.base import NTMConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A miniature 20NG dataset shared across the suite."""
+    return load_20ng(scale=0.12)
+
+
+@pytest.fixture(scope="session")
+def tiny_yahoo():
+    return load_yahoo(scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus(tiny_dataset) -> Corpus:
+    return tiny_dataset.train
+
+
+@pytest.fixture(scope="session")
+def tiny_npmi(tiny_corpus):
+    return compute_npmi_matrix(tiny_corpus)
+
+
+@pytest.fixture(scope="session")
+def tiny_test_npmi(tiny_dataset):
+    return compute_npmi_matrix(tiny_dataset.test)
+
+
+@pytest.fixture(scope="session")
+def tiny_embeddings(tiny_corpus):
+    return build_embeddings(tiny_corpus, dim=32)
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> NTMConfig:
+    """An NTM config small enough for per-test training."""
+    return NTMConfig(
+        num_topics=8,
+        hidden_sizes=(32,),
+        epochs=5,
+        batch_size=64,
+        learning_rate=3e-3,
+        dropout=0.1,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def toy_vocabulary() -> Vocabulary:
+    return Vocabulary(["alpha", "beta", "gamma", "delta", "epsilon", "zeta"])
+
+
+@pytest.fixture
+def toy_corpus(toy_vocabulary) -> Corpus:
+    """Six documents with two clear word communities (0-2 vs 3-5)."""
+    docs = [
+        [0, 1, 2, 0, 1],
+        [0, 2, 1, 2],
+        [1, 0, 2, 2, 1],
+        [3, 4, 5, 3],
+        [4, 5, 3, 4, 5],
+        [5, 3, 4, 4],
+    ]
+    labels = [0, 0, 0, 1, 1, 1]
+    return Corpus(docs, toy_vocabulary, labels=labels, label_names=["ab", "cd"])

@@ -1,0 +1,221 @@
+"""The full ContraTopic model and its ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ContraTopic,
+    ContraTopicConfig,
+    ContrastiveMode,
+    build_variant,
+    npmi_kernel,
+    VARIANT_NAMES,
+)
+from repro.errors import ConfigError, ShapeError
+from repro.models import ETM, WLDA
+
+
+def _backbone(corpus, embeddings, config):
+    return ETM(corpus.vocab_size, config, embeddings.vectors)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lambda_weight": -1.0},
+            {"num_sampled_words": 0},
+            {"gumbel_temperature": 0.0},
+            {"negative_weight": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            ContraTopicConfig(**kwargs)
+
+
+class TestConstruction:
+    def test_kernel_vocab_must_match(self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config):
+        backbone = _backbone(tiny_corpus, tiny_embeddings, fast_config)
+        bad = npmi_kernel(tiny_npmi)
+        bad.matrix = bad.matrix[:5, :5]
+        bad.exp_matrix = bad.exp_matrix[:5, :5]
+        with pytest.raises(ShapeError):
+            ContraTopic(backbone, bad)
+
+    def test_shares_backbone_encoder(self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config):
+        backbone = _backbone(tiny_corpus, tiny_embeddings, fast_config)
+        model = ContraTopic(backbone, npmi_kernel(tiny_npmi))
+        assert model.encoder is backbone.encoder
+        # no duplicate parameters from a second encoder
+        assert model.num_parameters() == backbone.num_parameters()
+
+    def test_beta_delegates_to_backbone(self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config):
+        backbone = _backbone(tiny_corpus, tiny_embeddings, fast_config)
+        model = ContraTopic(backbone, npmi_kernel(tiny_npmi))
+        np.testing.assert_array_equal(model.beta().data, backbone.beta().data)
+
+
+class TestTraining:
+    def test_loss_includes_contrastive_term(
+        self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config
+    ):
+        model = ContraTopic(
+            _backbone(tiny_corpus, tiny_embeddings, fast_config),
+            npmi_kernel(tiny_npmi),
+            ContraTopicConfig(lambda_weight=10.0),
+        )
+        model.train()
+        loss, parts = model.loss_on_batch(tiny_corpus.bow_matrix()[:8])
+        assert "extra" in parts
+        assert parts["total"] == pytest.approx(
+            parts["rec"] + parts["kl"] + parts["extra"], rel=1e-9
+        )
+
+    def test_lambda_zero_matches_backbone_loss(
+        self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config
+    ):
+        model = ContraTopic(
+            _backbone(tiny_corpus, tiny_embeddings, fast_config),
+            npmi_kernel(tiny_npmi),
+            ContraTopicConfig(lambda_weight=0.0),
+        )
+        model.eval()  # disable dropout/sampling noise for comparability
+        bow = tiny_corpus.bow_matrix()[:8]
+        _, parts = model.loss_on_batch(bow)
+        assert parts["extra"] == pytest.approx(0.0)
+
+    def test_fit_and_eval_protocol(self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config):
+        model = ContraTopic(
+            _backbone(tiny_corpus, tiny_embeddings, fast_config),
+            npmi_kernel(tiny_npmi),
+        )
+        model.fit(tiny_corpus)
+        beta = model.topic_word_matrix()
+        np.testing.assert_allclose(beta.sum(axis=1), 1.0, rtol=1e-9)
+        theta = model.transform(tiny_corpus)
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_regularizer_reduces_contrastive_loss(
+        self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config
+    ):
+        """Training with λ>0 should lower L_con relative to λ=0 training."""
+        import dataclasses
+
+        config = dataclasses.replace(fast_config, epochs=8)
+
+        def final_contrastive(lambda_weight):
+            model = ContraTopic(
+                _backbone(tiny_corpus, tiny_embeddings, config),
+                npmi_kernel(tiny_npmi),
+                ContraTopicConfig(
+                    lambda_weight=lambda_weight, use_sampling=False
+                ),
+            )
+            model.fit(tiny_corpus)
+            return model.contrastive_loss(model.beta()).item()
+
+        assert final_contrastive(50.0) < final_contrastive(0.0)
+
+    def test_gradient_reaches_topic_embeddings(
+        self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config
+    ):
+        model = ContraTopic(
+            _backbone(tiny_corpus, tiny_embeddings, fast_config),
+            npmi_kernel(tiny_npmi),
+            ContraTopicConfig(lambda_weight=1.0),
+        )
+        loss = model.contrastive_loss(model.beta())
+        loss.backward()
+        grad = model.backbone.topic_embeddings.grad
+        assert grad is not None
+        assert np.abs(grad).max() > 0.0
+
+
+class TestSamplingModes:
+    def test_expectation_mode_uses_scaled_beta(
+        self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config
+    ):
+        model = ContraTopic(
+            _backbone(tiny_corpus, tiny_embeddings, fast_config),
+            npmi_kernel(tiny_npmi),
+            ContraTopicConfig(num_sampled_words=7, use_sampling=False),
+        )
+        beta = model.beta()
+        samples = model.contrastive_samples(beta)
+        np.testing.assert_allclose(samples.data, beta.data * 7.0)
+
+    def test_sampling_mode_draws_subsets(
+        self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config
+    ):
+        model = ContraTopic(
+            _backbone(tiny_corpus, tiny_embeddings, fast_config),
+            npmi_kernel(tiny_npmi),
+            ContraTopicConfig(num_sampled_words=7),
+        )
+        samples = model.contrastive_samples(model.beta())
+        np.testing.assert_allclose(samples.data.sum(axis=1), 7.0, atol=1e-6)
+
+    def test_sampling_stochastic_across_calls(
+        self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config
+    ):
+        model = ContraTopic(
+            _backbone(tiny_corpus, tiny_embeddings, fast_config),
+            npmi_kernel(tiny_npmi),
+        )
+        beta = model.beta()
+        a = model.contrastive_samples(beta).data
+        b = model.contrastive_samples(beta).data
+        assert not np.allclose(a, b)
+
+
+class TestVariants:
+    def test_all_variants_build(self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config):
+        for name in VARIANT_NAMES:
+            model = build_variant(
+                name,
+                _backbone(tiny_corpus, tiny_embeddings, fast_config),
+                tiny_npmi,
+                word_embeddings=tiny_embeddings.vectors,
+            )
+            assert isinstance(model, ContraTopic)
+
+    def test_variant_configurations(self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config):
+        def make(name):
+            return build_variant(
+                name,
+                _backbone(tiny_corpus, tiny_embeddings, fast_config),
+                tiny_npmi,
+                word_embeddings=tiny_embeddings.vectors,
+            )
+
+        assert make("P").regularizer.mode is ContrastiveMode.POSITIVE_ONLY
+        assert make("N").regularizer.mode is ContrastiveMode.NEGATIVE_ONLY
+        assert make("I").kernel.name == "inner"
+        assert make("S").regularizer.use_sampling is False
+        full = make("full")
+        assert full.regularizer.mode is ContrastiveMode.FULL
+        assert full.kernel.name == "npmi"
+        assert full.regularizer.use_sampling
+
+    def test_variant_i_requires_embeddings(self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config):
+        with pytest.raises(ConfigError):
+            build_variant(
+                "I",
+                _backbone(tiny_corpus, tiny_embeddings, fast_config),
+                tiny_npmi,
+            )
+
+    def test_unknown_variant(self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config):
+        with pytest.raises(ConfigError):
+            build_variant(
+                "X",
+                _backbone(tiny_corpus, tiny_embeddings, fast_config),
+                tiny_npmi,
+            )
+
+    def test_wlda_backbone(self, tiny_corpus, tiny_npmi, fast_config):
+        backbone = WLDA(tiny_corpus.vocab_size, fast_config)
+        model = build_variant("full", backbone, tiny_npmi)
+        model.fit(tiny_corpus)
+        assert model.topic_word_matrix().shape[0] == fast_config.num_topics

@@ -1,0 +1,94 @@
+"""Corpus container: validation, bag-of-words, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data import Corpus, Vocabulary
+from repro.errors import CorpusError
+
+
+class TestValidation:
+    def test_empty_corpus_rejected(self, toy_vocabulary):
+        with pytest.raises(CorpusError):
+            Corpus([], toy_vocabulary)
+
+    def test_empty_document_rejected(self, toy_vocabulary):
+        with pytest.raises(CorpusError):
+            Corpus([[0, 1], []], toy_vocabulary)
+
+    def test_out_of_range_token_rejected(self, toy_vocabulary):
+        with pytest.raises(CorpusError):
+            Corpus([[0, 99]], toy_vocabulary)
+
+    def test_label_length_mismatch(self, toy_vocabulary):
+        with pytest.raises(CorpusError):
+            Corpus([[0], [1]], toy_vocabulary, labels=[0])
+
+
+class TestBagOfWords:
+    def test_dense_counts(self, toy_corpus):
+        bow = toy_corpus.bow_matrix()
+        assert bow.shape == (6, 6)
+        np.testing.assert_allclose(bow[0], [2, 2, 1, 0, 0, 0])
+
+    def test_sparse_matches_dense(self, toy_corpus):
+        dense = toy_corpus.bow_matrix()
+        np.testing.assert_allclose(toy_corpus.bow_sparse().toarray(), dense)
+
+    def test_binary_incidence(self, toy_corpus):
+        binary = toy_corpus.binary_doc_word().toarray()
+        assert set(np.unique(binary)).issubset({0.0, 1.0})
+        np.testing.assert_allclose(binary, (toy_corpus.bow_matrix() > 0))
+
+    def test_bow_cached_and_dtype(self, toy_corpus):
+        a = toy_corpus.bow_matrix()
+        b = toy_corpus.bow_matrix()
+        assert a is b
+        assert toy_corpus.bow_matrix(np.float32).dtype == np.float32
+
+
+class TestStats:
+    def test_table1_quantities(self, toy_corpus):
+        stats = toy_corpus.stats()
+        lengths = [5, 4, 5, 4, 5, 4]
+        assert stats.num_documents == 6
+        assert stats.vocabulary_size == 6
+        assert stats.num_tokens == sum(lengths)
+        np.testing.assert_allclose(stats.average_length, np.mean(lengths))
+
+    def test_stats_as_row(self, toy_corpus):
+        row = toy_corpus.stats().as_row()
+        assert row["Vocabulary Size"] == 6
+
+    def test_word_frequencies(self, toy_corpus):
+        freq = toy_corpus.word_frequency()
+        assert freq.sum() == toy_corpus.stats().num_tokens
+        df = toy_corpus.word_document_frequency()
+        assert (df <= len(toy_corpus)).all()
+        assert (df >= 1).all()  # every vocab word appears somewhere here
+
+    def test_top_words(self, toy_corpus):
+        top = toy_corpus.top_words(3)
+        assert len(top) == 3
+        assert all(isinstance(w, str) for w in top)
+
+    def test_num_labels(self, toy_corpus, toy_vocabulary):
+        assert toy_corpus.num_labels == 2
+        unlabeled = Corpus([[0]], toy_vocabulary)
+        assert unlabeled.num_labels == 0
+        assert unlabeled.labels is None
+
+
+class TestSubset:
+    def test_subset_keeps_labels(self, toy_corpus):
+        sub = toy_corpus.subset([0, 3])
+        assert len(sub) == 2
+        assert sub.labels.tolist() == [0, 1]
+        assert sub.vocabulary is toy_corpus.vocabulary
+
+    def test_empty_subset_rejected(self, toy_corpus):
+        with pytest.raises(CorpusError):
+            toy_corpus.subset([])
+
+    def test_repr(self, toy_corpus):
+        assert "labeled" in repr(toy_corpus)

@@ -1,0 +1,68 @@
+"""Dataset profiles: relative Table-I characteristics must hold."""
+
+import pytest
+
+from repro.data import DATASET_PROFILES, load_20ng, load_dataset, load_nytimes, load_yahoo
+from repro.errors import ConfigError
+
+
+class TestLoading:
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigError):
+            load_dataset("reuters")
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigError):
+            load_dataset("20ng", scale=0.0)
+
+    def test_scale_shrinks_counts(self):
+        small = load_20ng(scale=0.08)
+        large = load_20ng(scale=0.2)
+        assert len(small.train) < len(large.train)
+        assert len(small.test) < len(large.test)
+
+    def test_same_call_is_deterministic(self):
+        a = load_20ng(scale=0.08)
+        b = load_20ng(scale=0.08)
+        assert a.train.bow_matrix().sum() == b.train.bow_matrix().sum()
+
+    def test_seed_override_changes_corpus(self):
+        a = load_20ng(scale=0.08, seed=1)
+        b = load_20ng(scale=0.08, seed=2)
+        assert a.train.bow_matrix().sum() != b.train.bow_matrix().sum()
+
+    def test_train_test_share_vocabulary(self, tiny_dataset):
+        assert tiny_dataset.train.vocabulary is tiny_dataset.test.vocabulary
+
+
+class TestProfiles:
+    def test_three_profiles_exist(self):
+        assert set(DATASET_PROFILES) == {"20ng", "yahoo", "nytimes"}
+
+    def test_labels_presence(self):
+        ng = load_20ng(scale=0.08)
+        yahoo = load_yahoo(scale=0.06)
+        nyt = load_nytimes(scale=0.05)
+        assert ng.train.labels is not None
+        assert yahoo.train.labels is not None
+        assert nyt.train.labels is None  # paper: NYTimes is unlabeled
+
+    def test_relative_shapes_match_paper(self):
+        """Relations from Table I: Yahoo has more, shorter docs than 20NG;
+        NYTimes has the longest documents and the most tokens."""
+        scale = 0.1
+        ng = load_20ng(scale=scale)
+        yahoo = load_yahoo(scale=scale)
+        nyt = load_nytimes(scale=scale)
+        assert len(yahoo.train) > len(ng.train)
+        assert yahoo.train.stats().average_length < ng.train.stats().average_length
+        assert nyt.train.stats().average_length > ng.train.stats().average_length
+        assert nyt.train.stats().num_tokens > yahoo.train.stats().num_tokens
+
+    def test_label_count_matches_theme_count(self):
+        ng = load_20ng(scale=0.1)
+        assert ng.train.num_labels <= len(ng.profile.themes)
+        assert ng.label_names == list(ng.profile.themes)
+
+    def test_vocab_size_property(self, tiny_dataset):
+        assert tiny_dataset.vocab_size == len(tiny_dataset.train.vocabulary)

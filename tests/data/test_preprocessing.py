@@ -1,0 +1,111 @@
+"""The Table-I preprocessing pipeline (tokenize, filters, short docs)."""
+
+import pytest
+
+from repro.data import PreprocessConfig, Preprocessor, simple_tokenize, STOP_WORDS
+from repro.errors import ConfigError, CorpusError
+
+
+class TestTokenizer:
+    def test_lowercases(self):
+        assert simple_tokenize("Hello WORLD") == ["hello", "world"]
+
+    def test_strips_punctuation_and_digits(self):
+        assert simple_tokenize("it's 42 well-known!") == ["it's", "well", "known"]
+
+    def test_drops_single_letters(self):
+        assert simple_tokenize("a I x yz") == ["yz"]
+
+
+class TestConfigValidation:
+    def test_bad_max_df(self):
+        with pytest.raises(ConfigError):
+            PreprocessConfig(max_doc_frequency=0.0)
+
+    def test_bad_min_count(self):
+        with pytest.raises(ConfigError):
+            PreprocessConfig(min_doc_count=0)
+
+    def test_bad_min_length(self):
+        with pytest.raises(ConfigError):
+            PreprocessConfig(min_doc_length=0)
+
+
+class TestPipeline:
+    def _texts(self):
+        # "shared" appears everywhere (df = 100%); "rare" once; stop words
+        # sprinkled in; apple/banana in 2/4 docs (df = 50%, kept).
+        return [
+            "the shared apple banana rare",
+            "a shared apple banana orange",
+            "shared cherry orange mango and",
+            "shared cherry mango grape of",
+        ]
+
+    def test_stop_words_removed(self):
+        pre = Preprocessor(PreprocessConfig(min_doc_count=2, max_doc_frequency=1.0))
+        corpus = pre.fit_transform(self._texts())
+        for word in ("the", "a", "and", "of"):
+            assert word not in corpus.vocabulary
+            assert word in STOP_WORDS
+
+    def test_high_df_words_removed(self):
+        pre = Preprocessor(PreprocessConfig(min_doc_count=2, max_doc_frequency=0.7))
+        corpus = pre.fit_transform(self._texts())
+        assert "shared" not in corpus.vocabulary  # df = 100% > 70%
+        assert "apple" in corpus.vocabulary       # df = 50%
+        assert "orange" in corpus.vocabulary      # df = 50%
+
+    def test_low_df_words_removed(self):
+        pre = Preprocessor(PreprocessConfig(min_doc_count=2, max_doc_frequency=1.0))
+        corpus = pre.fit_transform(self._texts())
+        assert "rare" not in corpus.vocabulary
+
+    def test_short_documents_dropped_with_labels(self):
+        texts = self._texts() + ["rare only"]
+        labels = [0, 1, 0, 1, 9]
+        pre = Preprocessor(PreprocessConfig(min_doc_count=2, max_doc_frequency=1.0))
+        corpus = pre.fit_transform(texts, labels=labels)
+        # the last document keeps <2 known tokens and is dropped, label too
+        assert len(corpus) == 4
+        assert 9 not in corpus.labels.tolist()
+
+    def test_vocab_ordered_by_frequency(self):
+        pre = Preprocessor(PreprocessConfig(min_doc_count=1, max_doc_frequency=1.0))
+        corpus = pre.fit_transform(["xx xx xx yy", "xx yy zz"])
+        assert corpus.vocabulary.tokens()[0] == "xx"
+
+    def test_max_vocab_size(self):
+        pre = Preprocessor(
+            PreprocessConfig(min_doc_count=1, max_doc_frequency=1.0, max_vocab_size=2)
+        )
+        corpus = pre.fit_transform(["xx yy zz ww", "xx yy zz"])
+        assert len(corpus.vocabulary) == 2
+
+    def test_transform_uses_frozen_vocab(self):
+        pre = Preprocessor(PreprocessConfig(min_doc_count=2, max_doc_frequency=1.0))
+        pre.fit(self._texts())
+        test = pre.transform(["banana cherry apple novelword extra"])
+        assert "novelword" not in test.vocabulary
+        assert len(test) == 1
+
+
+class TestPipelineErrors:
+    def test_transform_before_fit(self):
+        with pytest.raises(CorpusError):
+            Preprocessor().transform(["hello world"])
+
+    def test_fit_empty(self):
+        with pytest.raises(CorpusError):
+            Preprocessor().fit([])
+
+    def test_everything_filtered(self):
+        pre = Preprocessor(PreprocessConfig(min_doc_count=5))
+        with pytest.raises(CorpusError):
+            pre.fit_transform(["apple banana", "cherry mango"])
+
+    def test_all_documents_too_short(self):
+        pre = Preprocessor(PreprocessConfig(min_doc_count=1, max_doc_frequency=1.0))
+        pre.fit(["apple banana cherry apple banana"])
+        with pytest.raises(CorpusError):
+            pre.transform(["unseen words only"])

@@ -1,0 +1,95 @@
+"""Property-based tests spanning the data pipeline."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import Corpus, PreprocessConfig, Preprocessor, Vocabulary
+from repro.data.loaders import BatchIterator
+from repro.errors import CorpusError
+
+_WORDS = [f"word{i:02d}" for i in range(30)]
+
+
+@st.composite
+def raw_corpora(draw):
+    """Random raw-text corpora over a small closed vocabulary."""
+    n_docs = draw(st.integers(min_value=3, max_value=20))
+    texts = []
+    for _ in range(n_docs):
+        n_tokens = draw(st.integers(min_value=3, max_value=25))
+        indices = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(_WORDS) - 1),
+                min_size=n_tokens,
+                max_size=n_tokens,
+            )
+        )
+        texts.append(" ".join(_WORDS[i] for i in indices))
+    return texts
+
+
+@settings(max_examples=30, deadline=None)
+@given(texts=raw_corpora())
+def test_property_preprocessing_invariants(texts):
+    """Whatever the corpus, preprocessing output satisfies its contract."""
+    pre = Preprocessor(PreprocessConfig(min_doc_count=1, max_doc_frequency=1.0))
+    try:
+        corpus = pre.fit_transform(texts)
+    except CorpusError:
+        return  # everything filtered: a legal outcome for degenerate input
+    vocab_size = corpus.vocab_size
+    # every document non-empty, every id in range
+    for doc in corpus.documents:
+        assert doc.size >= 2  # min_doc_length default
+        assert doc.min() >= 0 and doc.max() < vocab_size
+    # document-frequency bounds hold for every kept word
+    df = corpus.word_document_frequency()
+    assert (df >= 1).all()
+    assert (df <= len(corpus)).all()
+    # vocabulary is frozen and ids are dense
+    assert corpus.vocabulary.frozen
+    assert len(corpus.vocabulary) == vocab_size
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    texts=raw_corpora(),
+    batch_size=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_batching_is_a_partition(texts, batch_size, seed):
+    """Batches partition the corpus: total counts are conserved."""
+    pre = Preprocessor(PreprocessConfig(min_doc_count=1, max_doc_frequency=1.0))
+    try:
+        corpus = pre.fit_transform(texts)
+    except CorpusError:
+        return
+    iterator = BatchIterator(corpus, batch_size, np.random.default_rng(seed))
+    stacked = np.concatenate(list(iterator), axis=0)
+    assert stacked.shape[0] == len(corpus)
+    np.testing.assert_allclose(
+        stacked.sum(), corpus.bow_matrix().sum()
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    n_docs=st.integers(min_value=2, max_value=12),
+)
+def test_property_corpus_roundtrips_through_io(tmp_path_factory, seed, n_docs):
+    """save_corpus/load_corpus is the identity on documents and labels."""
+    from repro.io import load_corpus, save_corpus
+
+    rng = np.random.default_rng(seed)
+    vocab = Vocabulary([f"t{i}" for i in range(10)])
+    docs = [rng.integers(0, 10, size=rng.integers(1, 9)).tolist() for _ in range(n_docs)]
+    labels = rng.integers(0, 3, size=n_docs).tolist()
+    corpus = Corpus(docs, vocab, labels=labels)
+
+    path = tmp_path_factory.mktemp("roundtrip") / "c.npz"
+    save_corpus(corpus, path)
+    restored = load_corpus(path)
+    assert restored.labels.tolist() == labels
+    for a, b in zip(restored.documents, corpus.documents):
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,185 @@
+"""Experiment harness smoke tests (very small configurations)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import DEFAULT_LAMBDAS, ExperimentContext, ExperimentSettings
+from repro.experiments.fig2_interpretability import format_fig2, run_fig2
+from repro.experiments.fig3_clustering import format_fig3, run_fig3
+from repro.experiments.fig45_sensitivity import (
+    format_sensitivity,
+    run_lambda_sensitivity,
+    run_v_sensitivity,
+)
+from repro.experiments.fig6_backbone import format_fig6, run_fig6
+from repro.experiments.reporting import format_series, format_table, paper_vs_measured
+from repro.experiments.table1_stats import format_table1, run_table1
+from repro.experiments.table2_ablation import format_table2, run_table2
+from repro.experiments.table3_intrusion import format_table3, run_table3
+from repro.experiments.tables456_casestudy import (
+    describe_topic,
+    format_casestudy,
+    run_casestudy,
+)
+
+
+def _micro(dataset="20ng") -> ExperimentSettings:
+    """The smallest settings that still train distinguishable topics."""
+    return ExperimentSettings(
+        dataset=dataset,
+        scale=0.08,
+        num_topics=8,
+        hidden_sizes=(32,),
+        epochs=4,
+        batch_size=64,
+        embedding_dim=24,
+        seeds=(0,),
+    )
+
+
+class TestSettings:
+    def test_default_lambdas_cover_datasets(self):
+        assert set(DEFAULT_LAMBDAS) == {"20ng", "yahoo", "nytimes"}
+
+    def test_resolved_lambda(self):
+        assert ExperimentSettings(dataset="yahoo").resolved_lambda() == DEFAULT_LAMBDAS["yahoo"]
+        assert ExperimentSettings(lambda_weight=7.0).resolved_lambda() == 7.0
+        with pytest.raises(ConfigError):
+            ExperimentSettings(dataset="unknown").resolved_lambda()
+
+    def test_fast_is_smaller(self):
+        base = ExperimentSettings()
+        fast = base.fast()
+        assert fast.scale < base.scale
+        assert fast.num_topics <= base.num_topics
+
+    def test_context_caches_resources(self):
+        context = ExperimentContext(_micro())
+        assert context.dataset is context.dataset
+        assert context.npmi_train is context.npmi_train
+
+
+class TestReportingHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1.23456], ["yy", 2.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in text
+
+    def test_format_series_percent_headers(self):
+        text = format_series({"m": {0.1: 0.5, 1.0: 0.4}})
+        assert "10%" in text and "100%" in text
+
+    def test_format_series_integer_headers(self):
+        text = format_series({"m": {20.0: 0.5}}, x_label="#clusters")
+        assert "20" in text
+
+    def test_paper_vs_measured(self):
+        text = paper_vs_measured([("coh", 0.54, 0.61)])
+        assert "paper" in text and "measured" in text
+
+
+class TestTable1:
+    def test_rows_and_relations(self):
+        rows = run_table1(scale=0.08)
+        names = [r.name for r in rows]
+        assert names == ["20ng", "yahoo", "nytimes"]
+        by_name = {r.name: r for r in rows}
+        assert by_name["nytimes"].average_length > by_name["20ng"].average_length
+        assert by_name["yahoo"].training_samples > by_name["20ng"].training_samples
+        text = format_table1(rows)
+        assert "Table I" in text
+
+
+class TestFig2:
+    def test_two_model_run(self):
+        result = run_fig2(_micro(), models=("etm", "contratopic"))
+        assert set(result.coherence) == {"etm", "contratopic"}
+        for series in result.coherence.values():
+            assert set(series) == {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+        text = format_fig2(result)
+        assert "coherence" in text and "diversity" in text
+
+
+class TestFig3:
+    def test_clustering_curves(self):
+        result = run_fig3(_micro(), models=("etm",), cluster_counts=(4, 8))
+        assert set(result.km_purity["etm"]) == {4, 8}
+        assert all(0 <= v <= 1 for v in result.km_purity["etm"].values())
+        assert "km-Purity" in format_fig3(result)
+
+    def test_unlabeled_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            run_fig3(_micro("nytimes"), models=("etm",))
+
+
+class TestTable2:
+    def test_ablation_rows(self):
+        rows = run_table2(_micro(), variants=("full", "N"))
+        assert [r.variant for r in rows] == ["full", "N"]
+        assert 0.1 in rows[0].coherence
+        assert rows[0].km_purity  # 20ng is labeled
+        # format only renders known variants
+        text = format_table2(rows)
+        assert "ContraTopic-N" in text
+
+
+class TestSensitivity:
+    def test_lambda_sweep(self):
+        result = run_lambda_sensitivity(_micro(), lambda_grid=(0.0, 20.0))
+        assert set(result.coherence_max) == {0.0, 20.0}
+        assert result.parameter == "lambda"
+        assert "lambda" in format_sensitivity(result)
+
+    def test_v_sweep(self):
+        result = run_v_sensitivity(_micro(), v_grid=(2, 5))
+        assert set(result.coherence_max) == {2.0, 5.0}
+
+
+class TestFig6:
+    def test_backbone_rows(self):
+        rows = run_fig6(_micro(), backbones=("etm",))
+        assert rows[0].backbone == "etm"
+        assert rows[0].plain_coherence and rows[0].regularized_coherence
+        assert "+L_con" in format_fig6(rows, "20ng")
+
+
+class TestTable3:
+    def test_intrusion_rows(self):
+        rows = run_table3(_micro(), models=("etm", "contratopic"), num_annotators=3)
+        assert [r.model for r in rows] == ["etm", "contratopic"]
+        for row in rows:
+            assert 0.0 <= row.wis <= 1.0
+        assert "Table III" in format_table3(rows)
+
+
+class TestCaseStudy:
+    def test_listings(self):
+        listings = run_casestudy(_micro(), models=("etm",), num_topics_shown=3)
+        assert len(listings) == 1
+        assert len(listings[0].topics) == 3
+        npmi_value, words = listings[0].topics[0]
+        assert len(words) == 8
+        assert isinstance(words[0], str)
+        assert "Table IV" in format_casestudy(listings, "20ng")
+
+    def test_describe_topic_matches_bank(self):
+        description = describe_topic(
+            ["space", "nasa", "launch", "orbit", "moon", "shuttle", "rocket", "mars"]
+        )
+        assert "space" in description
+
+
+class TestFigureCharts:
+    def test_fig2_includes_ascii_chart(self):
+        result = run_fig2(_micro(), models=("etm",))
+        text = format_fig2(result)
+        assert "[chart]" in text
+        assert "legend:" in text
+
+    def test_fig2_chart_optional(self):
+        result = run_fig2(_micro(), models=("etm",))
+        assert "[chart]" not in format_fig2(result, charts=False)

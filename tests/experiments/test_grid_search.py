@@ -1,0 +1,70 @@
+"""The §V.D grid-search workflow."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.grid_search import (
+    GridPoint,
+    GridSearchResult,
+    grid_search_contratopic,
+    interpretability_score,
+)
+from repro.models import ETM, NTMConfig
+
+
+class TestScore:
+    def test_combines_both_facets(self):
+        assert interpretability_score(0.5, 0.8) == pytest.approx(0.9)
+        assert interpretability_score(0.5, 0.8, diversity_weight=0.0) == 0.5
+
+
+class TestResult:
+    def test_best_selects_max_score(self):
+        result = GridSearchResult(
+            points=[
+                GridPoint(0.0, 5, 0.2, 0.5, 0.45),
+                GridPoint(40.0, 10, 0.4, 0.6, 0.70),
+                GridPoint(80.0, 10, 0.3, 0.4, 0.50),
+            ]
+        )
+        assert result.best.lambda_weight == 40.0
+        rows = result.as_rows()
+        assert rows[0][0] == 40.0  # sorted by descending score
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ConfigError):
+            GridSearchResult().best
+
+
+class TestEndToEnd:
+    def test_sweep_and_refit(self, tiny_corpus, tiny_embeddings):
+        def backbone_factory(vocab_size):
+            return ETM(
+                vocab_size,
+                NTMConfig(num_topics=6, hidden_sizes=(24,), epochs=2,
+                          batch_size=64, seed=0),
+                tiny_embeddings.vectors,
+            )
+
+        result, final = grid_search_contratopic(
+            backbone_factory,
+            tiny_corpus,
+            lambda_grid=(0.0, 20.0),
+            v_grid=(5,),
+            valid_fraction=0.25,
+            seed=0,
+        )
+        assert len(result.points) == 2
+        # the final model carries the winning configuration
+        assert final.regularizer.lambda_weight == result.best.lambda_weight
+        assert final.regularizer.num_sampled_words == result.best.num_sampled_words
+        # and it is fitted on the full corpus
+        beta = final.topic_word_matrix()
+        np.testing.assert_allclose(beta.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_empty_grid_rejected(self, tiny_corpus, tiny_embeddings):
+        with pytest.raises(ConfigError):
+            grid_search_contratopic(
+                lambda v: None, tiny_corpus, lambda_grid=(), v_grid=(5,)
+            )

@@ -1,0 +1,71 @@
+"""The run-everything entry point, with stubbed experiment functions."""
+
+import io
+
+import pytest
+
+import repro.experiments.runner as runner_module
+
+
+@pytest.fixture
+def stubbed_runner(monkeypatch):
+    """Replace every run_*/format_* pair with cheap recording stubs."""
+    calls: list[str] = []
+
+    def make_run(name, result="result"):
+        def run(*args, **kwargs):
+            calls.append(name)
+            return result
+
+        return run
+
+    def make_format(name):
+        def fmt(*args, **kwargs):
+            return f"<{name} output>"
+
+        return fmt
+
+    for run_name, fmt_name in [
+        ("run_table1", "format_table1"),
+        ("run_fig2", "format_fig2"),
+        ("run_fig3", "format_fig3"),
+        ("run_table2", "format_table2"),
+        ("run_lambda_sensitivity", "format_sensitivity"),
+        ("run_v_sensitivity", "format_sensitivity"),
+        ("run_fig6", "format_fig6"),
+        ("run_table3", "format_table3"),
+        ("run_casestudy", "format_casestudy"),
+    ]:
+        monkeypatch.setattr(runner_module, run_name, make_run(run_name))
+        monkeypatch.setattr(runner_module, fmt_name, make_format(fmt_name))
+    return calls
+
+
+class TestRunAll:
+    def test_every_artefact_executed(self, stubbed_runner):
+        out = io.StringIO()
+        runner_module.run_all(fast=True, out=out)
+        calls = stubbed_runner
+        assert calls.count("run_table1") == 1
+        assert calls.count("run_fig2") == 3          # three datasets
+        assert calls.count("run_fig3") == 2          # labeled datasets only
+        assert calls.count("run_table2") == 1
+        assert calls.count("run_lambda_sensitivity") == 3
+        assert calls.count("run_v_sensitivity") == 3
+        assert calls.count("run_fig6") == 2
+        assert calls.count("run_table3") == 1
+        assert calls.count("run_casestudy") == 3
+
+    def test_sections_printed(self, stubbed_runner):
+        out = io.StringIO()
+        runner_module.run_all(fast=False, out=out)
+        text = out.getvalue()
+        for section in ("Table I", "Figure 2", "Figure 3", "Table II",
+                        "Figure 4", "Figure 5", "Figure 6", "Table III",
+                        "Case study"):
+            assert section in text
+        assert "finished" in text
+
+    def test_main_parses_fast_flag(self, stubbed_runner, monkeypatch, capsys):
+        assert runner_module.main(["--fast"]) == 0
+        assert runner_module.main([]) == 0

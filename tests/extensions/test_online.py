@@ -1,0 +1,159 @@
+"""Online ContraTopic over drifting time slices."""
+
+import numpy as np
+import pytest
+
+from repro.core import ContraTopicConfig
+from repro.errors import ConfigError, NotFittedError
+from repro.extensions import (
+    DriftingStreamConfig,
+    OnlineConfig,
+    OnlineContraTopic,
+    generate_drifting_stream,
+)
+from repro.models import ETM, NTMConfig
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return generate_drifting_stream(
+        DriftingStreamConfig(
+            base_themes=("space", "medicine"),
+            emerging_themes=("wrestling",),
+            emerge_at=1,
+            num_slices=3,
+            docs_per_slice=150,
+            average_length=40.0,
+            seed=1,
+        )
+    )
+
+
+def _make_online(vocab_size, epochs=4):
+    def factory():
+        from repro.embeddings import svd_embeddings
+
+        # cheap random-projection embeddings (frozen anyway)
+        rng = np.random.default_rng(0)
+        embeddings = rng.normal(size=(vocab_size, 24))
+        return ETM(
+            vocab_size,
+            NTMConfig(num_topics=8, hidden_sizes=(32,), epochs=epochs, batch_size=64),
+            embeddings,
+        )
+
+    return OnlineContraTopic(
+        factory,
+        ContraTopicConfig(lambda_weight=20.0),
+        OnlineConfig(kernel_decay=0.5, epochs_per_slice=3),
+    )
+
+
+class TestConfigValidation:
+    def test_online_config(self):
+        with pytest.raises(ConfigError):
+            OnlineConfig(kernel_decay=1.0)
+        with pytest.raises(ConfigError):
+            OnlineConfig(epochs_per_slice=0)
+
+    def test_stream_config(self):
+        with pytest.raises(ConfigError):
+            DriftingStreamConfig(base_themes=("nonexistent",))
+        with pytest.raises(ConfigError):
+            DriftingStreamConfig(num_slices=0)
+
+
+class TestStreamGeneration:
+    def test_slices_share_vocabulary(self, stream):
+        slices, _, _ = stream
+        assert len(slices) == 3
+        first_vocab = slices[0].vocabulary
+        assert all(s.vocabulary is first_vocab for s in slices)
+
+    def test_union_corpus_covers_all_themes(self, stream):
+        slices, _, union = stream
+        assert union.vocabulary is slices[0].vocabulary
+        # the union sample contains emerging-theme words even though the
+        # early slices do not
+        if "wwe" in union.vocabulary:
+            wwe = union.vocabulary.id_of("wwe")
+            assert union.bow_matrix()[:, wwe].sum() > 0
+
+    def test_emerging_theme_absent_then_present(self, stream):
+        slices, _, _ = stream
+        vocab = slices[0].vocabulary
+        if "wwe" not in vocab:
+            pytest.skip("emerging theme word filtered at this scale")
+        wwe = vocab.id_of("wwe")
+        early = slices[0].bow_matrix()[:, wwe].sum()
+        late = slices[-1].bow_matrix()[:, wwe].sum()
+        assert late > early
+
+
+class TestOnlineTraining:
+    def test_partial_fit_sequence(self, stream):
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        results = [online.partial_fit(s) for s in slices]
+        assert [r.slice_index for r in results] == [0, 1, 2]
+        # slice 0 has no previous topics -> zero drift
+        np.testing.assert_allclose(results[0].topic_drift, 0.0)
+        # later slices show some drift as the stream changes
+        assert results[1].mean_drift > 0.0
+        assert len(online.history) == 3
+
+    def test_kernel_blending(self, stream):
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        online.partial_fit(slices[0])
+        kernel_t0 = online.kernel_matrix.copy()
+        online.partial_fit(slices[1])
+        assert not np.allclose(online.kernel_matrix, kernel_t0)
+        assert online.kernel_matrix.shape == kernel_t0.shape
+
+    def test_transform_after_fit(self, stream):
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        online.partial_fit(slices[0])
+        theta = online.transform(slices[0])
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0, rtol=1e-9)
+        assert online.topic_word_matrix().shape[0] == 8
+
+    def test_not_fitted_errors(self, stream):
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        with pytest.raises(NotFittedError):
+            online.transform(slices[0])
+        with pytest.raises(NotFittedError):
+            online.topic_word_matrix()
+        assert online.emerging_topics() == []
+
+    def test_emerging_topics_threshold(self, stream):
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        online.partial_fit(slices[0])
+        online.partial_fit(slices[1])
+        # With threshold 0 every topic that moved at all is "emerging";
+        # with threshold > max drift, none are.
+        all_moved = online.emerging_topics(threshold=0.0)
+        none = online.emerging_topics(threshold=2.1)
+        assert len(all_moved) >= len(none)
+        assert none == []
+
+    def test_warm_start_reuses_parameters(self, stream):
+        """After slice 0 the next slice must start from trained weights."""
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        online.partial_fit(slices[0])
+        trained = online.model.state_dict()
+        online.partial_fit(slices[1])
+        fresh = _make_online(slices[0].vocab_size)
+        fresh.partial_fit(slices[1])
+        # the warm-started model should be closer to the slice-0 weights
+        # than a cold-started one is
+        def distance(state):
+            return sum(
+                float(np.abs(state[k] - trained[k]).sum()) for k in trained
+            )
+
+        assert distance(online.model.state_dict()) < distance(fresh.model.state_dict())

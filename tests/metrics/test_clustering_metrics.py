@@ -1,0 +1,82 @@
+"""Purity and NMI: known values, bounds, invariances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.metrics import normalized_mutual_information, purity
+from repro.metrics.clustering_metrics import contingency_table
+
+
+class TestKnownValues:
+    def test_perfect_clustering(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert purity(labels, labels) == 1.0
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_label_permutation_invariance(self):
+        labels = np.array([0, 0, 1, 1])
+        swapped = np.array([1, 1, 0, 0])
+        assert purity(swapped, labels) == 1.0
+        assert normalized_mutual_information(swapped, labels) == pytest.approx(1.0)
+
+    def test_purity_hand_computed(self):
+        # cluster 0: classes [0,0,1] -> majority 2; cluster 1: [1,1] -> 2
+        assignments = np.array([0, 0, 0, 1, 1])
+        labels = np.array([0, 0, 1, 1, 1])
+        assert purity(assignments, labels) == pytest.approx(4 / 5)
+
+    def test_single_cluster_nmi_zero(self):
+        assignments = np.zeros(6, dtype=int)
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_information(assignments, labels) == 0.0
+        assert purity(assignments, labels) == pytest.approx(2 / 6)
+
+    def test_singleton_clusters_purity_one(self):
+        # Degenerate: every point its own cluster -> purity 1 (why purity
+        # alone is insufficient and the paper pairs it with NMI).
+        labels = np.array([0, 0, 1, 1])
+        assignments = np.arange(4)
+        assert purity(assignments, labels) == 1.0
+
+    def test_independent_partitions_low_nmi(self):
+        rng = np.random.default_rng(0)
+        assignments = rng.integers(0, 4, size=2000)
+        labels = rng.integers(0, 4, size=2000)
+        assert normalized_mutual_information(assignments, labels) < 0.02
+
+
+class TestContingency:
+    def test_table(self):
+        table = contingency_table(np.array([0, 0, 1]), np.array([1, 1, 0]))
+        np.testing.assert_array_equal(table, [[0, 2], [1, 0]])
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            purity(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ShapeError):
+            purity(np.array([]), np.array([]))
+        with pytest.raises(ShapeError):
+            purity(np.zeros((2, 2), dtype=int), np.zeros((2, 2), dtype=int))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=60),
+    k=st.integers(min_value=1, max_value=5),
+    c=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_bounds_and_symmetry(n, k, c, seed):
+    """Purity and NMI stay in [0, 1]; NMI is symmetric in its arguments."""
+    rng = np.random.default_rng(seed)
+    assignments = rng.integers(0, k, size=n)
+    labels = rng.integers(0, c, size=n)
+    p = purity(assignments, labels)
+    nmi = normalized_mutual_information(assignments, labels)
+    assert 0.0 <= p <= 1.0
+    assert 0.0 <= nmi <= 1.0 + 1e-12
+    assert nmi == pytest.approx(
+        normalized_mutual_information(labels, assignments), abs=1e-12
+    )

@@ -1,0 +1,63 @@
+"""Document-level co-occurrence counting."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.data import Corpus, Vocabulary
+from repro.errors import ShapeError
+from repro.metrics import DocumentCooccurrence
+
+
+@pytest.fixture
+def counted(toy_corpus):
+    return DocumentCooccurrence.from_corpus(toy_corpus)
+
+
+class TestCounts:
+    def test_diagonal_equals_doc_freq(self, counted, toy_corpus):
+        np.testing.assert_allclose(np.diag(counted.joint), counted.doc_freq)
+        np.testing.assert_allclose(
+            counted.doc_freq, toy_corpus.word_document_frequency()
+        )
+
+    def test_symmetric(self, counted):
+        np.testing.assert_allclose(counted.joint, counted.joint.T)
+
+    def test_known_pair(self, counted):
+        # words 0,1,2 co-occur in docs 0-2 -> joint = 3
+        assert counted.joint[0, 1] == 3
+        # cross-community pairs never co-occur
+        assert counted.joint[0, 4] == 0
+
+    def test_counts_multiplicity_ignored(self):
+        vocab = Vocabulary(["a", "b"])
+        corpus = Corpus([[0, 0, 0, 1]], vocab)
+        counted = DocumentCooccurrence.from_corpus(corpus)
+        assert counted.joint[0, 1] == 1  # one doc, not three
+
+    def test_probabilities(self, counted):
+        p = counted.marginal_probability()
+        assert (0 <= p).all() and (p <= 1).all()
+        pj = counted.joint_probability()
+        assert pj.max() <= 1.0
+        assert counted.num_documents == 6
+        assert counted.vocab_size == 6
+
+
+class TestFromBow:
+    def test_dense_and_sparse_agree(self, toy_corpus):
+        bow = toy_corpus.bow_matrix()
+        dense = DocumentCooccurrence.from_bow(bow)
+        sp = DocumentCooccurrence.from_bow(sparse.csr_matrix(bow))
+        np.testing.assert_allclose(dense.joint, sp.joint)
+
+    def test_matches_from_corpus(self, toy_corpus, counted):
+        from_bow = DocumentCooccurrence.from_bow(toy_corpus.bow_matrix())
+        np.testing.assert_allclose(from_bow.joint, counted.joint)
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            DocumentCooccurrence(3, np.zeros(2), np.zeros((3, 3)))

@@ -1,0 +1,86 @@
+"""C_v coherence (sliding-window NPMI context vectors)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Corpus, Vocabulary
+from repro.errors import ConfigError
+from repro.metrics.cv_coherence import (
+    cv_coherence,
+    cv_per_topic,
+    sliding_window_cooccurrence,
+)
+
+
+@pytest.fixture
+def window_corpus():
+    """Two word communities, long documents to exercise real windows."""
+    vocab = Vocabulary([f"w{i}" for i in range(6)])
+    rng = np.random.default_rng(0)
+    docs = []
+    for _ in range(20):
+        community = rng.integers(2)
+        words = rng.integers(0, 3, size=12) + community * 3
+        docs.append(words.tolist())
+    return Corpus(docs, vocab)
+
+
+class TestWindowCounts:
+    def test_short_docs_count_one_window(self):
+        vocab = Vocabulary(["a", "b"])
+        corpus = Corpus([[0, 1, 0]], vocab)
+        word_counts, joint, n = sliding_window_cooccurrence(corpus, window_size=10)
+        assert n == 1
+        assert word_counts[0] == 1 and word_counts[1] == 1
+        assert joint[0, 1] == 1
+
+    def test_sliding_windows_counted(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        corpus = Corpus([[0, 1, 2]], vocab)
+        _, joint, n = sliding_window_cooccurrence(corpus, window_size=2)
+        assert n == 2  # [a,b], [b,c]
+        assert joint[0, 1] == 1
+        assert joint[1, 2] == 1
+        assert joint[0, 2] == 0  # never share a width-2 window
+
+    def test_invalid_window(self, window_corpus):
+        with pytest.raises(ConfigError):
+            sliding_window_cooccurrence(window_corpus, window_size=1)
+
+
+class TestCv:
+    def test_coherent_topics_score_higher(self, window_corpus):
+        coherent = np.zeros((2, 6))
+        coherent[0, :3] = 1 / 3
+        coherent[1, 3:] = 1 / 3
+        mixed = np.zeros((2, 6))
+        mixed[0, [0, 3, 1]] = 1 / 3
+        mixed[1, [2, 4, 5]] = 1 / 3
+        good = cv_coherence(coherent, window_corpus, top_n=3, window_size=6)
+        bad = cv_coherence(mixed, window_corpus, top_n=3, window_size=6)
+        assert good > bad
+
+    def test_per_topic_shape_and_range(self, window_corpus):
+        beta = np.random.default_rng(1).dirichlet(np.ones(6), size=4)
+        scores = cv_per_topic(beta, window_corpus, top_n=3, window_size=6)
+        assert scores.shape == (4,)
+        assert (scores >= -1.0 - 1e-9).all() and (scores <= 1.0 + 1e-9).all()
+
+    def test_orders_like_npmi_on_real_topics(self, tiny_corpus, tiny_npmi):
+        """C_v and NPMI must agree on clearly-good vs clearly-bad topics."""
+        from repro.metrics.coherence import topic_npmi_scores
+
+        rng = np.random.default_rng(2)
+        bow = tiny_corpus.bow_matrix()
+        labels = tiny_corpus.labels
+        good = np.zeros((4, tiny_corpus.vocab_size))
+        for k in range(4):
+            good[k] = bow[labels == k].sum(axis=0) + 0.01
+        good /= good.sum(axis=1, keepdims=True)
+        bad = rng.dirichlet(np.ones(tiny_corpus.vocab_size), size=4)
+        cv_good = cv_coherence(good, tiny_corpus, window_size=30)
+        cv_bad = cv_coherence(bad, tiny_corpus, window_size=30)
+        npmi_good = topic_npmi_scores(good, tiny_npmi).mean()
+        npmi_bad = topic_npmi_scores(bad, tiny_npmi).mean()
+        assert cv_good > cv_bad
+        assert npmi_good > npmi_bad

@@ -1,0 +1,63 @@
+"""Topic diversity: unique fraction of top words."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics import NpmiMatrix, diversity_by_percentage, topic_diversity
+
+
+class TestTopicDiversity:
+    def test_disjoint_topics_are_fully_diverse(self):
+        beta = np.zeros((2, 10))
+        beta[0, :5] = 0.2
+        beta[1, 5:] = 0.2
+        assert topic_diversity(beta, top_n=5) == 1.0
+
+    def test_identical_topics_minimum(self):
+        beta = np.tile(np.linspace(1, 0, 10), (4, 1))
+        beta /= beta.sum(axis=1, keepdims=True)
+        assert topic_diversity(beta, top_n=5) == pytest.approx(5 / 20)
+
+    def test_partial_overlap(self):
+        beta = np.zeros((2, 6))
+        beta[0, [0, 1, 2]] = 1 / 3
+        beta[1, [2, 3, 4]] = 1 / 3
+        # top-3 words: {0,1,2} and {2,3,4} -> 5 unique / 6 slots
+        assert topic_diversity(beta, top_n=3) == pytest.approx(5 / 6)
+
+    def test_topic_indices_restriction(self):
+        beta = np.zeros((3, 6))
+        beta[0, [0, 1]] = 0.5
+        beta[1, [0, 1]] = 0.5
+        beta[2, [2, 3]] = 0.5
+        assert topic_diversity(beta, top_n=2, topic_indices=np.array([0, 2])) == 1.0
+        assert topic_diversity(beta, top_n=2, topic_indices=np.array([0, 1])) == 0.5
+
+
+class TestDiversityByPercentage:
+    def test_selection_follows_coherence_rank(self):
+        # topic 0 coherent+distinct, topic 1 duplicate of 0, incoherent pair.
+        m = -np.ones((6, 6))
+        m[:3, :3] = 0.9
+        np.fill_diagonal(m, 1.0)
+        npmi = NpmiMatrix(m)
+        beta = np.zeros((2, 6))
+        beta[0, :3] = 1 / 3
+        beta[1, :3] = 1 / 3  # duplicate topic
+        series = diversity_by_percentage(
+            beta, npmi, percentages=(0.5, 1.0), top_n=3, coherence_top_n=3
+        )
+        assert series[0.5] == 1.0          # only one topic selected
+        assert series[1.0] == pytest.approx(0.5)  # duplicates revealed
+
+    def test_invalid_percentage(self, tiny_npmi):
+        beta = np.full((2, tiny_npmi.vocab_size), 1.0 / tiny_npmi.vocab_size)
+        with pytest.raises(ConfigError):
+            diversity_by_percentage(beta, tiny_npmi, percentages=(0.0,))
+
+    def test_bounds(self, tiny_npmi, rng):
+        beta = rng.dirichlet(np.ones(tiny_npmi.vocab_size) * 0.05, size=8)
+        series = diversity_by_percentage(beta, tiny_npmi)
+        for value in series.values():
+            assert 0.0 < value <= 1.0

@@ -1,0 +1,121 @@
+"""Simulated word-intrusion evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics import (
+    IntrusionTask,
+    NpmiMatrix,
+    SimulatedAnnotator,
+    build_intrusion_tasks,
+    word_intrusion_score,
+)
+
+
+@pytest.fixture
+def community_npmi():
+    """Four word communities of five words each, -1 across communities."""
+    v = 20
+    m = -np.ones((v, v))
+    for c in range(4):
+        m[c * 5 : (c + 1) * 5, c * 5 : (c + 1) * 5] = 0.9
+    np.fill_diagonal(m, 1.0)
+    return NpmiMatrix(m)
+
+
+@pytest.fixture
+def community_topics():
+    """Eight topics: each focused on one community (two per community)."""
+    beta = np.full((8, 20), 1e-4)
+    rng = np.random.default_rng(0)
+    for k in range(8):
+        community = k % 4
+        weights = rng.dirichlet(np.ones(5) * 2.0)
+        beta[k, community * 5 : (community + 1) * 5] = weights
+    return beta / beta.sum(axis=1, keepdims=True)
+
+
+class TestTaskConstruction:
+    def test_tasks_have_six_candidates(self, community_topics, community_npmi):
+        tasks = build_intrusion_tasks(
+            community_topics, community_npmi, np.random.default_rng(0)
+        )
+        assert tasks
+        for task in tasks:
+            assert len(task.candidate_ids) == 6
+            assert 0 <= task.intruder_position < 6
+
+    def test_intruder_is_not_a_top_word_of_its_topic(
+        self, community_topics, community_npmi
+    ):
+        tasks = build_intrusion_tasks(
+            community_topics, community_npmi, np.random.default_rng(0)
+        )
+        for task in tasks:
+            top5 = set(np.argsort(-community_topics[task.topic_index])[:5])
+            intruder = task.candidate_ids[task.intruder_position]
+            assert intruder not in top5
+
+    def test_requires_two_topics(self, community_npmi):
+        with pytest.raises(ConfigError):
+            build_intrusion_tasks(
+                np.ones((1, 20)) / 20, community_npmi, np.random.default_rng(0)
+            )
+
+
+class TestAnnotator:
+    def test_oracle_spots_cross_community_intruder(self, community_npmi):
+        # topic words from community 0, intruder from community 1
+        task = IntrusionTask(
+            candidate_ids=(0, 1, 2, 7, 3, 4), intruder_position=3, topic_index=0
+        )
+        oracle = SimulatedAnnotator(
+            community_npmi, np.random.default_rng(0), noise_scale=0.0
+        )
+        assert oracle.answer(task) == 3
+
+    def test_noise_degrades_accuracy(self, community_topics, community_npmi):
+        sharp = word_intrusion_score(
+            community_topics, community_npmi, num_annotators=10, noise_scale=0.0, seed=1
+        )
+        noisy = word_intrusion_score(
+            community_topics, community_npmi, num_annotators=10, noise_scale=5.0, seed=1
+        )
+        assert sharp > noisy
+        assert sharp > 0.9  # oracle on clean communities
+
+    def test_negative_noise_rejected(self, community_npmi):
+        with pytest.raises(ConfigError):
+            SimulatedAnnotator(community_npmi, np.random.default_rng(0), noise_scale=-1.0)
+
+
+class TestScore:
+    def test_score_in_unit_interval(self, community_topics, community_npmi):
+        score = word_intrusion_score(
+            community_topics, community_npmi, num_annotators=5, seed=0
+        )
+        assert 0.0 <= score <= 1.0
+
+    def test_deterministic_under_seed(self, community_topics, community_npmi):
+        a = word_intrusion_score(community_topics, community_npmi, num_annotators=3, seed=5)
+        b = word_intrusion_score(community_topics, community_npmi, num_annotators=3, seed=5)
+        assert a == b
+
+    def test_incoherent_topics_score_lower(self, community_npmi):
+        """The paper's observation: lower-coherence topics are harder."""
+        rng = np.random.default_rng(2)
+        coherent = np.full((8, 20), 1e-4)
+        for k in range(8):
+            c = k % 4
+            coherent[k, c * 5 : (c + 1) * 5] = rng.dirichlet(np.ones(5) * 2)
+        coherent /= coherent.sum(axis=1, keepdims=True)
+        incoherent = rng.dirichlet(np.ones(20) * 0.5, size=8)  # words mixed
+        noise = 0.3
+        good = word_intrusion_score(
+            coherent, community_npmi, num_annotators=10, noise_scale=noise, seed=3
+        )
+        bad = word_intrusion_score(
+            incoherent, community_npmi, num_annotators=10, noise_scale=noise, seed=3
+        )
+        assert good > bad

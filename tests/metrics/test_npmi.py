@@ -1,0 +1,113 @@
+"""NPMI matrix computation: bounds, symmetry, limiting cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import Corpus, Vocabulary
+from repro.errors import ShapeError
+from repro.metrics import DocumentCooccurrence, NpmiMatrix, compute_npmi_matrix
+
+
+def _corpus(docs, vocab_size=4):
+    vocab = Vocabulary([f"w{i}" for i in range(vocab_size)])
+    return Corpus(docs, vocab)
+
+
+class TestLimitingCases:
+    def test_perfect_cooccurrence_is_one(self):
+        # w0 and w1 always appear together (3 of 4 docs).
+        corpus = _corpus([[0, 1], [0, 1], [0, 1], [2]], vocab_size=3)
+        npmi = compute_npmi_matrix(corpus)
+        assert npmi.pair(0, 1) == pytest.approx(1.0, abs=1e-6)
+
+    def test_degenerate_everywhere_pair_is_one(self):
+        # w0 and w1 in every document: -log p = 0; defined as the limit 1.
+        corpus = _corpus([[0, 1], [0, 1, 2]], vocab_size=3)
+        npmi = compute_npmi_matrix(corpus)
+        assert npmi.pair(0, 1) == 1.0
+
+    def test_never_cooccur_is_negative_one(self):
+        corpus = _corpus([[0], [1], [0], [1]], vocab_size=2)
+        npmi = compute_npmi_matrix(corpus)
+        assert npmi.pair(0, 1) == -1.0
+
+    def test_never_cooccur_custom_value(self):
+        corpus = _corpus([[0], [1]], vocab_size=2)
+        npmi = compute_npmi_matrix(corpus, never_cooccur_value=0.0)
+        assert npmi.pair(0, 1) == 0.0
+
+    def test_independent_words_near_zero(self):
+        # w0 in half the docs, w1 in half, jointly in a quarter: independent.
+        docs = [[0, 1], [0, 2], [1, 3], [2, 3]]
+        npmi = compute_npmi_matrix(_corpus(docs))
+        assert abs(npmi.pair(0, 1)) < 0.05
+
+    def test_absent_word_rows_zero(self):
+        corpus = _corpus([[0, 1], [0, 1]], vocab_size=3)  # w2 never occurs
+        npmi = compute_npmi_matrix(corpus)
+        assert (npmi.matrix[2, :2] == 0).all()
+        assert (npmi.matrix[:2, 2] == 0).all()
+
+    def test_diagonal_is_one(self, tiny_npmi):
+        np.testing.assert_allclose(np.diag(tiny_npmi.matrix), 1.0)
+
+
+class TestStructure:
+    def test_symmetric(self, tiny_npmi):
+        np.testing.assert_allclose(tiny_npmi.matrix, tiny_npmi.matrix.T)
+
+    def test_bounded(self, tiny_npmi):
+        assert tiny_npmi.matrix.min() >= -1.0
+        assert tiny_npmi.matrix.max() <= 1.0
+
+    def test_from_precounted_cooccurrence(self, tiny_corpus):
+        cooc = DocumentCooccurrence.from_corpus(tiny_corpus)
+        a = compute_npmi_matrix(cooc).matrix
+        b = compute_npmi_matrix(tiny_corpus).matrix
+        np.testing.assert_allclose(a, b)
+
+    def test_related_words_score_high(self, tiny_corpus, tiny_npmi):
+        vocab = tiny_corpus.vocabulary
+        if "nasa" in vocab and "space" in vocab and "god" in vocab:
+            related = tiny_npmi.pair(vocab.id_of("nasa"), vocab.id_of("space"))
+            unrelated = tiny_npmi.pair(vocab.id_of("nasa"), vocab.id_of("god"))
+            assert related > unrelated
+
+
+class TestNpmiMatrixApi:
+    def test_requires_square(self):
+        with pytest.raises(ShapeError):
+            NpmiMatrix(np.zeros((2, 3)))
+
+    def test_submatrix(self):
+        m = NpmiMatrix(np.arange(16.0).reshape(4, 4))
+        sub = m.submatrix(np.array([1, 3]))
+        np.testing.assert_allclose(sub, [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_mean_pairwise_excludes_diagonal(self):
+        mat = np.full((3, 3), 0.5)
+        np.fill_diagonal(mat, 1.0)
+        m = NpmiMatrix(mat)
+        assert m.mean_pairwise(np.array([0, 1, 2])) == pytest.approx(0.5)
+
+    def test_mean_pairwise_single_word(self):
+        m = NpmiMatrix(np.eye(3))
+        assert m.mean_pairwise(np.array([1])) == 0.0
+
+    def test_getitem(self):
+        m = NpmiMatrix(np.eye(2))
+        assert m[0, 0] == 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_property_npmi_bounded_and_symmetric(seed):
+    """For random corpora, NPMI stays in [-1, 1] and symmetric."""
+    rng = np.random.default_rng(seed)
+    vocab = Vocabulary([f"w{i}" for i in range(6)])
+    docs = [rng.integers(0, 6, size=rng.integers(2, 8)).tolist() for _ in range(12)]
+    npmi = compute_npmi_matrix(Corpus(docs, vocab))
+    assert npmi.matrix.min() >= -1.0 - 1e-12
+    assert npmi.matrix.max() <= 1.0 + 1e-12
+    np.testing.assert_allclose(npmi.matrix, npmi.matrix.T)

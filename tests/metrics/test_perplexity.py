@@ -1,0 +1,43 @@
+"""Held-out perplexity sanity properties."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.metrics import heldout_perplexity
+
+
+class TestPerplexity:
+    def test_uniform_model_equals_vocab_size(self):
+        v = 8
+        doc_topic = np.ones((3, 2)) / 2
+        topic_word = np.ones((2, v)) / v
+        bow = np.ones((3, v))
+        assert heldout_perplexity(doc_topic, topic_word, bow) == pytest.approx(v)
+
+    def test_perfect_model_is_one(self):
+        doc_topic = np.array([[1.0, 0.0]])
+        topic_word = np.array([[1.0, 0.0], [0.0, 1.0]])
+        bow = np.array([[5.0, 0.0]])
+        assert heldout_perplexity(doc_topic, topic_word, bow) == pytest.approx(1.0)
+
+    def test_better_fit_lower_perplexity(self):
+        topic_word = np.array([[0.9, 0.1], [0.1, 0.9]])
+        bow = np.array([[9.0, 1.0]])
+        good = heldout_perplexity(np.array([[1.0, 0.0]]), topic_word, bow)
+        bad = heldout_perplexity(np.array([[0.0, 1.0]]), topic_word, bow)
+        assert good < bad
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            heldout_perplexity(np.ones((2, 3)) / 3, np.ones((3, 4)) / 4, np.ones((1, 4)))
+        with pytest.raises(ShapeError):
+            heldout_perplexity(np.ones((1, 2)) / 2, np.ones((3, 4)) / 4, np.ones((1, 4)))
+        with pytest.raises(ShapeError):
+            heldout_perplexity(np.ones((1, 2)) / 2, np.ones((2, 5)) / 5, np.ones((1, 4)))
+
+    def test_empty_heldout_rejected(self):
+        with pytest.raises(ShapeError):
+            heldout_perplexity(
+                np.ones((1, 2)) / 2, np.ones((2, 3)) / 3, np.zeros((1, 3))
+            )

@@ -1,0 +1,46 @@
+"""Figure-7 style questionnaire rendering."""
+
+import numpy as np
+
+from repro.metrics import NpmiMatrix, build_intrusion_tasks
+from repro.metrics.intrusion import format_questionnaire
+from repro.data import Vocabulary
+
+
+def _setup():
+    v = 20
+    m = -np.ones((v, v))
+    for c in range(4):
+        m[c * 5 : (c + 1) * 5, c * 5 : (c + 1) * 5] = 0.9
+    np.fill_diagonal(m, 1.0)
+    npmi = NpmiMatrix(m)
+    rng = np.random.default_rng(0)
+    beta = np.full((8, v), 1e-4)
+    for k in range(8):
+        c = k % 4
+        beta[k, c * 5 : (c + 1) * 5] = rng.dirichlet(np.ones(5) * 2)
+    beta /= beta.sum(axis=1, keepdims=True)
+    vocab = Vocabulary([f"word{i}" for i in range(v)])
+    tasks = build_intrusion_tasks(beta, npmi, rng)
+    return tasks, vocab
+
+
+class TestQuestionnaire:
+    def test_contains_every_question(self):
+        tasks, vocab = _setup()
+        text = format_questionnaire(tasks, vocab)
+        for i in range(1, len(tasks) + 1):
+            assert f"Q{i}." in text
+
+    def test_candidates_rendered_as_words(self):
+        tasks, vocab = _setup()
+        text = format_questionnaire(tasks, vocab)
+        first_words = [vocab.token_of(int(w)) for w in tasks[0].candidate_ids]
+        for word in first_words:
+            assert word in text
+
+    def test_answer_key_positions(self):
+        tasks, vocab = _setup()
+        text = format_questionnaire(tasks, vocab)
+        assert "[answer key:" in text
+        assert f"Q1={tasks[0].intruder_position + 1}" in text

@@ -1,0 +1,86 @@
+"""Multi-seed aggregation and significance testing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.significance import (
+    ComparisonResult,
+    MeanStd,
+    mean_std,
+    paired_bootstrap,
+    welch_t_test,
+)
+
+
+class TestMeanStd:
+    def test_values(self):
+        agg = mean_std([0.5, 0.6, 0.7])
+        assert agg.mean == pytest.approx(0.6)
+        assert agg.std == pytest.approx(np.std([0.5, 0.6, 0.7], ddof=1))
+        assert agg.n == 3
+
+    def test_single_value_zero_std(self):
+        agg = mean_std([0.42])
+        assert agg.std == 0.0
+
+    def test_paper_style_formatting(self):
+        assert str(MeanStd(0.54, 0.2, 3)) == "0.540±0.20"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            mean_std([])
+
+
+class TestWelch:
+    def test_clear_difference_is_significant(self):
+        rng = np.random.default_rng(0)
+        a = 0.7 + rng.normal(scale=0.01, size=10)
+        b = 0.5 + rng.normal(scale=0.01, size=10)
+        result = welch_t_test(a, b)
+        assert result.significant
+        assert result.mean_difference == pytest.approx(0.2, abs=0.02)
+        assert result.method == "welch-t"
+
+    def test_identical_distributions_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=8)
+        b = rng.normal(size=8)
+        result = welch_t_test(a, b)
+        assert result.p_value > 0.01
+
+    def test_needs_two_scores(self):
+        with pytest.raises(ConfigError):
+            welch_t_test([1.0], [0.5, 0.6])
+
+
+class TestBootstrap:
+    def test_consistent_improvement_significant(self):
+        a = [0.70, 0.72, 0.69, 0.71, 0.73]
+        b = [0.60, 0.63, 0.59, 0.61, 0.62]
+        result = paired_bootstrap(a, b, n_resamples=2000, seed=0)
+        assert result.significant
+        assert result.mean_difference > 0
+
+    def test_mixed_differences_not_significant(self):
+        a = [0.5, 0.7, 0.4, 0.6]
+        b = [0.6, 0.5, 0.6, 0.5]
+        result = paired_bootstrap(a, b, n_resamples=2000, seed=0)
+        assert not result.significant
+
+    def test_deterministic_under_seed(self):
+        a = [0.5, 0.6, 0.7]
+        b = [0.4, 0.5, 0.9]
+        r1 = paired_bootstrap(a, b, seed=3)
+        r2 = paired_bootstrap(a, b, seed=3)
+        assert r1 == r2
+
+    def test_requires_paired_lengths(self):
+        with pytest.raises(ConfigError):
+            paired_bootstrap([1.0, 2.0], [1.0])
+
+    def test_negative_direction(self):
+        result = paired_bootstrap([0.1, 0.2, 0.15], [0.5, 0.6, 0.55], seed=0)
+        assert result.mean_difference < 0
+        assert result.significant
+        assert isinstance(result, ComparisonResult)

@@ -1,0 +1,101 @@
+"""Shared NTM machinery: encoder, ELBO pieces, fit/transform contracts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotFittedError
+from repro.models import NTMConfig, ProdLDA
+from repro.models.base import VaeEncoder
+from repro.tensor import Tensor
+
+
+class TestNTMConfig:
+    def test_defaults_valid(self):
+        NTMConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_topics": 1},
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"learning_rate": 0.0},
+            {"beta_temperature": 0.0},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ConfigError):
+            NTMConfig(**kwargs)
+
+
+class TestVaeEncoder:
+    def test_output_shapes(self, fast_config):
+        enc = VaeEncoder(30, fast_config, np.random.default_rng(0))
+        mu, logvar = enc(Tensor(np.random.default_rng(1).poisson(2.0, (16, 30)).astype(float)))
+        assert mu.shape == (16, fast_config.num_topics)
+        assert logvar.shape == (16, fast_config.num_topics)
+
+    def test_normalizes_document_length(self, fast_config):
+        enc = VaeEncoder(10, fast_config, np.random.default_rng(0))
+        enc.eval()
+        bow = np.ones((4, 10))
+        mu_short, _ = enc(Tensor(bow))
+        mu_long, _ = enc(Tensor(bow * 100.0))
+        np.testing.assert_allclose(mu_short.data, mu_long.data, atol=1e-10)
+
+
+class TestFitAndTransform:
+    def test_loss_decreases_over_training(self, tiny_corpus, fast_config):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        model.fit(tiny_corpus)
+        first = model.history[0]["total"]
+        last = model.history[-1]["total"]
+        assert last < first
+
+    def test_history_has_components(self, tiny_corpus, fast_config):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)
+        assert len(model.history) == fast_config.epochs
+        assert {"rec", "kl", "total", "epoch"} <= set(model.history[0])
+
+    def test_transform_rows_on_simplex(self, tiny_dataset, fast_config):
+        model = ProdLDA(tiny_dataset.vocab_size, fast_config).fit(tiny_dataset.train)
+        theta = model.transform(tiny_dataset.test)
+        assert theta.shape == (len(tiny_dataset.test), fast_config.num_topics)
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0, rtol=1e-9)
+        assert (theta >= 0).all()
+
+    def test_transform_deterministic_in_eval(self, tiny_dataset, fast_config):
+        model = ProdLDA(tiny_dataset.vocab_size, fast_config).fit(tiny_dataset.train)
+        a = model.transform(tiny_dataset.test)
+        b = model.transform(tiny_dataset.test)
+        np.testing.assert_array_equal(a, b)
+
+    def test_topic_word_rows_on_simplex(self, tiny_corpus, fast_config):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)
+        beta = model.topic_word_matrix()
+        assert beta.shape == (fast_config.num_topics, tiny_corpus.vocab_size)
+        np.testing.assert_allclose(beta.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_methods_require_fit(self, tiny_corpus, fast_config):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        with pytest.raises(NotFittedError):
+            model.topic_word_matrix()
+        with pytest.raises(NotFittedError):
+            model.transform(tiny_corpus)
+
+    def test_vocab_mismatch_rejected(self, tiny_corpus, fast_config):
+        model = ProdLDA(tiny_corpus.vocab_size + 5, fast_config)
+        with pytest.raises(ConfigError):
+            model.fit(tiny_corpus)
+
+    def test_top_words_strings(self, tiny_corpus, fast_config):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)
+        tops = model.top_words(tiny_corpus.vocabulary, 7)
+        assert len(tops) == fast_config.num_topics
+        assert all(len(row) == 7 for row in tops)
+        assert all(isinstance(w, str) for row in tops for w in row)
+
+    def test_same_seed_reproducible(self, tiny_corpus, fast_config):
+        a = ProdLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)
+        b = ProdLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)
+        np.testing.assert_allclose(a.topic_word_matrix(), b.topic_word_matrix())

@@ -1,0 +1,99 @@
+"""Collapsed Gibbs LDA."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotFittedError
+from repro.models import LatentDirichletAllocation, LdaConfig
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"num_topics": 1}, {"alpha": 0.0}, {"eta": -1.0}, {"iterations": 0}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            LdaConfig(**kwargs)
+
+
+class TestFitting:
+    def test_recovers_two_communities(self, toy_corpus):
+        lda = LatentDirichletAllocation(
+            toy_corpus.vocab_size,
+            LdaConfig(num_topics=2, iterations=80, seed=0),
+        ).fit(toy_corpus)
+        beta = lda.topic_word_matrix()
+        # one topic concentrates on words 0-2, the other on 3-5
+        mass_a = beta[:, :3].sum(axis=1)
+        assert {mass_a.argmax(), mass_a.argmin()} == {0, 1}
+        assert mass_a.max() > 0.8
+        assert mass_a.min() < 0.2
+
+    def test_beta_simplex(self, tiny_corpus):
+        lda = LatentDirichletAllocation(
+            tiny_corpus.vocab_size, LdaConfig(num_topics=5, iterations=10)
+        ).fit(tiny_corpus)
+        beta = lda.topic_word_matrix()
+        np.testing.assert_allclose(beta.sum(axis=1), 1.0, rtol=1e-12)
+        assert (beta > 0).all()  # eta smoothing
+
+    def test_training_theta_simplex(self, toy_corpus):
+        lda = LatentDirichletAllocation(
+            toy_corpus.vocab_size, LdaConfig(num_topics=2, iterations=10)
+        ).fit(toy_corpus)
+        theta = lda.training_doc_topic()
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0, rtol=1e-12)
+
+    def test_deterministic_under_seed(self, toy_corpus):
+        def run():
+            return (
+                LatentDirichletAllocation(
+                    toy_corpus.vocab_size, LdaConfig(num_topics=2, iterations=15, seed=3)
+                )
+                .fit(toy_corpus)
+                .topic_word_matrix()
+            )
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_vocab_mismatch(self, toy_corpus):
+        lda = LatentDirichletAllocation(99)
+        with pytest.raises(ConfigError):
+            lda.fit(toy_corpus)
+
+
+class TestFoldIn:
+    def test_transform_shape_and_simplex(self, toy_corpus):
+        lda = LatentDirichletAllocation(
+            toy_corpus.vocab_size, LdaConfig(num_topics=2, iterations=40)
+        ).fit(toy_corpus)
+        theta = lda.transform(toy_corpus)
+        assert theta.shape == (6, 2)
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0, rtol=1e-12)
+
+    def test_foldin_respects_learned_topics(self, toy_corpus):
+        lda = LatentDirichletAllocation(
+            toy_corpus.vocab_size, LdaConfig(num_topics=2, iterations=80, seed=0)
+        ).fit(toy_corpus)
+        theta = lda.transform(toy_corpus)
+        # documents 0-2 use community A; 3-5 community B: their dominant
+        # topics should differ
+        first = theta[:3].mean(axis=0).argmax()
+        second = theta[3:].mean(axis=0).argmax()
+        assert first != second
+
+    def test_foldin_does_not_mutate_topics(self, toy_corpus):
+        lda = LatentDirichletAllocation(
+            toy_corpus.vocab_size, LdaConfig(num_topics=2, iterations=20)
+        ).fit(toy_corpus)
+        before = lda.topic_word_matrix().copy()
+        lda.transform(toy_corpus)
+        np.testing.assert_array_equal(lda.topic_word_matrix(), before)
+
+    def test_requires_fit(self, toy_corpus):
+        lda = LatentDirichletAllocation(toy_corpus.vocab_size)
+        with pytest.raises(NotFittedError):
+            lda.transform(toy_corpus)
+        with pytest.raises(NotFittedError):
+            lda.topic_word_matrix()

@@ -1,0 +1,97 @@
+"""Property-based invariants that every topic model must satisfy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models import NTMConfig, build_model
+
+
+@pytest.fixture(scope="module")
+def shared(tiny_corpus, tiny_embeddings, tiny_npmi):
+    return tiny_corpus, tiny_embeddings, tiny_npmi
+
+
+# A fixed matrix of (model, seed) combinations exercised as properties —
+# hypothesis would re-train per example, which is too slow; parametrize
+# instead and assert the same invariants for every neural model.
+NEURAL_MODELS = ("prodlda", "wlda", "etm", "nstm", "wete", "ntmr", "vtmrl",
+                 "clntm", "ecrtm", "contratopic")
+
+
+@pytest.mark.parametrize("name", NEURAL_MODELS)
+def test_fitted_model_invariants(name, tiny_corpus, tiny_embeddings, tiny_npmi):
+    """β rows and θ rows live on the simplex; outputs are finite."""
+    config = NTMConfig(
+        num_topics=6, hidden_sizes=(24,), epochs=2, batch_size=64, seed=0
+    )
+    model = build_model(
+        name,
+        tiny_corpus.vocab_size,
+        config,
+        word_embeddings=tiny_embeddings.vectors,
+        npmi=tiny_npmi,
+    )
+    model.fit(tiny_corpus)
+
+    beta = model.topic_word_matrix()
+    assert beta.shape == (6, tiny_corpus.vocab_size)
+    assert np.isfinite(beta).all()
+    assert (beta >= 0).all()
+    np.testing.assert_allclose(beta.sum(axis=1), 1.0, rtol=1e-8)
+
+    theta = model.transform(tiny_corpus)
+    assert theta.shape == (len(tiny_corpus), 6)
+    assert np.isfinite(theta).all()
+    assert (theta >= 0).all()
+    np.testing.assert_allclose(theta.sum(axis=1), 1.0, rtol=1e-8)
+
+    tops = model.top_words(tiny_corpus.vocabulary, 5)
+    assert len(tops) == 6
+    # within one topic, top words are distinct
+    for row in tops:
+        assert len(set(row)) == 5
+
+
+@pytest.mark.parametrize("name", ("etm", "contratopic"))
+def test_training_is_seed_deterministic(name, tiny_corpus, tiny_embeddings, tiny_npmi):
+    def run():
+        config = NTMConfig(
+            num_topics=5, hidden_sizes=(16,), epochs=2, batch_size=64, seed=3
+        )
+        model = build_model(
+            name,
+            tiny_corpus.vocab_size,
+            config,
+            word_embeddings=tiny_embeddings.vectors,
+            npmi=tiny_npmi,
+        )
+        model.fit(tiny_corpus)
+        return model.topic_word_matrix()
+
+    np.testing.assert_allclose(run(), run())
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_property_lda_simplex_invariants(k, seed):
+    """Collapsed-Gibbs LDA invariants hold for any (K, seed)."""
+    from repro.data import Corpus, Vocabulary
+    from repro.models import LatentDirichletAllocation, LdaConfig
+
+    rng = np.random.default_rng(seed)
+    vocab = Vocabulary([f"w{i}" for i in range(12)])
+    docs = [rng.integers(0, 12, size=rng.integers(2, 10)).tolist() for _ in range(10)]
+    corpus = Corpus(docs, vocab)
+    lda = LatentDirichletAllocation(
+        12, LdaConfig(num_topics=k, iterations=3, foldin_iterations=2, seed=seed)
+    ).fit(corpus)
+    beta = lda.topic_word_matrix()
+    np.testing.assert_allclose(beta.sum(axis=1), 1.0, rtol=1e-10)
+    theta = lda.transform(corpus)
+    np.testing.assert_allclose(theta.sum(axis=1), 1.0, rtol=1e-10)
+    # counts conservation: total tokens assigned equals corpus size
+    assert lda._doc_topic_counts.sum() == sum(len(d) for d in docs)

@@ -1,0 +1,66 @@
+"""NSTM and WeTe: the optimal-transport baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.models import NSTM, WeTe
+
+
+class TestNSTM:
+    def test_requires_matching_embeddings(self, fast_config):
+        with pytest.raises(ShapeError):
+            NSTM(10, fast_config, np.zeros((3, 8)))
+
+    def test_beta_from_cost_geometry(self, tiny_corpus, tiny_embeddings, fast_config):
+        model = NSTM(tiny_corpus.vocab_size, fast_config, tiny_embeddings.vectors)
+        beta = model.beta().data
+        np.testing.assert_allclose(beta.sum(axis=1), 1.0)
+        # beta rows must rank words by proximity to the topic embedding
+        cost = model._cost_matrix().data  # (V, K)
+        for k in range(fast_config.num_topics):
+            best_word = int(np.argmin(cost[:, k]))
+            assert beta[k, best_word] == beta[k].max()
+
+    def test_training_reduces_transport_cost(self, tiny_corpus, tiny_embeddings, fast_config):
+        model = NSTM(tiny_corpus.vocab_size, fast_config, tiny_embeddings.vectors)
+        model.fit(tiny_corpus)
+        assert model.history[-1]["rec"] < model.history[0]["rec"]
+
+    def test_topic_embeddings_trained(self, tiny_corpus, tiny_embeddings, fast_config):
+        model = NSTM(tiny_corpus.vocab_size, fast_config, tiny_embeddings.vectors)
+        before = model.topic_embeddings.data.copy()
+        model.fit(tiny_corpus)
+        assert not np.allclose(model.topic_embeddings.data, before)
+        # word embeddings stay frozen
+        np.testing.assert_array_equal(
+            model.rho.data,
+            tiny_embeddings.vectors
+            / (np.linalg.norm(tiny_embeddings.vectors, axis=1, keepdims=True) + 1e-12),
+        )
+
+
+class TestWeTe:
+    def test_requires_matching_embeddings(self, fast_config):
+        with pytest.raises(ShapeError):
+            WeTe(10, fast_config, np.zeros((4, 8)))
+
+    def test_beta_simplex(self, tiny_corpus, tiny_embeddings, fast_config):
+        model = WeTe(tiny_corpus.vocab_size, fast_config, tiny_embeddings.vectors)
+        beta = model.beta().data
+        np.testing.assert_allclose(beta.sum(axis=1), 1.0)
+
+    def test_bidirectional_cost_finite_and_positive(
+        self, tiny_corpus, tiny_embeddings, fast_config
+    ):
+        model = WeTe(tiny_corpus.vocab_size, fast_config, tiny_embeddings.vectors)
+        bow = tiny_corpus.bow_matrix()[:4]
+        theta, _, _ = model.encode_theta(bow, sample=False)
+        loss = model.reconstruction_loss(theta, model.beta(), bow)
+        assert np.isfinite(loss.item())
+        assert loss.item() > 0.0
+
+    def test_trains(self, tiny_corpus, tiny_embeddings, fast_config):
+        model = WeTe(tiny_corpus.vocab_size, fast_config, tiny_embeddings.vectors)
+        model.fit(tiny_corpus)
+        assert model.history[-1]["total"] < model.history[0]["total"]

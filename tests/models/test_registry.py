@@ -1,0 +1,108 @@
+"""Model registry: construction of every evaluated model."""
+
+import numpy as np
+import pytest
+
+from repro.core import ContraTopic
+from repro.errors import ConfigError
+from repro.models import available_models, build_model
+
+
+class TestBuildAll:
+    def test_every_registered_model_builds(
+        self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config
+    ):
+        for name in available_models():
+            model = build_model(
+                name,
+                tiny_corpus.vocab_size,
+                fast_config,
+                word_embeddings=tiny_embeddings.vectors,
+                npmi=tiny_npmi,
+            )
+            assert model is not None, name
+
+    def test_every_model_fits_and_scores(
+        self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config
+    ):
+        # the heavier end-to-end loop lives in the integration tests; here
+        # just the cheapest neural model plus LDA round-trip the interface
+        for name in ("lda", "etm"):
+            model = build_model(
+                name,
+                tiny_corpus.vocab_size,
+                fast_config,
+                word_embeddings=tiny_embeddings.vectors,
+                npmi=tiny_npmi,
+            )
+            model.fit(tiny_corpus)
+            beta = model.topic_word_matrix()
+            assert beta.shape == (fast_config.num_topics, tiny_corpus.vocab_size)
+
+    def test_unknown_name(self, fast_config):
+        with pytest.raises(ConfigError):
+            build_model("bertopic", 10, fast_config)
+
+
+class TestResourceRequirements:
+    def test_embedding_models_require_embeddings(self, fast_config, tiny_npmi):
+        for name in ("etm", "nstm", "wete", "ntmr"):
+            with pytest.raises(ConfigError):
+                build_model(name, tiny_npmi.vocab_size, fast_config, npmi=tiny_npmi)
+
+    def test_npmi_models_require_npmi(self, fast_config, tiny_embeddings):
+        for name in ("vtmrl", "contratopic"):
+            with pytest.raises(ConfigError):
+                build_model(
+                    name,
+                    tiny_embeddings.vectors.shape[0],
+                    fast_config,
+                    word_embeddings=tiny_embeddings.vectors,
+                )
+
+
+class TestContraTopicConstruction:
+    def test_hyperparameters_forwarded(
+        self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config
+    ):
+        model = build_model(
+            "contratopic",
+            tiny_corpus.vocab_size,
+            fast_config,
+            word_embeddings=tiny_embeddings.vectors,
+            npmi=tiny_npmi,
+            contratopic_lambda=77.0,
+            contratopic_v=5,
+            contratopic_tau=0.3,
+            contratopic_negative_weight=2.5,
+        )
+        assert isinstance(model, ContraTopic)
+        assert model.regularizer.lambda_weight == 77.0
+        assert model.regularizer.num_sampled_words == 5
+        assert model.regularizer.gumbel_temperature == 0.3
+        assert model.regularizer.negative_weight == 2.5
+
+    @pytest.mark.parametrize("backbone", ["etm", "wlda", "wete", "prodlda"])
+    def test_backbone_substitution(
+        self, backbone, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config
+    ):
+        model = build_model(
+            "contratopic",
+            tiny_corpus.vocab_size,
+            fast_config,
+            word_embeddings=tiny_embeddings.vectors,
+            npmi=tiny_npmi,
+            backbone=backbone,
+        )
+        assert type(model.backbone).__name__.lower() == backbone
+
+    def test_unknown_backbone(self, tiny_corpus, tiny_embeddings, tiny_npmi, fast_config):
+        with pytest.raises(ConfigError):
+            build_model(
+                "contratopic",
+                tiny_corpus.vocab_size,
+                fast_config,
+                word_embeddings=tiny_embeddings.vectors,
+                npmi=tiny_npmi,
+                backbone="lstm",
+            )

@@ -1,0 +1,126 @@
+"""ProdLDA, ETM, WLDA specifics beyond the shared base behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.models import ETM, NTMConfig, ProdLDA, WLDA
+from repro.models.wlda import mmd_loss
+from repro.tensor import Tensor
+
+
+class TestProdLDA:
+    def test_product_of_experts_decoder(self, tiny_corpus, fast_config):
+        """ProdLDA mixes in logit space: its reconstruction differs from
+        the mixture decoder evaluated on the same beta."""
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        bow = tiny_corpus.bow_matrix()[:8]
+        theta, _, _ = model.encode_theta(bow, sample=False)
+        beta = model.beta()
+        poe = model.reconstruction_loss(theta, beta, bow).item()
+        from repro.models.base import NeuralTopicModel
+
+        mixture = NeuralTopicModel.reconstruction_loss(model, theta, beta, bow).item()
+        assert poe != pytest.approx(mixture)
+
+    def test_beta_uses_softmax_of_logits(self, fast_config):
+        model = ProdLDA(12, fast_config)
+        beta = model.beta().data
+        np.testing.assert_allclose(beta.sum(axis=1), 1.0)
+
+
+class TestETM:
+    def test_requires_matching_embeddings(self, fast_config):
+        with pytest.raises(ShapeError):
+            ETM(10, fast_config, np.zeros((8, 16)))
+
+    def test_embeddings_frozen_during_training(self, tiny_corpus, tiny_embeddings, fast_config):
+        model = ETM(tiny_corpus.vocab_size, fast_config, tiny_embeddings.vectors)
+        rho_before = model.rho.data.copy()
+        model.fit(tiny_corpus)
+        np.testing.assert_array_equal(model.rho.data, rho_before)
+
+    def test_rho_not_a_parameter(self, tiny_corpus, tiny_embeddings, fast_config):
+        model = ETM(tiny_corpus.vocab_size, fast_config, tiny_embeddings.vectors)
+        names = {n for n, _ in model.named_parameters()}
+        assert not any("rho" in n for n in names)
+        assert any("topic_embeddings" in n for n in names)
+
+    def test_lower_temperature_sharper_beta(self, tiny_corpus, tiny_embeddings):
+        def peakiness(temp):
+            config = NTMConfig(num_topics=6, hidden_sizes=(16,), epochs=1,
+                               beta_temperature=temp, seed=0)
+            model = ETM(tiny_corpus.vocab_size, config, tiny_embeddings.vectors)
+            return model.beta().data.max(axis=1).mean()
+
+        assert peakiness(0.05) > peakiness(1.0)
+
+    def test_topics_align_with_embedding_space(self, tiny_corpus, tiny_embeddings, fast_config):
+        """Each learned topic's top words should be mutually close in the
+        frozen embedding space — the defining property of ETM."""
+        model = ETM(tiny_corpus.vocab_size, fast_config, tiny_embeddings.vectors)
+        model.fit(tiny_corpus)
+        beta = model.topic_word_matrix()
+        rho = model.rho.data
+        top = np.argsort(-beta, axis=1)[:, :5]
+        rng = np.random.default_rng(0)
+        within, random_pairs = [], []
+        for words in top:
+            for i in range(len(words)):
+                for j in range(i + 1, len(words)):
+                    within.append(rho[words[i]] @ rho[words[j]])
+        for _ in range(200):
+            i, j = rng.integers(tiny_corpus.vocab_size, size=2)
+            random_pairs.append(rho[i] @ rho[j])
+        assert np.mean(within) > np.mean(random_pairs)
+
+
+class TestWLDA:
+    def test_deterministic_encoder(self, tiny_corpus, fast_config):
+        model = WLDA(tiny_corpus.vocab_size, fast_config)
+        model.train()
+        bow = tiny_corpus.bow_matrix()[:4]
+        a, _, _ = model.encode_theta(bow, sample=True)
+        b, _, _ = model.encode_theta(bow, sample=True)
+        # WAE encoder adds no sampling noise even in train mode (dropout is
+        # the only stochasticity; disable it by eval on the trunk)
+        model.eval()
+        a, _, _ = model.encode_theta(bow)
+        b, _, _ = model.encode_theta(bow)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_trains(self, tiny_corpus, fast_config):
+        model = WLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)
+        assert model.history[-1]["rec"] < model.history[0]["rec"]
+
+
+class TestMMD:
+    def test_zero_for_identical_samples(self):
+        rng = np.random.default_rng(0)
+        x = rng.dirichlet(np.ones(4), size=32)
+        value = mmd_loss(Tensor(x), Tensor(x)).item()
+        assert value == pytest.approx(0.0, abs=1e-10)
+
+    def test_positive_for_different_distributions(self):
+        rng = np.random.default_rng(1)
+        sharp = rng.dirichlet(np.ones(4) * 0.05, size=64)
+        flat = rng.dirichlet(np.ones(4) * 50.0, size=64)
+        assert mmd_loss(Tensor(sharp), Tensor(flat)).item() > 0.05
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(2)
+        a = rng.dirichlet(np.ones(3), size=16)
+        b = rng.dirichlet(np.ones(3) * 0.2, size=16)
+        ab = mmd_loss(Tensor(a), Tensor(b)).item()
+        ba = mmd_loss(Tensor(b), Tensor(a)).item()
+        assert ab == pytest.approx(ba, rel=1e-10)
+
+    def test_discriminates_close_vs_far(self):
+        rng = np.random.default_rng(3)
+        base = rng.dirichlet(np.ones(4) * 0.3, size=64)
+        near = rng.dirichlet(np.ones(4) * 0.3, size=64)
+        far = rng.dirichlet(np.ones(4) * 30.0, size=64)
+        assert (
+            mmd_loss(Tensor(base), Tensor(near)).item()
+            < mmd_loss(Tensor(base), Tensor(far)).item()
+        )

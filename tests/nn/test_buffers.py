@@ -1,0 +1,69 @@
+"""Buffer registration and state-dict round-trips (running statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1d, Linear, Module, Sequential
+from repro.tensor import Tensor
+
+
+class TestBufferRegistration:
+    def test_batchnorm_buffers_named(self):
+        bn = BatchNorm1d(3)
+        names = dict(bn.named_buffers())
+        assert set(names) == {"running_mean", "running_var"}
+
+    def test_nested_buffer_names_are_dotted(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(Linear(4, 3, rng), BatchNorm1d(3))
+        names = {n for n, _ in net.named_buffers()}
+        assert names == {"layer1.running_mean", "layer1.running_var"}
+
+    def test_assignment_keeps_buffer_registered(self):
+        bn = BatchNorm1d(2)
+        bn.running_mean = np.array([5.0, 6.0])
+        assert dict(bn.named_buffers())["running_mean"].tolist() == [5.0, 6.0]
+
+
+class TestStateDictWithBuffers:
+    def test_state_dict_contains_buffers(self):
+        bn = BatchNorm1d(2)
+        state = bn.state_dict()
+        assert "buffer::running_mean" in state
+        assert "weight" in state
+
+    def test_roundtrip_restores_running_stats(self):
+        rng = np.random.default_rng(0)
+        bn = BatchNorm1d(3, momentum=0.5)
+        bn(Tensor(rng.normal(loc=4.0, size=(32, 3))))  # update stats
+        state = bn.state_dict()
+
+        fresh = BatchNorm1d(3, momentum=0.5)
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh.running_mean, bn.running_mean)
+        np.testing.assert_array_equal(fresh.running_var, bn.running_var)
+
+    def test_restored_eval_outputs_match(self):
+        rng = np.random.default_rng(1)
+        bn = BatchNorm1d(3)
+        x = rng.normal(size=(16, 3))
+        bn(Tensor(x))
+        bn.train(False)
+        expected = bn(Tensor(x)).data
+
+        fresh = BatchNorm1d(3)
+        fresh.load_state_dict(bn.state_dict())
+        fresh.train(False)
+        np.testing.assert_allclose(fresh(Tensor(x)).data, expected)
+
+    def test_buffers_missing_from_old_state_tolerated(self):
+        bn = BatchNorm1d(2)
+        state = {k: v for k, v in bn.state_dict().items() if not k.startswith("buffer::")}
+        bn.load_state_dict(state)  # must not raise
+
+    def test_unknown_buffer_rejected(self):
+        bn = BatchNorm1d(2)
+        state = bn.state_dict()
+        state["buffer::ghost"] = np.zeros(2)
+        with pytest.raises(KeyError):
+            bn.load_state_dict(state)

@@ -1,0 +1,144 @@
+"""Layer semantics: Linear, Dropout, BatchNorm1d, MLP, activations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn import Activation, BatchNorm1d, Dropout, Identity, Linear, MLP, Sequential
+from repro.nn.layers import get_activation
+from repro.tensor import Tensor
+
+
+class TestLinear:
+    def test_affine_math(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(5, 3))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, np.random.default_rng(0), bias=False)
+        assert layer.bias is None
+        assert len(list(layer.named_parameters())) == 1
+
+    def test_shape_validation(self):
+        layer = Linear(3, 2, np.random.default_rng(0))
+        with pytest.raises(ShapeError):
+            layer(Tensor(np.ones((4, 5))))
+
+    def test_gradients_flow_to_weight_and_bias(self):
+        layer = Linear(3, 2, np.random.default_rng(0))
+        layer(Tensor(np.ones((4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, [4.0, 4.0])
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        drop.train(False)
+        x = np.ones((10, 10))
+        np.testing.assert_allclose(drop(Tensor(x)).data, x)
+
+    def test_train_zeroes_and_rescales(self):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        out = drop(Tensor(np.ones((200, 50)))).data
+        assert (out == 0.0).any()
+        # kept entries are rescaled by 1/keep
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+        # roughly mean-preserving
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_zero_rate_identity_in_train(self):
+        drop = Dropout(0.0, np.random.default_rng(0))
+        x = np.ones((3, 3))
+        np.testing.assert_allclose(drop(Tensor(x)).data, x)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigError):
+            Dropout(1.0, np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            Dropout(-0.1, np.random.default_rng(0))
+
+
+class TestBatchNorm:
+    def test_normalizes_batch(self):
+        bn = BatchNorm1d(4)
+        x = np.random.default_rng(0).normal(loc=5.0, scale=3.0, size=(64, 4))
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=0), np.zeros(4), atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=0), np.ones(4), atol=1e-2)
+
+    def test_running_stats_move_toward_batch(self):
+        bn = BatchNorm1d(2, momentum=0.5)
+        x = np.full((8, 2), 10.0) + np.random.default_rng(0).normal(size=(8, 2))
+        bn(Tensor(x))
+        assert (bn.running_mean > 1.0).all()
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm1d(2, momentum=1.0)  # running stats = last batch
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 2)) * 2.0 + 3.0
+        bn(Tensor(x))
+        bn.train(False)
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=0), np.zeros(2), atol=0.05)
+
+    def test_affine_parameters_exist(self):
+        bn = BatchNorm1d(3)
+        names = {n for n, _ in bn.named_parameters()}
+        assert names == {"weight", "bias"}
+        assert not list(BatchNorm1d(3, affine=False).named_parameters())
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            BatchNorm1d(3)(Tensor(np.ones((2, 4))))
+
+    def test_gradient_through_batchnorm(self):
+        bn = BatchNorm1d(3)
+        x = Tensor(np.random.default_rng(0).normal(size=(6, 3)), requires_grad=True)
+        (bn(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()
+
+
+class TestActivationModule:
+    def test_known_names(self):
+        for name in ("relu", "selu", "tanh", "sigmoid", "softplus", "gelu", "identity"):
+            out = Activation(name)(Tensor(np.linspace(-2, 2, 5)))
+            assert out.shape == (5,)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError):
+            get_activation("swishish")
+
+    def test_identity_module(self):
+        x = Tensor(np.ones(3))
+        assert Identity()(x) is x
+
+
+class TestMLP:
+    def test_structure(self):
+        mlp = MLP([10, 8, 6], np.random.default_rng(0), dropout=0.1)
+        out = mlp(Tensor(np.ones((4, 10))))
+        assert out.shape == (4, 6)
+
+    def test_final_activation_toggle(self):
+        # With relu final activation off, outputs may be negative.
+        rng = np.random.default_rng(3)
+        mlp = MLP([5, 4], rng, activation="relu", final_activation=False)
+        out = mlp(Tensor(rng.normal(size=(20, 5)))).data
+        assert (out < 0).any()
+        mlp2 = MLP([5, 4], rng, activation="relu", final_activation=True)
+        assert (mlp2(Tensor(rng.normal(size=(20, 5)))).data >= 0).all()
+
+    def test_too_few_sizes(self):
+        with pytest.raises(ConfigError):
+            MLP([10], np.random.default_rng(0))
+
+    def test_sequential_composition(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(4, 4, rng), Activation("tanh"), Linear(4, 1, rng))
+        assert seq(Tensor(np.ones((2, 4)))).shape == (2, 1)

@@ -1,0 +1,111 @@
+"""Module tree behaviour: registration, state dicts, train/eval modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, Sequential
+from repro.tensor import Tensor
+
+
+class _Net(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.layer_a = Linear(4, 3, rng)
+        self.layer_b = Linear(3, 2, rng)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.layer_b(self.layer_a(x)) * self.scale
+
+
+class TestRegistration:
+    def test_named_parameters_are_dotted(self):
+        names = {name for name, _ in _Net().named_parameters()}
+        assert "scale" in names
+        assert "layer_a.weight" in names
+        assert "layer_b.bias" in names
+
+    def test_parameters_deduplicated(self):
+        net = _Net()
+        net.alias = net.layer_a  # same module twice
+        params = net.parameters()
+        assert len(params) == len({id(p) for p in params})
+
+    def test_num_parameters(self):
+        net = _Net()
+        assert net.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2 + 1
+
+    def test_modules_walk(self):
+        net = _Net()
+        kinds = [type(m).__name__ for m in net.modules()]
+        assert kinds.count("Linear") == 2
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        net = _Net()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad_clears(self):
+        net = _Net()
+        out = net(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net = _Net()
+        state = net.state_dict()
+        other = _Net()
+        other.layer_a.weight.data += 1.0  # make them differ
+        other.load_state_dict(state)
+        np.testing.assert_allclose(
+            other.layer_a.weight.data, net.layer_a.weight.data
+        )
+
+    def test_state_dict_copies(self):
+        net = _Net()
+        state = net.state_dict()
+        state["scale"][0] = 99.0
+        assert net.scale.data[0] == 1.0
+
+    def test_missing_key_rejected(self):
+        net = _Net()
+        state = net.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        net = _Net()
+        state = net.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        net = _Net()
+        state = net.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestSequentialAsModule:
+    def test_children_registered(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(3, 3, rng), Linear(3, 1, rng))
+        assert len(list(seq.named_parameters())) == 4
+        assert len(seq) == 2
+        assert len(list(iter(seq))) == 2
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

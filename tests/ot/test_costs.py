@@ -1,0 +1,55 @@
+"""Ground-cost matrices between embedding sets."""
+
+import numpy as np
+
+from repro.ot import cosine_cost_matrix, euclidean_cost_matrix
+from repro.tensor import Tensor, gradcheck
+
+
+class TestCosineCost:
+    def test_identical_rows_cost_zero(self):
+        x = Tensor(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        cost = cosine_cost_matrix(x, x).data
+        np.testing.assert_allclose(np.diag(cost), [0.0, 0.0], atol=1e-6)
+
+    def test_orthogonal_rows_cost_one(self):
+        a = Tensor(np.array([[1.0, 0.0]]))
+        b = Tensor(np.array([[0.0, 1.0]]))
+        np.testing.assert_allclose(cosine_cost_matrix(a, b).data, [[1.0]], atol=1e-6)
+
+    def test_opposite_rows_cost_two(self):
+        a = Tensor(np.array([[1.0, 0.0]]))
+        b = Tensor(np.array([[-1.0, 0.0]]))
+        np.testing.assert_allclose(cosine_cost_matrix(a, b).data, [[2.0]], atol=1e-6)
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        cost = cosine_cost_matrix(
+            Tensor(rng.normal(size=(10, 4))), Tensor(rng.normal(size=(7, 4)))
+        ).data
+        assert cost.min() >= -1e-9
+        assert cost.max() <= 2.0 + 1e-9
+
+    def test_gradient(self):
+        rng = np.random.default_rng(1)
+        assert gradcheck(
+            lambda a, b: cosine_cost_matrix(a, b).sum(),
+            [rng.normal(size=(3, 4)), rng.normal(size=(2, 4))],
+        )
+
+
+class TestEuclideanCost:
+    def test_matches_direct_computation(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(5, 3))
+        b = rng.normal(size=(4, 3))
+        cost = euclidean_cost_matrix(Tensor(a), Tensor(b)).data
+        direct = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(cost, direct, atol=1e-10)
+
+    def test_gradient(self):
+        rng = np.random.default_rng(3)
+        assert gradcheck(
+            lambda a, b: euclidean_cost_matrix(a, b).sum(),
+            [rng.normal(size=(3, 2)), rng.normal(size=(4, 2))],
+        )

@@ -1,0 +1,118 @@
+"""Entropic OT: marginal feasibility, optimality trends, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.ot import sinkhorn, sinkhorn_divergence_loss
+from repro.tensor import Tensor, gradcheck
+
+
+class TestFeasibility:
+    def test_plan_marginals_match(self):
+        rng = np.random.default_rng(0)
+        cost = Tensor(np.abs(rng.normal(size=(5, 4))))
+        a = rng.dirichlet(np.ones(5), size=3)
+        b = rng.dirichlet(np.ones(4), size=3)
+        result = sinkhorn(cost, Tensor(a), Tensor(b), epsilon=0.2, n_iterations=200)
+        plan = result.plan.data
+        np.testing.assert_allclose(plan.sum(axis=2), a, atol=1e-6)
+        np.testing.assert_allclose(plan.sum(axis=1), b, atol=1e-6)
+
+    def test_plan_nonnegative(self):
+        rng = np.random.default_rng(1)
+        cost = Tensor(np.abs(rng.normal(size=(3, 3))))
+        a = Tensor(np.full((2, 3), 1 / 3))
+        b = Tensor(np.full((2, 3), 1 / 3))
+        plan = sinkhorn(cost, a, b, epsilon=0.3).plan.data
+        assert (plan >= 0).all()
+
+    def test_unbatched_squeeze(self):
+        cost = Tensor(np.eye(3))
+        a = Tensor(np.full(3, 1 / 3))
+        b = Tensor(np.full(3, 1 / 3))
+        result = sinkhorn(cost, a, b, epsilon=0.5)
+        assert result.plan.shape == (3, 3)
+        assert result.cost.shape == ()
+
+
+class TestOptimality:
+    def test_identity_cost_prefers_diagonal(self):
+        # cost 0 on the diagonal, 1 elsewhere -> mass stays put.
+        cost = Tensor(1.0 - np.eye(3))
+        a = Tensor(np.full((1, 3), 1 / 3))
+        b = Tensor(np.full((1, 3), 1 / 3))
+        plan = sinkhorn(cost, a, b, epsilon=0.05, n_iterations=300).plan.data[0]
+        assert np.diag(plan).sum() > 0.95
+
+    def test_cost_below_worst_coupling(self):
+        rng = np.random.default_rng(3)
+        cost_matrix = np.abs(rng.normal(size=(4, 4)))
+        a = Tensor(np.full((1, 4), 0.25))
+        b = Tensor(np.full((1, 4), 0.25))
+        value = float(
+            sinkhorn(Tensor(cost_matrix), a, b, epsilon=0.05, n_iterations=300)
+            .cost.data[0]
+        )
+        independent = float((np.outer(np.full(4, 0.25), np.full(4, 0.25)) * cost_matrix).sum())
+        assert value <= independent + 1e-6
+
+    def test_smaller_epsilon_closer_to_exact(self):
+        # exact OT on this permutation-cost problem is 0
+        cost = Tensor(1.0 - np.eye(4))
+        a = Tensor(np.full((1, 4), 0.25))
+        b = Tensor(np.full((1, 4), 0.25))
+        loose = float(sinkhorn(cost, a, b, epsilon=1.0, n_iterations=300).cost.data[0])
+        tight = float(sinkhorn(cost, a, b, epsilon=0.05, n_iterations=300).cost.data[0])
+        assert tight < loose
+
+
+class TestGradients:
+    def test_gradient_through_cost(self):
+        rng = np.random.default_rng(5)
+        a = np.full((2, 4), 0.25)
+        b = np.full((2, 3), 1 / 3)
+        assert gradcheck(
+            lambda c: sinkhorn_divergence_loss(
+                c, Tensor(a), Tensor(b), epsilon=0.3, n_iterations=25
+            ),
+            [np.abs(rng.normal(size=(4, 3)))],
+            atol=1e-4,
+            rtol=1e-3,
+        )
+
+    def test_gradient_through_marginals(self):
+        rng = np.random.default_rng(6)
+        cost = np.abs(rng.normal(size=(3, 4)))
+        a = np.full((1, 3), 1 / 3)
+
+        def f(b_logits):
+            from repro.tensor import softmax
+
+            b = softmax(b_logits, axis=1)
+            return sinkhorn_divergence_loss(
+                Tensor(cost), Tensor(a), b, epsilon=0.3, n_iterations=25
+            )
+
+        assert gradcheck(f, [rng.normal(size=(1, 4))], atol=1e-4, rtol=1e-3)
+
+
+class TestValidation:
+    def test_bad_epsilon(self):
+        with pytest.raises(ConfigError):
+            sinkhorn(Tensor(np.eye(2)), Tensor(np.ones(2)), Tensor(np.ones(2)), epsilon=0.0)
+
+    def test_bad_iterations(self):
+        with pytest.raises(ConfigError):
+            sinkhorn(
+                Tensor(np.eye(2)),
+                Tensor(np.ones(2)),
+                Tensor(np.ones(2)),
+                n_iterations=0,
+            )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            sinkhorn(Tensor(np.eye(2)), Tensor(np.ones((1, 3))), Tensor(np.ones((1, 2))))
+        with pytest.raises(ShapeError):
+            sinkhorn(Tensor(np.eye(2)), Tensor(np.ones((2, 2))), Tensor(np.ones((1, 2))))

@@ -1,0 +1,91 @@
+"""Edge cases of the tensor engine not covered by the main op tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GradientError
+from repro.tensor import Tensor, no_grad
+from repro.tensor.tensor import where
+
+
+class TestGradientEdgeCases:
+    def test_backward_with_explicit_gradient(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 3.0).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(t.grad, [3.0, 30.0])
+
+    def test_backward_broadcasts_scalar_gradient(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 2.0).backward(np.array(1.0))
+        np.testing.assert_allclose(t.grad, [2.0, 2.0])
+
+    def test_second_backward_accumulates(self):
+        t = Tensor([1.0], requires_grad=True)
+        loss = (t * 2.0).sum()
+        loss.backward()
+        loss.backward()
+        np.testing.assert_allclose(t.grad, [4.0])
+
+    def test_graph_not_built_under_no_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = (t * 2.0).sum()
+        with pytest.raises(GradientError):
+            out.backward()
+
+    def test_tensor_created_inside_no_grad_never_requires(self):
+        with no_grad():
+            t = Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad
+
+    def test_max_gradient_splits_ties(self):
+        t = Tensor([[2.0, 2.0]], requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.5, 0.5]])
+
+    def test_where_gradient_only_to_required_branch(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0])  # no grad
+        out = where(np.array([True, False]), a, b)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        assert b.grad is None
+
+
+class TestOperatorEdgeCases:
+    def test_rmatmul(self):
+        a = np.arange(6.0).reshape(2, 3)
+        t = Tensor(np.arange(3.0))
+        np.testing.assert_allclose((a @ t).data, a @ np.arange(3.0))
+
+    def test_global_min(self):
+        t = Tensor([[3.0, 1.0], [2.0, 5.0]])
+        assert t.min().item() == 1.0
+
+    def test_mean_tuple_axis(self):
+        t = Tensor(np.arange(24.0).reshape(2, 3, 4), requires_grad=True)
+        out = t.mean(axis=(0, 2))
+        assert out.shape == (3,)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.full((2, 3, 4), 1.0 / 8.0))
+
+    def test_clip_one_sided(self):
+        t = Tensor([-2.0, 0.5, 3.0])
+        np.testing.assert_allclose(t.clip(low=0.0).data, [0.0, 0.5, 3.0])
+        np.testing.assert_allclose(t.clip(high=1.0).data, [-2.0, 0.5, 1.0])
+
+    def test_named_tensor(self):
+        t = Tensor([1.0], name="theta")
+        assert t.name == "theta"
+
+    def test_scalar_reshape_to_empty_tuple(self):
+        t = Tensor([[5.0]])
+        assert t.reshape(()).shape == ()
+
+    def test_chained_graph_through_30_ops(self):
+        t = Tensor([1.0], requires_grad=True)
+        out = t
+        for _ in range(30):
+            out = out * 1.1
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [1.1**30], rtol=1e-10)

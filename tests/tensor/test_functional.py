@@ -1,0 +1,165 @@
+"""Values and gradients of the functional building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import (
+    Tensor,
+    gradcheck,
+    softmax,
+    log_softmax,
+    logsumexp,
+    sigmoid,
+    tanh,
+    relu,
+    selu,
+    softplus,
+    cross_entropy_with_probs,
+    kl_normal_standard,
+    mse,
+)
+from repro.tensor.functional import gelu, leaky_relu
+
+RNG = np.random.default_rng(7)
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self):
+        out = softmax(Tensor(RNG.normal(size=(4, 6))), axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(4))
+
+    def test_softmax_invariant_to_shift(self):
+        x = RNG.normal(size=(2, 5))
+        a = softmax(Tensor(x), axis=1).data
+        b = softmax(Tensor(x + 1000.0), axis=1).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_softmax_extreme_values_stable(self):
+        out = softmax(Tensor([[1e6, 0.0], [-1e6, 0.0]]), axis=1)
+        assert np.isfinite(out.data).all()
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = RNG.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            log_softmax(Tensor(x), axis=1).data,
+            np.log(softmax(Tensor(x), axis=1).data),
+            atol=1e-12,
+        )
+
+    def test_logsumexp_value(self):
+        x = np.array([[0.0, np.log(3.0)]])
+        np.testing.assert_allclose(logsumexp(Tensor(x), axis=1).data, [np.log(4.0)])
+
+    def test_logsumexp_keepdims(self):
+        out = logsumexp(Tensor(RNG.normal(size=(3, 4))), axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+
+    def test_softmax_gradient(self):
+        assert gradcheck(
+            lambda a: (softmax(a, axis=1) * np.arange(4.0)).sum(),
+            [RNG.normal(size=(3, 4))],
+        )
+
+    def test_log_softmax_gradient(self):
+        assert gradcheck(
+            lambda a: (log_softmax(a, axis=1) * np.arange(4.0)).sum(),
+            [RNG.normal(size=(2, 4))],
+        )
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "fn", [sigmoid, tanh, relu, selu, softplus, gelu, leaky_relu]
+    )
+    def test_gradients(self, fn):
+        assert gradcheck(lambda a: fn(a).sum(), [RNG.normal(size=(3, 4))])
+
+    def test_sigmoid_range_and_midpoint(self):
+        out = sigmoid(Tensor([-100.0, 0.0, 100.0]))
+        assert 0.0 <= out.data.min() and out.data.max() <= 1.0
+        np.testing.assert_allclose(out.data[1], 0.5)
+
+    def test_relu_kills_negatives(self):
+        np.testing.assert_allclose(relu(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+
+    def test_selu_fixed_point_scaling(self):
+        # SELU(0) == 0 and derivative at +x is the SELU scale constant.
+        assert selu(Tensor([0.0])).data[0] == 0.0
+        x = Tensor([1.0], requires_grad=True)
+        selu(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0507009873554805])
+
+    def test_selu_large_negative_stable(self):
+        out = selu(Tensor([-1e6]))
+        np.testing.assert_allclose(out.data, [-1.7580993408473766], rtol=1e-6)
+
+    def test_softplus_large_input_linear(self):
+        np.testing.assert_allclose(softplus(Tensor([50.0])).data, [50.0], atol=1e-8)
+
+    def test_tanh_odd(self):
+        x = RNG.normal(size=5)
+        np.testing.assert_allclose(tanh(Tensor(-x)).data, -tanh(Tensor(x)).data)
+
+
+class TestLossTerms:
+    def test_cross_entropy_known_value(self):
+        log_probs = Tensor(np.log(np.array([[0.5, 0.5]])))
+        bow = np.array([[2.0, 0.0]])
+        np.testing.assert_allclose(
+            cross_entropy_with_probs(log_probs, bow).item(), -2.0 * np.log(0.5)
+        )
+
+    def test_cross_entropy_gradient(self):
+        bow = np.array([[1.0, 2.0, 0.0], [0.0, 1.0, 3.0]])
+        assert gradcheck(
+            lambda a: cross_entropy_with_probs(log_softmax(a, axis=1), bow),
+            [RNG.normal(size=(2, 3))],
+        )
+
+    def test_kl_zero_at_standard_normal(self):
+        mu = Tensor(np.zeros((4, 3)))
+        logvar = Tensor(np.zeros((4, 3)))
+        np.testing.assert_allclose(kl_normal_standard(mu, logvar).item(), 0.0)
+
+    def test_kl_positive_elsewhere(self):
+        mu = Tensor(RNG.normal(size=(4, 3)))
+        logvar = Tensor(RNG.normal(size=(4, 3)) * 0.2)
+        assert kl_normal_standard(mu, logvar).item() > 0.0
+
+    def test_kl_gradient(self):
+        assert gradcheck(
+            lambda m, lv: kl_normal_standard(m, lv),
+            [RNG.normal(size=(2, 3)), RNG.normal(size=(2, 3)) * 0.3],
+        )
+
+    def test_mse_value_and_gradient(self):
+        pred = Tensor([1.0, 3.0])
+        np.testing.assert_allclose(mse(pred, np.array([1.0, 1.0])).item(), 2.0)
+        assert gradcheck(
+            lambda a: mse(a, np.zeros(4)), [RNG.normal(size=4)]
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=5),
+    cols=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_softmax_simplex(rows, cols, seed):
+    """Softmax outputs always lie on the probability simplex."""
+    x = np.random.default_rng(seed).normal(scale=10.0, size=(rows, cols))
+    out = softmax(Tensor(x), axis=1).data
+    assert (out >= 0).all()
+    np.testing.assert_allclose(out.sum(axis=1), np.ones(rows), rtol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_logsumexp_bounds(seed):
+    """max(x) <= logsumexp(x) <= max(x) + log(n)."""
+    x = np.random.default_rng(seed).normal(scale=5.0, size=(7,))
+    value = float(logsumexp(Tensor(x[None, :]), axis=1).data[0])
+    assert x.max() <= value + 1e-12
+    assert value <= x.max() + np.log(x.size) + 1e-12

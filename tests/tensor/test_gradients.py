@@ -1,0 +1,180 @@
+"""Gradient verification for every Tensor operator (finite differences)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GradientError
+from repro.tensor import Tensor, gradcheck
+from repro.tensor.tensor import concatenate, stack, where
+
+RNG = np.random.default_rng(42)
+
+
+def _rand(*shape):
+    return RNG.normal(size=shape)
+
+
+def _pos(*shape):
+    return np.abs(RNG.normal(size=shape)) + 0.5
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        assert gradcheck(lambda a, b: (a + b).sum(), [_rand(3, 4), _rand(3, 4)])
+
+    def test_add_broadcast(self):
+        assert gradcheck(lambda a, b: (a + b).sum(), [_rand(3, 4), _rand(4)])
+
+    def test_sub(self):
+        assert gradcheck(lambda a, b: (a - b).mean(), [_rand(2, 3), _rand(2, 3)])
+
+    def test_mul_broadcast(self):
+        assert gradcheck(lambda a, b: (a * b).sum(), [_rand(2, 1, 3), _rand(4, 1)])
+
+    def test_div(self):
+        assert gradcheck(lambda a, b: (a / b).sum(), [_rand(3), _pos(3)])
+
+    def test_neg_pow(self):
+        assert gradcheck(lambda a: ((-a) ** 3).sum(), [_rand(4)])
+
+    def test_matmul_2d(self):
+        assert gradcheck(lambda a, b: (a @ b).sum(), [_rand(3, 4), _rand(4, 2)])
+
+    def test_matmul_vec_mat(self):
+        assert gradcheck(lambda a, b: (a @ b).sum(), [_rand(4), _rand(4, 3)])
+
+    def test_matmul_mat_vec(self):
+        assert gradcheck(lambda a, b: (a @ b).sum(), [_rand(3, 4), _rand(4)])
+
+    def test_matmul_inner(self):
+        assert gradcheck(lambda a, b: a @ b, [_rand(5), _rand(5)])
+
+
+class TestElementwiseGradients:
+    def test_exp(self):
+        assert gradcheck(lambda a: a.exp().sum(), [_rand(3, 3)])
+
+    def test_log(self):
+        assert gradcheck(lambda a: a.log().sum(), [_pos(4)])
+
+    def test_sqrt(self):
+        assert gradcheck(lambda a: a.sqrt().sum(), [_pos(4)])
+
+    def test_abs_away_from_zero(self):
+        assert gradcheck(lambda a: a.abs().sum(), [_rand(5) + np.sign(_rand(5)) * 2])
+
+    def test_clip_interior(self):
+        x = np.array([0.2, 0.5, 0.8])
+        assert gradcheck(lambda a: a.clip(0.0, 1.0).sum(), [x])
+
+    def test_maximum(self):
+        a = np.array([1.0, 5.0, -2.0])
+        b = np.array([3.0, 2.0, -1.0])
+        assert gradcheck(lambda x, y: x.maximum(y).sum(), [a, b])
+
+    def test_where(self):
+        cond = np.array([True, False, True, False])
+        assert gradcheck(
+            lambda a, b: where(cond, a * 2.0, b * 3.0).sum(), [_rand(4), _rand(4)]
+        )
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        assert gradcheck(lambda a: a.sum() * 2.0, [_rand(3, 4)])
+
+    def test_sum_axis_keepdims(self):
+        assert gradcheck(lambda a: (a.sum(axis=1, keepdims=True) ** 2).sum(), [_rand(3, 4)])
+
+    def test_sum_multi_axis(self):
+        assert gradcheck(lambda a: (a.sum(axis=(0, 2)) ** 2).sum(), [_rand(2, 3, 4)])
+
+    def test_mean_axis(self):
+        assert gradcheck(lambda a: (a.mean(axis=0) ** 2).sum(), [_rand(4, 3)])
+
+    def test_max_unique(self):
+        x = np.array([[1.0, 5.0, 2.0], [7.0, 3.0, 4.0]])
+        assert gradcheck(lambda a: a.max(axis=1).sum(), [x])
+
+    def test_min(self):
+        x = np.array([[1.0, 5.0], [7.0, 3.0]])
+        assert gradcheck(lambda a: a.min(axis=0).sum(), [x])
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        assert gradcheck(lambda a: (a.reshape(6) ** 2).sum(), [_rand(2, 3)])
+
+    def test_transpose(self):
+        assert gradcheck(lambda a: (a.T @ a).sum(), [_rand(3, 4)])
+
+    def test_transpose_axes(self):
+        assert gradcheck(
+            lambda a: (a.transpose(1, 0, 2) ** 2).sum(), [_rand(2, 3, 2)]
+        )
+
+    def test_getitem_slice(self):
+        assert gradcheck(lambda a: (a[1:3] ** 2).sum(), [_rand(5, 3)])
+
+    def test_getitem_fancy_duplicates(self):
+        idx = np.array([0, 2, 0])
+        assert gradcheck(lambda a: (a[idx] ** 2).sum(), [_rand(4)])
+
+    def test_expand_squeeze(self):
+        assert gradcheck(
+            lambda a: (a.expand_dims(1).squeeze(1) * 2.0).sum(), [_rand(3)]
+        )
+
+    def test_concatenate(self):
+        assert gradcheck(
+            lambda a, b: (concatenate([a, b], axis=0) ** 2).sum(),
+            [_rand(2, 3), _rand(4, 3)],
+        )
+
+    def test_stack(self):
+        assert gradcheck(
+            lambda a, b: (stack([a, b], axis=1) ** 2).sum(),
+            [_rand(3, 2), _rand(3, 2)],
+        )
+
+
+class TestGradcheckHelper:
+    def test_detects_wrong_gradient(self):
+        # A function whose "gradient" would be broken if exp were wrong is
+        # hard to fake; instead check the raise path via a non-scalar output.
+        with pytest.raises(GradientError):
+            gradcheck(lambda a: a * 2.0, [np.ones(3)])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_chain_rule_matches_numerics(rows, cols, seed):
+    """Random composite expressions pass finite-difference verification."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(rows, cols))
+    b = rng.normal(size=(cols, rows))
+
+    def f(x, y):
+        return ((x @ y).exp().sum(axis=0) + (x * 2.0).sum(axis=1)).sum()
+
+    assert gradcheck(f, [a * 0.3, b * 0.3])
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_backward_linear_in_upstream(seed):
+    """Scaling the loss scales every leaf gradient by the same factor."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(3, 3))
+
+    def grads(scale: float) -> np.ndarray:
+        t = Tensor(data, requires_grad=True)
+        ((t * t).sum() * scale).backward()
+        return t.grad
+
+    np.testing.assert_allclose(grads(3.0), 3.0 * grads(1.0), rtol=1e-10)

@@ -1,0 +1,210 @@
+"""Forward-value and bookkeeping behaviour of the Tensor type."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GradientError, ShapeError
+from repro.tensor import Tensor, no_grad, is_grad_enabled, as_tensor
+from repro.tensor.tensor import concatenate, stack, where
+
+
+class TestConstruction:
+    def test_wraps_scalars(self):
+        t = Tensor(3.0)
+        assert t.shape == ()
+        assert t.item() == 3.0
+
+    def test_wraps_lists(self):
+        t = Tensor([[1, 2], [3, 4]])
+        assert t.shape == (2, 2)
+        assert t.data.dtype == np.float64
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_as_tensor_wraps_array(self):
+        out = as_tensor(np.ones(3))
+        assert isinstance(out, Tensor)
+
+    def test_repr_mentions_grad_flag(self):
+        assert "requires_grad" in repr(Tensor(1.0, requires_grad=True))
+        assert "requires_grad" not in repr(Tensor(1.0))
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 3)))
+        assert len(t) == 4
+        assert t.size == 12
+        assert t.ndim == 2
+
+
+class TestArithmeticValues:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.arange(3.0))
+        np.testing.assert_allclose(
+            (a + b).data, np.broadcast_to(1.0 + np.arange(3.0), (2, 3))
+        )
+
+    def test_radd_scalar(self):
+        np.testing.assert_allclose((5.0 + Tensor([1.0, 2.0])).data, [6.0, 7.0])
+
+    def test_sub_and_rsub(self):
+        t = Tensor([1.0, 2.0])
+        np.testing.assert_allclose((t - 1.0).data, [0.0, 1.0])
+        np.testing.assert_allclose((1.0 - t).data, [0.0, -1.0])
+
+    def test_mul_div(self):
+        t = Tensor([2.0, 4.0])
+        np.testing.assert_allclose((t * t).data, [4.0, 16.0])
+        np.testing.assert_allclose((t / 2.0).data, [1.0, 2.0])
+        np.testing.assert_allclose((8.0 / t).data, [4.0, 2.0])
+
+    def test_neg_pow(self):
+        t = Tensor([2.0, 3.0])
+        np.testing.assert_allclose((-t).data, [-2.0, -3.0])
+        np.testing.assert_allclose((t**2).data, [4.0, 9.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = np.arange(6.0).reshape(2, 3)
+        b = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_vector_cases(self):
+        a = np.array([1.0, 2.0, 3.0])
+        m = np.arange(6.0).reshape(3, 2)
+        np.testing.assert_allclose((Tensor(a) @ Tensor(m)).data, a @ m)
+        np.testing.assert_allclose((Tensor(m.T) @ Tensor(a)).data, m.T @ a)
+        np.testing.assert_allclose((Tensor(a) @ Tensor(a)).data, a @ a)
+
+    def test_matmul_requires_arrays(self):
+        with pytest.raises(ShapeError):
+            Tensor(2.0) @ Tensor(3.0)
+
+    def test_comparisons_return_numpy(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert (t > 1.5).tolist() == [False, True, True]
+        assert (t <= 2.0).tolist() == [True, True, False]
+        assert (t >= 3.0).tolist() == [False, False, True]
+        assert (t < Tensor([2.0, 2.0, 2.0])).tolist() == [True, False, False]
+
+
+class TestElementwiseValues:
+    def test_exp_log_roundtrip(self):
+        t = Tensor([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(t.exp().log().data, t.data)
+
+    def test_sqrt_abs(self):
+        np.testing.assert_allclose(Tensor([4.0, 9.0]).sqrt().data, [2.0, 3.0])
+        np.testing.assert_allclose(Tensor([-1.0, 2.0]).abs().data, [1.0, 2.0])
+
+    def test_clip(self):
+        t = Tensor([-1.0, 0.5, 2.0])
+        np.testing.assert_allclose(t.clip(0.0, 1.0).data, [0.0, 0.5, 1.0])
+
+    def test_maximum(self):
+        a = Tensor([1.0, 5.0])
+        b = Tensor([3.0, 2.0])
+        np.testing.assert_allclose(a.maximum(b).data, [3.0, 5.0])
+
+    def test_where(self):
+        cond = np.array([True, False, True])
+        out = where(cond, Tensor([1.0, 1.0, 1.0]), Tensor([0.0, 0.0, 0.0]))
+        np.testing.assert_allclose(out.data, [1.0, 0.0, 1.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axes(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.sum().item() == 15.0
+        np.testing.assert_allclose(t.sum(axis=0).data, [3.0, 5.0, 7.0])
+        np.testing.assert_allclose(t.sum(axis=1, keepdims=True).data, [[3.0], [12.0]])
+
+    def test_mean(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.mean().item() == 2.5
+        np.testing.assert_allclose(t.mean(axis=1).data, [1.0, 4.0])
+
+    def test_max_min(self):
+        t = Tensor([[1.0, 5.0], [4.0, 2.0]])
+        np.testing.assert_allclose(t.max(axis=1).data, [5.0, 4.0])
+        np.testing.assert_allclose(t.min(axis=0).data, [1.0, 2.0])
+
+    def test_reshape_transpose(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape((3, 2)).shape == (3, 2)
+        assert t.reshape(2, 3).T.shape == (3, 2)
+        assert Tensor(np.zeros((2, 3, 4))).transpose(2, 0, 1).shape == (4, 2, 3)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(10.0))
+        np.testing.assert_allclose(t[2:5].data, [2.0, 3.0, 4.0])
+        idx = Tensor(np.array([0.0, 3.0]))
+        np.testing.assert_allclose(t[idx].data, [0.0, 3.0])
+
+    def test_expand_squeeze(self):
+        t = Tensor(np.zeros((3,)))
+        assert t.expand_dims(0).shape == (1, 3)
+        assert t.expand_dims(0).squeeze(0).shape == (3,)
+
+    def test_concatenate_stack(self):
+        a = Tensor(np.ones((2, 2)))
+        b = Tensor(np.zeros((2, 1)))
+        assert concatenate([a, b], axis=1).shape == (2, 3)
+        assert stack([a, a], axis=0).shape == (2, 2, 2)
+
+
+class TestGraphBookkeeping:
+    def test_backward_requires_grad(self):
+        with pytest.raises(GradientError):
+            Tensor([1.0]).backward()
+
+    def test_backward_requires_scalar(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(GradientError):
+            (t * 2.0).backward()
+
+    def test_grad_accumulates(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t.sum() + t.sum()).backward()
+        np.testing.assert_allclose(t.grad, [2.0, 2.0])
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        t.sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_no_grad_context(self):
+        assert is_grad_enabled()
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = t * 2.0
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_diamond_graph_gradient(self):
+        # y = x*x used twice; gradient must flow through both paths once.
+        x = Tensor([3.0], requires_grad=True)
+        y = x * x
+        z = (y + y).sum()
+        z.backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_constant_branch_gets_no_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        c = Tensor([5.0])
+        (x * c).sum().backward()
+        assert c.grad is None

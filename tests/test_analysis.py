@@ -1,0 +1,120 @@
+"""Topic analysis diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TopicSummary,
+    assign_documents,
+    find_redundant_topics,
+    topic_similarity_matrix,
+    topic_summaries,
+)
+from repro.errors import ConfigError, ShapeError
+from repro.metrics import NpmiMatrix
+
+
+@pytest.fixture
+def beta():
+    """Three topics: 0 and 1 near-duplicates, 2 distinct."""
+    b = np.zeros((3, 8))
+    b[0, [0, 1, 2, 3]] = [0.4, 0.3, 0.2, 0.1]
+    b[1, [0, 1, 2, 4]] = [0.38, 0.32, 0.2, 0.1]
+    b[2, [5, 6, 7]] = [0.5, 0.3, 0.2]
+    return b
+
+
+class TestSimilarityMatrix:
+    def test_js_diagonal_one_and_symmetric(self, beta):
+        sim = topic_similarity_matrix(beta)
+        np.testing.assert_allclose(np.diag(sim), 1.0, atol=1e-9)
+        np.testing.assert_allclose(sim, sim.T, atol=1e-9)
+
+    def test_js_orders_duplicates_above_distinct(self, beta):
+        sim = topic_similarity_matrix(beta)
+        assert sim[0, 1] > sim[0, 2]
+        assert sim[0, 2] < 0.2  # disjoint supports
+
+    def test_overlap_metric(self, beta):
+        sim = topic_similarity_matrix(beta, metric="overlap", top_n=4)
+        # top-4 of the near-duplicates share 3 of 4 words
+        assert sim[0, 1] == pytest.approx(3 / 4)
+        assert sim[0, 2] == pytest.approx(1 / 4)  # only zero-prob words shared
+
+    def test_unknown_metric(self, beta):
+        with pytest.raises(ConfigError):
+            topic_similarity_matrix(beta, metric="euclidean")
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            topic_similarity_matrix(np.zeros(4))
+
+
+class TestRedundancy:
+    def test_detects_duplicate_pair(self, beta):
+        pairs = find_redundant_topics(beta, threshold=0.6, top_n=4)
+        assert pairs
+        assert pairs[0][:2] == (0, 1)
+
+    def test_high_threshold_finds_nothing(self, beta):
+        assert find_redundant_topics(beta, threshold=0.99, top_n=4) == []
+
+    def test_sorted_by_similarity(self):
+        b = np.zeros((4, 6))
+        b[0, [0, 1, 2]] = 1 / 3
+        b[1, [0, 1, 2]] = 1 / 3   # exact duplicate of 0
+        b[2, [0, 1, 3]] = 1 / 3   # partial duplicate
+        b[3, [4, 5, 3]] = 1 / 3
+        pairs = find_redundant_topics(b, threshold=0.1, top_n=3)
+        sims = [p[2] for p in pairs]
+        assert sims == sorted(sims, reverse=True)
+
+
+class TestAssignDocuments:
+    def test_dominant_topic(self):
+        theta = np.array([[0.7, 0.2, 0.1], [0.1, 0.8, 0.1]])
+        np.testing.assert_array_equal(assign_documents(theta), [0, 1])
+
+    def test_threshold_leaves_mixed_unassigned(self):
+        theta = np.array([[0.4, 0.35, 0.25]])
+        assert assign_documents(theta, threshold=0.5)[0] == -1
+        assert assign_documents(theta, threshold=0.3)[0] == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            assign_documents(np.zeros(3))
+
+
+class TestSummaries:
+    def test_summaries_sorted_by_npmi(self, beta, toy_vocabulary):
+        # extend vocab to 8 entries to match beta
+        from repro.data import Vocabulary
+
+        vocab = Vocabulary([f"w{i}" for i in range(8)])
+        npmi_matrix = np.full((8, 8), -0.5)
+        npmi_matrix[:4, :4] = 0.9   # topic 0/1's words cohere
+        np.fill_diagonal(npmi_matrix, 1.0)
+        theta = np.array([[0.9, 0.05, 0.05]] * 6 + [[0.05, 0.05, 0.9]] * 2)
+        summaries = topic_summaries(
+            beta, theta, vocab, NpmiMatrix(npmi_matrix), top_n=4
+        )
+        assert [s.npmi for s in summaries] == sorted(
+            (s.npmi for s in summaries), reverse=True
+        )
+        assert isinstance(summaries[0], TopicSummary)
+        # prevalence reflects the θ assignments
+        by_index = {s.index: s for s in summaries}
+        assert by_index[0].prevalence == pytest.approx(6 / 8)
+        assert by_index[2].prevalence == pytest.approx(2 / 8)
+        # the near-duplicates point at each other
+        assert by_index[0].most_similar_topic == 1
+        assert by_index[1].most_similar_topic == 0
+
+    def test_topic_count_mismatch(self, beta, toy_vocabulary):
+        from repro.data import Vocabulary
+
+        vocab = Vocabulary([f"w{i}" for i in range(8)])
+        with pytest.raises(ShapeError):
+            topic_summaries(
+                beta, np.zeros((4, 5)), vocab, NpmiMatrix(np.eye(8))
+            )

@@ -1,0 +1,146 @@
+"""Command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(argv) -> str:
+    out = io.StringIO()
+    code = main(argv, out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "bert"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "imdb"])
+
+
+class TestCommands:
+    def test_datasets(self):
+        output = _run(["datasets", "--scale", "0.08"])
+        assert "20ng" in output and "nytimes" in output
+
+    def test_train_reports_metrics(self):
+        output = _run(
+            [
+                "train",
+                "--dataset",
+                "20ng",
+                "--model",
+                "etm",
+                "--scale",
+                "0.08",
+                "--num-topics",
+                "6",
+                "--epochs",
+                "2",
+            ]
+        )
+        assert "coherence@100%" in output
+        assert "km-purity@20" in output
+
+    def test_topics_prints_words(self):
+        output = _run(
+            [
+                "topics",
+                "--dataset",
+                "20ng",
+                "--model",
+                "etm",
+                "--scale",
+                "0.08",
+                "--num-topics",
+                "6",
+                "--epochs",
+                "2",
+                "--show",
+                "3",
+                "--num-words",
+                "5",
+            ]
+        )
+        lines = [l for l in output.splitlines() if l and not l.startswith("training")]
+        assert len(lines) == 3
+        assert all(len(line.split()) == 6 for line in lines)  # score + 5 words
+
+    def test_train_evaluate_checkpoint_roundtrip(self, tmp_path):
+        checkpoint = str(tmp_path / "etm.npz")
+        train_out = _run(
+            [
+                "train",
+                "--dataset",
+                "20ng",
+                "--model",
+                "etm",
+                "--scale",
+                "0.08",
+                "--num-topics",
+                "6",
+                "--epochs",
+                "2",
+                "--checkpoint",
+                checkpoint,
+            ]
+        )
+        assert "saved checkpoint" in train_out
+        eval_out = _run(
+            [
+                "evaluate",
+                "--dataset",
+                "20ng",
+                "--model",
+                "etm",
+                "--scale",
+                "0.08",
+                "--num-topics",
+                "6",
+                "--epochs",
+                "2",
+                "--checkpoint",
+                checkpoint,
+            ]
+        )
+        assert "loaded checkpoint" in eval_out
+        assert "coherence@100%" in eval_out
+
+        def metric(text, name):
+            for line in text.splitlines():
+                if line.startswith(name):
+                    return float(line.split()[-1])
+            raise AssertionError(name)
+
+        # the evaluated checkpoint reproduces the training run's metrics
+        assert metric(train_out, "coherence@100%") == pytest.approx(
+            metric(eval_out, "coherence@100%"), abs=2e-3
+        )
+
+    def test_lda_checkpoint_skipped(self, tmp_path):
+        output = _run(
+            [
+                "train",
+                "--dataset",
+                "20ng",
+                "--model",
+                "lda",
+                "--scale",
+                "0.08",
+                "--num-topics",
+                "4",
+                "--checkpoint",
+                str(tmp_path / "lda.npz"),
+            ]
+        )
+        assert "checkpoint skipped" in output

@@ -1,0 +1,39 @@
+"""The exception hierarchy: catchability contracts."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "ShapeError",
+            "GradientError",
+            "VocabularyError",
+            "CorpusError",
+            "ConfigError",
+            "ConvergenceError",
+            "NotFittedError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError), name
+
+    def test_dual_inheritance_for_stdlib_compat(self):
+        """Library errors remain catchable by idiomatic stdlib handlers."""
+        assert issubclass(errors.ShapeError, ValueError)
+        assert issubclass(errors.ConfigError, ValueError)
+        assert issubclass(errors.CorpusError, ValueError)
+        assert issubclass(errors.VocabularyError, KeyError)
+        assert issubclass(errors.GradientError, RuntimeError)
+        assert issubclass(errors.NotFittedError, RuntimeError)
+
+    def test_checkpoint_error_in_hierarchy(self):
+        from repro.io import CheckpointError
+
+        assert issubclass(CheckpointError, errors.ReproError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ShapeError("x")
+        with pytest.raises(errors.ReproError):
+            raise errors.ConfigError("x")

@@ -1,0 +1,88 @@
+"""Checkpointing and corpus serialization."""
+
+import numpy as np
+import pytest
+
+from repro.data import Corpus, Vocabulary
+from repro.io import (
+    CheckpointError,
+    load_checkpoint,
+    load_corpus,
+    save_checkpoint,
+    save_corpus,
+)
+from repro.models import ProdLDA
+
+
+class TestCheckpoints:
+    def test_roundtrip_restores_parameters(self, tiny_corpus, fast_config, tmp_path):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path, extra={"note": "hello"})
+
+        fresh = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        extra = load_checkpoint(fresh, path)
+        assert extra == {"note": "hello"}
+        for (name_a, p_a), (name_b, p_b) in zip(
+            model.named_parameters(), fresh.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_array_equal(p_a.data, p_b.data)
+
+    def test_restored_model_predicts_identically(
+        self, tiny_corpus, fast_config, tmp_path
+    ):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        fresh = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        load_checkpoint(fresh, path)
+        fresh._fitted = True
+        fresh.eval()
+        np.testing.assert_allclose(
+            model.transform(tiny_corpus), fresh.transform(tiny_corpus)
+        )
+
+    def test_incompatible_model_rejected(self, tiny_corpus, fast_config, tmp_path):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        other = ProdLDA(tiny_corpus.vocab_size + 1, fast_config)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(other, path)
+
+    def test_non_checkpoint_file_rejected(self, tiny_corpus, fast_config, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(ProdLDA(tiny_corpus.vocab_size, fast_config), path)
+
+
+class TestCorpusSerialization:
+    def test_roundtrip_with_labels(self, toy_corpus, tmp_path):
+        path = tmp_path / "corpus.npz"
+        save_corpus(toy_corpus, path)
+        restored = load_corpus(path)
+        assert len(restored) == len(toy_corpus)
+        assert restored.vocabulary == toy_corpus.vocabulary
+        assert restored.labels.tolist() == toy_corpus.labels.tolist()
+        assert restored.label_names == toy_corpus.label_names
+        for a, b in zip(restored.documents, toy_corpus.documents):
+            np.testing.assert_array_equal(a, b)
+
+    def test_roundtrip_without_labels(self, tmp_path):
+        vocab = Vocabulary(["x", "y"])
+        corpus = Corpus([[0, 1], [1, 1, 0]], vocab)
+        path = tmp_path / "corpus.npz"
+        save_corpus(corpus, path)
+        restored = load_corpus(path)
+        assert restored.labels is None
+        assert restored.label_names is None
+        np.testing.assert_allclose(
+            restored.bow_matrix(), corpus.bow_matrix()
+        )
+
+    def test_restored_vocabulary_is_frozen(self, toy_corpus, tmp_path):
+        path = tmp_path / "corpus.npz"
+        save_corpus(toy_corpus, path)
+        assert load_corpus(path).vocabulary.frozen
