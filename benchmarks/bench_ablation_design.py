@@ -13,9 +13,6 @@ This bench quantifies both, plus a metric-robustness check: the winner
 under NPMI coherence must also win under C_v.
 """
 
-import numpy as np
-import pytest
-
 from benchmarks.conftest import STRICT, print_block
 from repro.core import ContraTopic, ContraTopicConfig, npmi_kernel
 from repro.experiments.context import ExperimentContext
@@ -39,7 +36,7 @@ def _train_variant(context, kernel_temperature, negative_weight, seed=0):
     return model
 
 
-def test_design_choice_ablation(benchmark, settings_20ng):
+def test_design_choice_ablation(benchmark, settings_20ng, bench_registry):
     context = ExperimentContext(settings_20ng)
 
     grid = [
@@ -73,7 +70,8 @@ def test_design_choice_ablation(benchmark, settings_20ng):
         )
         return rows
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    with bench_registry.timer("ablation_design/run"):
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print_block(
         format_table(
             ["configuration", "coh@10%", "coh@100%", "div@100%", "C_v"],

@@ -7,23 +7,47 @@ precomputation time (paper: "a time equivalent to approximately 30
 training epochs"), and the per-epoch wall-clock of ContraTopic relative to
 its plain ETM backbone — the structural costs scale down with V² exactly
 as the paper's analysis predicts.
+
+Telemetry: the regularized run streams per-epoch telemetry (throughput,
+ELBO-vs-contrastive loss split) and a short op-profiled run collects
+per-op forward/backward timings; both are emitted as
+``BENCH_computational_analysis.json`` — the report CI's perf-guard
+(``benchmarks/check_regression.py``) compares against the checked-in
+baseline in ``benchmarks/baselines/``.
 """
 
 import time
 
-import numpy as np
-
-from benchmarks.conftest import STRICT, print_block
+from benchmarks.conftest import STRICT, emit_report, print_block
 from repro.core import ContraTopicConfig, npmi_kernel
 from repro.core.contratopic import ContraTopic
 from repro.experiments.context import ExperimentContext
 from repro.experiments.reporting import format_table
 from repro.metrics import compute_npmi_matrix
+from repro.telemetry import MetricsRegistry, TelemetryCallback, load_report, profile_ops
+
+#: Epochs of the dedicated op-profiling run (kept short: the per-op shims
+#: must not distort the headline plain-vs-regularized epoch comparison,
+#: so profiling happens in its own small run).
+PROFILE_EPOCHS = 2
+
+
+def _regularized(context, settings, kernel) -> ContraTopic:
+    return ContraTopic(
+        context.build("etm", seed=0),
+        kernel,
+        ContraTopicConfig(
+            lambda_weight=settings.resolved_lambda(),
+            negative_weight=settings.negative_weight,
+        ),
+    )
 
 
 def test_computational_analysis(benchmark, settings_nytimes):
     context = ExperimentContext(settings_nytimes)
     corpus = context.dataset.train
+    registry = MetricsRegistry()
+    telemetry = TelemetryCallback(registry=registry, run_name="contratopic")
 
     def run():
         t0 = time.perf_counter()
@@ -37,17 +61,17 @@ def test_computational_analysis(benchmark, settings_nytimes):
         plain.fit(corpus)
         plain_epoch = (time.perf_counter() - t0) / settings_nytimes.epochs
 
-        regularized = ContraTopic(
-            context.build("etm", seed=0),
-            kernel,
-            ContraTopicConfig(
-                lambda_weight=settings_nytimes.resolved_lambda(),
-                negative_weight=settings_nytimes.negative_weight,
-            ),
-        )
+        regularized = _regularized(context, settings_nytimes, kernel)
         t0 = time.perf_counter()
-        regularized.fit(corpus)
+        regularized.fit(corpus, callbacks=[telemetry])
         regularized_epoch = (time.perf_counter() - t0) / settings_nytimes.epochs
+
+        # Dedicated short profiled run: per-op forward/backward wall time
+        # and allocation volume of one regularized training step stream.
+        profiled = _regularized(context, settings_nytimes, kernel)
+        profiled.config.epochs = PROFILE_EPOCHS
+        with profile_ops(registry):
+            profiled.fit(corpus)
         return npmi_seconds, kernel_bytes, plain_epoch, regularized_epoch
 
     npmi_seconds, kernel_bytes, plain_epoch, regularized_epoch = benchmark.pedantic(
@@ -70,6 +94,36 @@ def test_computational_analysis(benchmark, settings_nytimes):
             title="§V.E computational analysis (NYTimes profile)",
         )
     )
+
+    report_path = emit_report(
+        "computational_analysis",
+        registry=registry,
+        epochs=telemetry.epochs,
+        meta={
+            "dataset": settings_nytimes.dataset,
+            "vocab_size": vocab,
+            "epochs": settings_nytimes.epochs,
+            "profile_epochs": PROFILE_EPOCHS,
+            "plain_epoch_seconds": plain_epoch,
+            "regularized_epoch_seconds": regularized_epoch,
+            "npmi_precompute_seconds": npmi_seconds,
+            "kernel_bytes": kernel_bytes,
+        },
+    )
+
+    # The emitted report must be a complete perf-guard input: per-op
+    # timings, per-epoch throughput, and the ELBO-vs-contrastive split.
+    report = load_report(report_path)
+    assert report["ops"], "op profiling produced no op table"
+    matmul = {r["op"]: r for r in report["ops"]}["matmul"]
+    assert matmul["calls"] > 0 and matmul["total_seconds"] > 0
+    assert matmul["backward_seconds"] > 0 and matmul["bytes"] > 0
+    assert len(report["epochs"]) == settings_nytimes.epochs
+    first_epoch = report["epochs"][0]
+    assert first_epoch["docs_per_sec"] > 0
+    assert first_epoch["elbo"] != 0.0 and first_epoch["contrastive"] != 0.0
+    assert report["totals"]["docs_per_sec"] > 0
+    assert 0.0 < report["totals"]["contrastive_loss_share"] < 1.0
 
     # O(V^2) space: the kernel really is two dense V x V doubles.
     assert kernel_bytes == 2 * vocab * vocab * 8

@@ -6,8 +6,6 @@ Measured here: topic-level metrics must not degrade, and km-Purity should
 match or improve over plain ContraTopic.
 """
 
-import numpy as np
-
 from benchmarks.conftest import STRICT, print_block
 from repro.cluster.kmeans import KMeans
 from repro.core import ContraTopicConfig, npmi_kernel
@@ -18,7 +16,7 @@ from repro.metrics.clustering_metrics import normalized_mutual_information, puri
 from repro.metrics.coherence import coherence_by_percentage
 
 
-def test_multilevel_extension(benchmark, settings_20ng):
+def test_multilevel_extension(benchmark, settings_20ng, bench_registry):
     context = ExperimentContext(settings_20ng)
     settings = context.settings
 
@@ -52,7 +50,8 @@ def test_multilevel_extension(benchmark, settings_20ng):
             }
         return results
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    with bench_registry.timer("extension_multilevel/run"):
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
     headers = ["model"] + list(next(iter(results.values())))
     rows = [[name] + list(values.values()) for name, values in results.items()]
     print_block(format_table(headers, rows, title="§VI multi-level extension (20NG)"))

@@ -5,8 +5,6 @@ topics on every slice, topic drift spikes when the new theme emerges, and
 at least one topic re-specializes onto the emerging theme's vocabulary.
 """
 
-import numpy as np
-
 from benchmarks.conftest import print_block
 from repro.core import ContraTopicConfig
 from repro.data.theme_banks import THEME_BANKS
@@ -22,7 +20,7 @@ from repro.metrics import compute_npmi_matrix, topic_coherence
 from repro.models import ETM, NTMConfig
 
 
-def test_online_extension(benchmark):
+def test_online_extension(benchmark, bench_registry):
     stream_config = DriftingStreamConfig(
         base_themes=("space", "medicine", "finance", "cooking"),
         emerging_themes=("wrestling",),
@@ -59,7 +57,8 @@ def test_online_extension(benchmark):
             rows.append([t, coherence, result.mean_drift])
         return rows, online, slices
 
-    rows, online, slices = benchmark.pedantic(run, rounds=1, iterations=1)
+    with bench_registry.timer("extension_online/run"):
+        rows, online, slices = benchmark.pedantic(run, rounds=1, iterations=1)
     print_block(
         format_table(
             ["slice", "coherence (slice NPMI)", "mean drift"],

@@ -17,11 +17,12 @@ from repro.experiments.fig2_interpretability import (
 
 
 @pytest.mark.parametrize("dataset", ["20ng", "yahoo", "nytimes"])
-def test_fig2_interpretability(benchmark, dataset, request):
+def test_fig2_interpretability(benchmark, dataset, request, bench_registry):
     settings = request.getfixturevalue(f"settings_{dataset}")
-    result = benchmark.pedantic(
-        run_fig2, args=(settings,), kwargs={"models": FIG2_MODELS}, rounds=1, iterations=1
-    )
+    with bench_registry.timer(f"fig2/{dataset}"):
+        result = benchmark.pedantic(
+            run_fig2, args=(settings,), kwargs={"models": FIG2_MODELS}, rounds=1, iterations=1
+        )
     print_block(format_fig2(result))
 
     if STRICT:

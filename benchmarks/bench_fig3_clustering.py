@@ -14,11 +14,12 @@ from repro.experiments.fig3_clustering import FIG3_MODELS, format_fig3, run_fig3
 
 
 @pytest.mark.parametrize("dataset", ["20ng", "yahoo"])
-def test_fig3_document_clustering(benchmark, dataset, request):
+def test_fig3_document_clustering(benchmark, dataset, request, bench_registry):
     settings = request.getfixturevalue(f"settings_{dataset}")
-    result = benchmark.pedantic(
-        run_fig3, args=(settings,), kwargs={"models": FIG3_MODELS}, rounds=1, iterations=1
-    )
+    with bench_registry.timer(f"fig3/{dataset}"):
+        result = benchmark.pedantic(
+            run_fig3, args=(settings,), kwargs={"models": FIG3_MODELS}, rounds=1, iterations=1
+        )
     print_block(format_fig3(result))
 
     contra = np.mean(list(result.km_purity["contratopic"].values()))

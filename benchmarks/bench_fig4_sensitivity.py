@@ -17,11 +17,12 @@ from repro.experiments.fig45_sensitivity import (
 
 
 @pytest.mark.parametrize("dataset", ["20ng", "yahoo"])
-def test_fig4_lambda_sensitivity(benchmark, dataset, request):
+def test_fig4_lambda_sensitivity(benchmark, dataset, request, bench_registry):
     settings = request.getfixturevalue(f"settings_{dataset}")
-    result = benchmark.pedantic(
-        run_lambda_sensitivity, args=(settings,), rounds=1, iterations=1
-    )
+    with bench_registry.timer(f"fig4/lambda/{dataset}"):
+        result = benchmark.pedantic(
+            run_lambda_sensitivity, args=(settings,), rounds=1, iterations=1
+        )
     print_block(format_sensitivity(result))
 
     lambdas = sorted(result.coherence_min)
@@ -34,11 +35,12 @@ def test_fig4_lambda_sensitivity(benchmark, dataset, request):
 
 
 @pytest.mark.parametrize("dataset", ["20ng"])
-def test_fig4_v_sensitivity(benchmark, dataset, request):
+def test_fig4_v_sensitivity(benchmark, dataset, request, bench_registry):
     settings = request.getfixturevalue(f"settings_{dataset}")
-    result = benchmark.pedantic(
-        run_v_sensitivity, args=(settings,), rounds=1, iterations=1
-    )
+    with bench_registry.timer(f"fig4/v/{dataset}"):
+        result = benchmark.pedantic(
+            run_v_sensitivity, args=(settings,), rounds=1, iterations=1
+        )
     print_block(format_sensitivity(result))
 
     vs = sorted(result.coherence_min)

@@ -14,14 +14,15 @@ from repro.experiments.fig45_sensitivity import (
 )
 
 
-def test_fig5_lambda_sensitivity_nytimes(benchmark, settings_nytimes):
-    result = benchmark.pedantic(
-        run_lambda_sensitivity,
-        args=(settings_nytimes,),
-        kwargs={"lambda_grid": LAMBDA_GRID_NYT},
-        rounds=1,
-        iterations=1,
-    )
+def test_fig5_lambda_sensitivity_nytimes(benchmark, settings_nytimes, bench_registry):
+    with bench_registry.timer("fig5/lambda/nytimes"):
+        result = benchmark.pedantic(
+            run_lambda_sensitivity,
+            args=(settings_nytimes,),
+            kwargs={"lambda_grid": LAMBDA_GRID_NYT},
+            rounds=1,
+            iterations=1,
+        )
     print_block(format_sensitivity(result))
 
     lambdas = sorted(result.coherence_min)
@@ -35,9 +36,10 @@ def test_fig5_lambda_sensitivity_nytimes(benchmark, settings_nytimes):
     assert not result.km_purity_max
 
 
-def test_fig5_v_sensitivity_nytimes(benchmark, settings_nytimes):
-    result = benchmark.pedantic(
-        run_v_sensitivity, args=(settings_nytimes,), rounds=1, iterations=1
-    )
+def test_fig5_v_sensitivity_nytimes(benchmark, settings_nytimes, bench_registry):
+    with bench_registry.timer("fig5/v/nytimes"):
+        result = benchmark.pedantic(
+            run_v_sensitivity, args=(settings_nytimes,), rounds=1, iterations=1
+        )
     print_block(format_sensitivity(result))
     assert len(result.coherence_min) >= 4

@@ -5,7 +5,6 @@ diversity across different backbone models" — for every backbone the
 +L_con variant must improve all-topics coherence.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import STRICT, print_block
@@ -13,11 +12,12 @@ from repro.experiments.fig6_backbone import BACKBONES, format_fig6, run_fig6
 
 
 @pytest.mark.parametrize("dataset", ["20ng", "yahoo"])
-def test_fig6_backbone_substitution(benchmark, dataset, request):
+def test_fig6_backbone_substitution(benchmark, dataset, request, bench_registry):
     settings = request.getfixturevalue(f"settings_{dataset}")
-    rows = benchmark.pedantic(
-        run_fig6, args=(settings,), kwargs={"backbones": BACKBONES}, rounds=1, iterations=1
-    )
+    with bench_registry.timer(f"fig6/{dataset}"):
+        rows = benchmark.pedantic(
+            run_fig6, args=(settings,), kwargs={"backbones": BACKBONES}, rounds=1, iterations=1
+        )
     print_block(format_fig6(rows, dataset))
 
     improved = 0

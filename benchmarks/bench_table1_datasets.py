@@ -9,10 +9,11 @@ from benchmarks.conftest import print_block
 from repro.experiments.table1_stats import format_table1, run_table1
 
 
-def test_table1_dataset_statistics(benchmark, settings_20ng):
-    rows = benchmark.pedantic(
-        run_table1, kwargs={"scale": settings_20ng.scale}, rounds=1, iterations=1
-    )
+def test_table1_dataset_statistics(benchmark, settings_20ng, bench_registry):
+    with bench_registry.timer("table1/run"):
+        rows = benchmark.pedantic(
+            run_table1, kwargs={"scale": settings_20ng.scale}, rounds=1, iterations=1
+        )
     print_block(format_table1(rows))
 
     by_name = {row.name: row for row in rows}

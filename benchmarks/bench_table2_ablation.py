@@ -11,14 +11,15 @@ from benchmarks.conftest import STRICT, print_block
 from repro.experiments.table2_ablation import ABLATION_ROWS, format_table2, run_table2
 
 
-def test_table2_ablation(benchmark, settings_20ng):
-    rows = benchmark.pedantic(
-        run_table2,
-        args=(settings_20ng,),
-        kwargs={"variants": ABLATION_ROWS},
-        rounds=1,
-        iterations=1,
-    )
+def test_table2_ablation(benchmark, settings_20ng, bench_registry):
+    with bench_registry.timer("table2/run"):
+        rows = benchmark.pedantic(
+            run_table2,
+            args=(settings_20ng,),
+            kwargs={"variants": ABLATION_ROWS},
+            rounds=1,
+            iterations=1,
+        )
     print_block(format_table2(rows))
 
     by_variant = {row.variant: row for row in rows}

@@ -10,14 +10,15 @@ from repro.experiments.fig2_interpretability import FIG2_MODELS
 from repro.experiments.table3_intrusion import format_table3, run_table3
 
 
-def test_table3_word_intrusion(benchmark, settings_20ng):
-    rows = benchmark.pedantic(
-        run_table3,
-        args=(settings_20ng,),
-        kwargs={"models": FIG2_MODELS},
-        rounds=1,
-        iterations=1,
-    )
+def test_table3_word_intrusion(benchmark, settings_20ng, bench_registry):
+    with bench_registry.timer("table3/run"):
+        rows = benchmark.pedantic(
+            run_table3,
+            args=(settings_20ng,),
+            kwargs={"models": FIG2_MODELS},
+            rounds=1,
+            iterations=1,
+        )
     print_block(format_table3(rows))
 
     by_model = {row.model: row.wis for row in rows}

@@ -28,15 +28,16 @@ def _redundancy(topics) -> float:
 
 
 @pytest.mark.parametrize("dataset", ["20ng", "yahoo", "nytimes"])
-def test_casestudy_tables(benchmark, dataset, request):
+def test_casestudy_tables(benchmark, dataset, request, bench_registry):
     settings = request.getfixturevalue(f"settings_{dataset}")
-    listings = benchmark.pedantic(
-        run_casestudy,
-        args=(settings,),
-        kwargs={"models": CASESTUDY_MODELS},
-        rounds=1,
-        iterations=1,
-    )
+    with bench_registry.timer(f"casestudy/{dataset}"):
+        listings = benchmark.pedantic(
+            run_casestudy,
+            args=(settings,),
+            kwargs={"models": CASESTUDY_MODELS},
+            rounds=1,
+            iterations=1,
+        )
     print_block(format_casestudy(listings, dataset))
 
     by_model = {listing.model: listing for listing in listings}

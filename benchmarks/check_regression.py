@@ -1,0 +1,101 @@
+"""CI perf-guard: compare a smoke-run BENCH report against the baseline.
+
+Usage (from the repository root, after a smoke benchmark run emitted
+``BENCH_computational_analysis.json`` into the current directory)::
+
+    REPRO_BENCH_FAST=1 python -m pytest benchmarks/bench_computational_analysis.py -q
+    python benchmarks/check_regression.py
+
+Exits 0 when every compared total is within ``--threshold`` (default 2x —
+deliberately tolerant, shared CI runners are noisy) of the checked-in
+baseline, 1 when any total regressed, 2 on bad inputs.  The diff table is
+printed either way.  Per-op rows are informational only; the gate runs on
+the scalar totals (op/epoch second sums, mean epoch time, docs/sec
+throughput).
+
+Refreshing the baseline after an intentional perf change::
+
+    python benchmarks/check_regression.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.telemetry import compare_reports, load_report  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_computational_analysis.json"
+DEFAULT_CURRENT = Path("BENCH_computational_analysis.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"checked-in baseline report (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=DEFAULT_CURRENT,
+        help=f"freshly-emitted report to check (default: {DEFAULT_CURRENT})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when a total is more than this factor slower (default: 2.0)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="copy --current over --baseline instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.current.exists():
+        print(f"error: current report {args.current} does not exist", file=sys.stderr)
+        print("run the smoke benchmarks first (see module docstring)", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} does not exist", file=sys.stderr)
+        return 2
+
+    try:
+        baseline = load_report(args.baseline)
+        current = load_report(args.current)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    failures, table = compare_reports(baseline, current, threshold=args.threshold)
+    print(table)
+    if failures:
+        print()
+        print(f"PERF REGRESSION ({len(failures)} failing total(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print()
+    print("perf-guard OK: no compared total regressed past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,23 +3,99 @@
 Every benchmark reproduces one table or figure of the paper at the default
 experiment scale (see ``repro.experiments.context.ExperimentSettings``) and
 prints the paper-style rows/series so the run log doubles as the
-reproduction record.  Set ``REPRO_BENCH_FAST=1`` to use the smoke-test
-scale instead (useful for CI).
+reproduction record.
+
+Environment variables
+---------------------
+``REPRO_BENCH_FAST``
+    ``1`` / ``true`` / ``yes`` / ``on`` (any case) switch to the
+    smoke-test scale: every workload still runs and checks structural
+    invariants, but the paper-shape assertions (which only hold for
+    adequately-trained models) are skipped.  ``0`` / ``false`` / ``no`` /
+    ``off``, the empty string, or unset keep the full, strict scale.
+    Anything else is an error — a typo must not silently pick a mode.
+``REPRO_BENCH_TELEMETRY_DIR``
+    Directory the ``BENCH_*.json`` telemetry reports are written to
+    (default: the current working directory).
+
+Telemetry
+---------
+Every benchmark test is timed into a session-wide
+:class:`repro.telemetry.MetricsRegistry` under ``bench/<test name>``
+(autouse fixture); individual benchmarks add finer-grained stage timers
+via the ``bench_registry`` fixture.  At session end the aggregate is
+written to ``BENCH_suite.json``; benchmarks with richer telemetry (op
+tables, epoch tables) emit their own report through :func:`emit_report`.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.experiments import ExperimentSettings
+from repro.telemetry import MetricsRegistry, build_report, write_report
+
+_TRUE_VALUES = {"1", "true", "yes", "on"}
+_FALSE_VALUES = {"", "0", "false", "no", "off"}
 
 
-#: False when REPRO_BENCH_FAST is set — the smoke run still executes every
-#: workload and checks structural invariants, but skips the paper-shape
-#: assertions, which only hold for adequately-trained models.
-STRICT = not os.environ.get("REPRO_BENCH_FAST")
+def parse_env_flag(name: str, default: bool = False) -> bool:
+    """Parse a boolean environment variable predictably.
+
+    Unlike raw truthiness of the env string (under which ``"0"`` was
+    previously *truthy*), this accepts exactly the documented spellings.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value in _TRUE_VALUES:
+        return True
+    if value in _FALSE_VALUES:
+        return False
+    raise ValueError(
+        f"{name}={raw!r} is not a valid flag; use one of "
+        f"{sorted(_TRUE_VALUES)} or {sorted(_FALSE_VALUES)}"
+    )
+
+
+#: True when REPRO_BENCH_FAST selects the smoke-test scale.
+FAST = parse_env_flag("REPRO_BENCH_FAST")
+
+#: False when in fast mode — the smoke run still executes every workload
+#: and checks structural invariants, but skips the paper-shape assertions,
+#: which only hold for adequately-trained models.
+STRICT = not FAST
+
+
+def telemetry_dir() -> Path:
+    """Directory BENCH_*.json reports are written to."""
+    return Path(os.environ.get("REPRO_BENCH_TELEMETRY_DIR", "."))
+
+
+def emit_report(name: str, registry=None, epochs=None, meta=None) -> Path:
+    """Write ``BENCH_<name>.json`` into :func:`telemetry_dir`."""
+    merged_meta = {"fast": FAST, **(meta or {})}
+    report = build_report(name, registry=registry, epochs=epochs, meta=merged_meta)
+    return write_report(report, telemetry_dir() / f"BENCH_{name}.json")
+
+
+@pytest.fixture(scope="session")
+def bench_registry():
+    """Session-wide telemetry sink; dumped to BENCH_suite.json at exit."""
+    registry = MetricsRegistry()
+    yield registry
+    emit_report("suite", registry=registry)
+
+
+@pytest.fixture(autouse=True)
+def _time_each_benchmark(request, bench_registry):
+    """Record every test's wall time under ``bench/<test name>``."""
+    with bench_registry.timer(f"bench/{request.node.name}"):
+        yield
 
 
 def _base(dataset: str) -> ExperimentSettings:

@@ -7,6 +7,9 @@ Commands
 ``evaluate``  Reload a checkpoint and re-score it on the test split.
 ``topics``    Train (or reload) and print the top topics with NPMI.
 ``datasets``  Print the Table-I statistics of the bundled profiles.
+``bench``     Train with telemetry enabled and write a ``BENCH_*.json``
+              report (per-op timings with ``--profile-ops``, per-epoch
+              throughput, ELBO-vs-contrastive loss split).
 
 Examples
 --------
@@ -18,6 +21,8 @@ Examples
     python -m repro evaluate --dataset 20ng --model contratopic \
         --checkpoint /tmp/ct.npz
     python -m repro topics --dataset yahoo --model etm --num-topics 20
+    python -m repro bench --dataset 20ng --model contratopic --epochs 5 \
+        --telemetry out.json --profile-ops
 """
 
 from __future__ import annotations
@@ -139,6 +144,51 @@ def _cmd_datasets(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace, out) -> int:
+    import contextlib
+
+    from repro.models.base import NeuralTopicModel
+    from repro.telemetry import (
+        MetricsRegistry,
+        TelemetryCallback,
+        build_report,
+        format_report,
+        profile_ops,
+        write_report,
+    )
+
+    context = ExperimentContext(_settings_from_args(args))
+    model = context.build(args.model, seed=args.seed)
+    if not isinstance(model, NeuralTopicModel):
+        raise SystemExit("bench requires a neural model (with an epoch loop)")
+    registry = MetricsRegistry()
+    callback = TelemetryCallback(
+        path=args.jsonl, registry=registry, run_name=args.model
+    )
+    print(f"benchmarking {args.model} on {args.dataset}...", file=out)
+    profiler = profile_ops(registry) if args.profile_ops else contextlib.nullcontext()
+    with profiler, registry.timer("bench/fit"):
+        model.fit(context.dataset.train, callbacks=[callback])
+    report = build_report(
+        args.name or f"{args.model}_{args.dataset}",
+        registry=registry,
+        epochs=callback.epochs,
+        meta={
+            "dataset": args.dataset,
+            "model": args.model,
+            "scale": args.scale,
+            "num_topics": args.num_topics,
+            "epochs": args.epochs,
+            "seed": args.seed,
+            "profile_ops": bool(args.profile_ops),
+        },
+    )
+    path = write_report(report, args.telemetry)
+    print(format_report(report), file=out)
+    print(f"wrote telemetry report to {path}", file=out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -159,6 +209,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     datasets = sub.add_parser("datasets", help="print Table-I statistics")
     datasets.add_argument("--scale", type=float, default=0.3)
+
+    bench = sub.add_parser(
+        "bench", help="train with telemetry and write a BENCH_*.json report"
+    )
+    _add_model_arguments(bench)
+    bench.add_argument(
+        "--telemetry", required=True, help="path for the BENCH_*.json report"
+    )
+    bench.add_argument(
+        "--jsonl", default=None, help="also stream per-epoch records here"
+    )
+    bench.add_argument(
+        "--profile-ops",
+        action="store_true",
+        help="enable op-level autodiff profiling (adds per-op tables)",
+    )
+    bench.add_argument("--name", default=None, help="report name (default: model_dataset)")
     return parser
 
 
@@ -169,6 +236,7 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         "evaluate": _cmd_evaluate,
         "topics": _cmd_topics,
         "datasets": _cmd_datasets,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args, out)
 

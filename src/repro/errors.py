@@ -38,3 +38,7 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class NotFittedError(ReproError, RuntimeError):
     """A model method requiring a fitted model was called before ``fit``."""
+
+
+class TelemetryError(ReproError, RuntimeError):
+    """Telemetry was used illegally (nested op profiling, closed sink...)."""

@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from functools import cached_property
 
-import numpy as np
 
 from repro.data.datasets import Dataset, load_dataset
 from repro.embeddings.store import EmbeddingStore, build_embeddings

@@ -14,7 +14,6 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.metrics.coherence import (
     DEFAULT_PERCENTAGES,
-    select_topics_by_coherence,
     top_word_ids,
     topic_npmi_scores,
 )

@@ -13,6 +13,7 @@ topic-word matrix β is parameterized and which extra loss terms they add.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -222,18 +223,33 @@ class NeuralTopicModel(TopicModel, Module):
             rng=np.random.default_rng(self.config.seed + 1),
         )
         for epoch in range(self.config.epochs):
+            epoch_start = time.perf_counter()
             epoch_parts: dict[str, float] = {}
             n_batches = 0
+            docs_seen = 0
+            grad_norm_total = 0.0
             for bow in batches:
                 optimizer.zero_grad()
                 loss, parts = self.loss_on_batch(bow)
                 loss.backward()
-                clip_grad_norm(self.parameters(), self.config.grad_clip)
+                grad_norm_total += clip_grad_norm(
+                    self.parameters(), self.config.grad_clip
+                )
                 optimizer.step()
                 for key, value in parts.items():
                     epoch_parts[key] = epoch_parts.get(key, 0.0) + value
                 n_batches += 1
+                docs_seen += len(bow)
             logs = {k: v / max(n_batches, 1) for k, v in epoch_parts.items()}
+            # Telemetry: wall time on the monotonic clock, throughput and
+            # the mean pre-clip gradient norm travel with the loss parts so
+            # callbacks (e.g. TelemetryCallback) see them per epoch.
+            epoch_seconds = time.perf_counter() - epoch_start
+            logs["epoch_seconds"] = epoch_seconds
+            logs["docs_per_sec"] = (
+                docs_seen / epoch_seconds if epoch_seconds > 0 else 0.0
+            )
+            logs["grad_norm"] = grad_norm_total / max(n_batches, 1)
             self.history.append(logs | {"epoch": float(epoch)})
             stop = False
             for callback in callbacks:

@@ -16,7 +16,6 @@ from repro.errors import ShapeError
 from repro.metrics.npmi import NpmiMatrix
 from repro.models.base import NTMConfig
 from repro.models.prodlda import ProdLDA
-from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
 
 

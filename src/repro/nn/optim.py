@@ -30,7 +30,11 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
 
 
 class Optimizer:
-    """Base class: stores parameters and provides ``zero_grad``."""
+    """Base class: stores parameters, provides ``zero_grad``, counts steps.
+
+    ``step_count`` is the number of completed :meth:`step` calls — free
+    telemetry for throughput reports (updates/sec, updates/epoch).
+    """
 
     def __init__(self, parameters: Sequence[Parameter], lr: float):
         if lr <= 0:
@@ -39,6 +43,7 @@ class Optimizer:
         if not self.parameters:
             raise ConfigError("optimizer received no parameters")
         self.lr = lr
+        self.step_count = 0
 
     def zero_grad(self) -> None:
         for p in self.parameters:
@@ -64,6 +69,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        self.step_count += 1
         for p, vel in zip(self.parameters, self._velocity):
             if p.grad is None:
                 continue
@@ -100,6 +106,7 @@ class Adam(Optimizer):
         self._t = 0
 
     def step(self) -> None:
+        self.step_count += 1
         self._t += 1
         beta1, beta2 = self.betas
         bias1 = 1.0 - beta1**self._t
@@ -133,6 +140,7 @@ class AdaGrad(Optimizer):
         self._accum = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        self.step_count += 1
         for p, accum in zip(self.parameters, self._accum):
             if p.grad is None:
                 continue

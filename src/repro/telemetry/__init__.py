@@ -1,0 +1,49 @@
+"""Telemetry & performance-measurement subsystem.
+
+Layers, bottom-up:
+
+* :mod:`repro.telemetry.core` — :class:`MetricsRegistry` with nested
+  monotonic-clock timers and counters (the sink everything writes into);
+* :mod:`repro.telemetry.ophooks` — :func:`profile_ops`, op-level
+  profiling of the autodiff engine (per-op call counts, forward/backward
+  wall-time, bytes allocated), zero-cost unless the context is active;
+* :mod:`repro.telemetry.callback` — :class:`TelemetryCallback`, per-epoch
+  trainer telemetry (throughput, ELBO-vs-contrastive loss split) streamed
+  as JSONL;
+* :mod:`repro.telemetry.report` — the ``BENCH_<name>.json`` schema:
+  build/load/format reports and compare them for perf regressions.
+
+See ``docs/TELEMETRY.md`` for the schema and the CI perf-guard workflow.
+"""
+
+from repro.telemetry.core import Counter, MetricsRegistry, Timer, TimerStat
+from repro.telemetry.ophooks import OP_PREFIX, is_profiling, profile_ops
+from repro.telemetry.callback import TelemetryCallback, read_jsonl
+from repro.telemetry.report import (
+    SCHEMA,
+    build_report,
+    compare_reports,
+    epoch_rows_from_history,
+    format_report,
+    load_report,
+    write_report,
+)
+
+__all__ = [
+    "Counter",
+    "MetricsRegistry",
+    "Timer",
+    "TimerStat",
+    "OP_PREFIX",
+    "is_profiling",
+    "profile_ops",
+    "TelemetryCallback",
+    "read_jsonl",
+    "SCHEMA",
+    "build_report",
+    "compare_reports",
+    "epoch_rows_from_history",
+    "format_report",
+    "load_report",
+    "write_report",
+]

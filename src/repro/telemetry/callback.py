@@ -1,0 +1,149 @@
+"""Trainer telemetry: the JSONL-streaming :class:`TelemetryCallback`.
+
+The epoch loop of :meth:`repro.models.base.NeuralTopicModel.fit` already
+measures per-epoch wall time and throughput (``epoch_seconds`` /
+``docs_per_sec`` in the epoch logs).  This callback turns those logs into
+a machine-readable record stream: one JSON object per line (JSONL), one
+line per epoch, bracketed by ``fit_start`` / ``fit_end`` events — the raw
+material for ``BENCH_*.json`` reports (:mod:`repro.telemetry.report`).
+
+The loss breakdown follows the paper's §V computational analysis: the
+backbone's ELBO terms (``rec + kl``) are reported separately from the
+contrastive regularizer's term (the ``extra`` loss component), so the
+regularizer's training cost is visible per epoch.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO
+
+from repro.nn.module import Module
+from repro.telemetry.core import MetricsRegistry
+from repro.training.callbacks import Callback
+
+
+class TelemetryCallback(Callback):
+    """Streams per-epoch telemetry as JSONL and aggregates for reports.
+
+    Parameters
+    ----------
+    path:
+        File to stream JSONL records to; opened at ``on_fit_start`` and
+        closed at ``on_fit_end``.  Omit to keep records in memory only.
+    stream:
+        An already-open text file-like to write to instead of ``path``
+        (not closed by the callback).  Mutually exclusive with ``path``.
+    registry:
+        Optional :class:`MetricsRegistry` that accumulates ``train/epoch``
+        timings and ``train/docs`` counts alongside the record stream.
+    run_name:
+        Label stamped on every record (distinguishes runs sharing a sink).
+
+    Attributes
+    ----------
+    records:
+        Every emitted record, in order (including start/end events).
+    epochs:
+        Only the per-epoch records — the epoch table of a report.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        stream: IO[str] | None = None,
+        registry: MetricsRegistry | None = None,
+        run_name: str = "train",
+    ):
+        if path is not None and stream is not None:
+            raise ValueError("pass either path or stream, not both")
+        self.path = Path(path) if path is not None else None
+        self.registry = registry
+        self.run_name = run_name
+        self.records: list[dict] = []
+        self.epochs: list[dict] = []
+        self._stream: IO[str] | None = stream
+        self._owns_stream = False
+        self._fit_start = 0.0
+
+    # ------------------------------------------------------------------
+    def _emit(self, record: dict) -> dict:
+        record = {"run": self.run_name, **record}
+        self.records.append(record)
+        if self._stream is not None:
+            self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+            self._stream.flush()
+        return record
+
+    # ------------------------------------------------------------------
+    def on_fit_start(self, model) -> None:
+        if self.path is not None:
+            self._stream = self.path.open("w", encoding="utf-8")
+            self._owns_stream = True
+        self._fit_start = time.perf_counter()
+        self.records.clear()
+        self.epochs.clear()
+        record = {
+            "event": "fit_start",
+            "model": type(model).__name__,
+            "epochs_planned": int(model.config.epochs),
+            "batch_size": int(model.config.batch_size),
+        }
+        if isinstance(model, Module):
+            record["num_parameters"] = int(model.num_parameters())
+        self._emit(record)
+
+    def on_epoch_end(self, model, epoch, logs) -> bool:
+        rec = float(logs.get("rec", 0.0))
+        kl = float(logs.get("kl", 0.0))
+        contrastive = float(logs.get("extra", 0.0))
+        record = {
+            "event": "epoch",
+            "epoch": int(epoch),
+            **{k: float(v) for k, v in logs.items()},
+            "elbo": rec + kl,
+            "contrastive": contrastive,
+        }
+        self.epochs.append(self._emit(record))
+        if self.registry is not None:
+            self.registry.count("train/epochs", absolute=True)
+            if "epoch_seconds" in logs:
+                self.registry.record_seconds(
+                    "train/epoch", float(logs["epoch_seconds"]), absolute=True
+                )
+            if "docs_per_sec" in logs and "epoch_seconds" in logs:
+                self.registry.count(
+                    "train/docs",
+                    float(logs["docs_per_sec"]) * float(logs["epoch_seconds"]),
+                    absolute=True,
+                )
+        return False
+
+    def on_fit_end(self, model) -> None:
+        wall = time.perf_counter() - self._fit_start
+        self._emit(
+            {
+                "event": "fit_end",
+                "epochs_run": len(self.epochs),
+                "wall_seconds": wall,
+            }
+        )
+        if self.registry is not None:
+            self.registry.record_seconds("train/fit", wall, absolute=True)
+        if self._owns_stream and self._stream is not None:
+            self._stream.close()
+            self._stream = None
+            self._owns_stream = False
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load every record from a JSONL telemetry stream."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,226 @@
+"""Low-overhead timers, counters and the :class:`MetricsRegistry`.
+
+The registry is the single sink every telemetry producer writes into:
+op-level profiling hooks (:mod:`repro.telemetry.ophooks`), the trainer's
+:class:`~repro.telemetry.callback.TelemetryCallback`, and the benchmark
+suite's per-stage timers.  Timings use the monotonic high-resolution clock
+(``time.perf_counter``) so they are immune to wall-clock adjustments.
+
+Scoped keys
+-----------
+Timer blocks nest: entering ``registry.timer("fit")`` and, inside it,
+``registry.timer("epoch")`` records the inner block under the key
+``"fit/epoch"``.  The scope stack is thread-local, so timings from
+different threads never interleave into wrong keys.  Producers that need
+stable keys regardless of the caller's scope (the op hooks do) pass
+``absolute=True``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import IO
+
+SCOPE_SEPARATOR = "/"
+
+
+class Counter:
+    """A named monotonically-growing tally (calls, bytes, documents...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0):
+        self.name = name
+        self.value = value
+
+    def add(self, amount: float = 1) -> None:
+        """Increase the tally by ``amount`` (int or float)."""
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Counter({self.name!r}, {self.value!r})"
+
+
+@dataclass
+class TimerStat:
+    """Aggregate statistics of every completed timing of one key."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = math.inf
+    max_seconds: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Fold one measured duration into the aggregate."""
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds < self.min_seconds:
+            self.min_seconds = seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average duration over all recordings (0.0 before the first)."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready summary of this stat."""
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "min_seconds": self.min_seconds if self.count else 0.0,
+            "max_seconds": self.max_seconds,
+        }
+
+
+class Timer:
+    """Context manager timing one block into a registry.
+
+    Entering pushes the timer's name onto the registry's (thread-local)
+    scope stack, so timers started inside the block nest under it.  The
+    elapsed time is recorded on exit — also when the block raises, so a
+    failing stage still shows up in the report.
+    """
+
+    __slots__ = ("registry", "name", "_key", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self.registry = registry
+        self.name = name
+        self._key: str | None = None
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._key = self.registry._push_scope(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        self.registry._pop_scope()
+        assert self._key is not None
+        self.registry.record_seconds(self._key, elapsed, absolute=True)
+
+    @property
+    def key(self) -> str | None:
+        """Full scoped key this timer records under (set on ``__enter__``)."""
+        return self._key
+
+
+class MetricsRegistry:
+    """Accumulates named counters and timer statistics.
+
+    All mutating methods are cheap (a dict lookup and a float add); the
+    registry itself is a passive sink and performs no I/O — serialisation
+    lives in :meth:`snapshot` / :meth:`dump_json` and
+    :mod:`repro.telemetry.report`.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.timers: dict[str, TimerStat] = {}
+        self._scopes = threading.local()
+
+    # ------------------------------------------------------------------
+    # scope handling
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._scopes, "stack", None)
+        if stack is None:
+            stack = []
+            self._scopes.stack = stack
+        return stack
+
+    def _push_scope(self, name: str) -> str:
+        stack = self._stack()
+        key = SCOPE_SEPARATOR.join([*stack, name]) if stack else name
+        stack.append(name)
+        return key
+
+    def _pop_scope(self) -> None:
+        self._stack().pop()
+
+    def current_scope(self) -> str:
+        """The active scope prefix ("" at top level)."""
+        return SCOPE_SEPARATOR.join(self._stack())
+
+    def scoped_key(self, name: str, absolute: bool = False) -> str:
+        """Resolve ``name`` against the active scope stack."""
+        if absolute:
+            return name
+        prefix = self.current_scope()
+        return f"{prefix}{SCOPE_SEPARATOR}{name}" if prefix else name
+
+    # ------------------------------------------------------------------
+    # producers
+    # ------------------------------------------------------------------
+    def counter(self, name: str, absolute: bool = False) -> Counter:
+        """Get (or create) the counter for ``name``."""
+        key = self.scoped_key(name, absolute=absolute)
+        counter = self.counters.get(key)
+        if counter is None:
+            counter = self.counters[key] = Counter(key)
+        return counter
+
+    def count(self, name: str, amount: float = 1, absolute: bool = False) -> None:
+        """Shorthand for ``counter(name).add(amount)``."""
+        self.counter(name, absolute=absolute).add(amount)
+
+    def timer(self, name: str) -> Timer:
+        """A context manager timing a block under the (nested) key ``name``."""
+        return Timer(self, name)
+
+    def record_seconds(self, name: str, seconds: float, absolute: bool = False) -> None:
+        """Fold an externally-measured duration into the stats for ``name``."""
+        key = self.scoped_key(name, absolute=absolute)
+        stat = self.timers.get(key)
+        if stat is None:
+            stat = self.timers[key] = TimerStat()
+        stat.record(seconds)
+
+    # ------------------------------------------------------------------
+    # consumers
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-serialisable view of every counter and timer."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "timers": {k: t.as_dict() for k, t in sorted(self.timers.items())},
+        }
+
+    def dump_json(self, fp: IO[str], indent: int | None = 2) -> None:
+        """Write :meth:`snapshot` as JSON to an open text file."""
+        json.dump(self.snapshot(), fp, indent=indent, sort_keys=True)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's counters and timers into this one."""
+        for key, counter in other.counters.items():
+            self.counter(key, absolute=True).add(counter.value)
+        for key, stat in other.timers.items():
+            mine = self.timers.get(key)
+            if mine is None:
+                mine = self.timers[key] = TimerStat()
+            mine.count += stat.count
+            mine.total_seconds += stat.total_seconds
+            mine.min_seconds = min(mine.min_seconds, stat.min_seconds)
+            mine.max_seconds = max(mine.max_seconds, stat.max_seconds)
+
+    def reset(self) -> None:
+        """Drop every recorded counter and timer (scope stack survives)."""
+        self.counters.clear()
+        self.timers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"timers={len(self.timers)})"
+        )
+
+
+__all__ = ["Counter", "TimerStat", "Timer", "MetricsRegistry", "SCOPE_SEPARATOR"]

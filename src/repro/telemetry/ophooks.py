@@ -1,0 +1,156 @@
+"""Op-level profiling hooks for the autodiff engine.
+
+:func:`profile_ops` wraps every operation listed in
+:data:`repro.tensor.tensor.PROFILED_TENSOR_OPS`,
+:data:`repro.tensor.tensor.PROFILED_MODULE_OPS` and
+:data:`repro.tensor.functional.PROFILED_FUNCTIONAL_OPS` with a shim that
+records, per op:
+
+* ``op/<name>`` (timer)            — forward wall-time
+* ``op/<name>.backward`` (timer)   — wall-time of the op's backward closure
+* ``op/<name>.calls`` (counter)    — forward invocations
+* ``op/<name>.bytes`` (counter)    — bytes allocated for the output array
+
+The shims are installed by *swapping class and module attributes* and are
+removed on exit, so the disabled path runs the original, unwrapped
+functions — zero overhead when profiling is off, and zero numerical
+impact when it is on (the shim calls the original exactly once and only
+observes the result).
+
+Profiling is process-global (it patches the shared classes/modules), so it
+is deliberately non-reentrant: nesting two ``profile_ops`` blocks raises
+:class:`~repro.errors.TelemetryError`.  It is also not thread-safe —
+profile single-threaded sections only.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import time
+from typing import Iterator
+
+from repro.errors import TelemetryError
+from repro.telemetry.core import MetricsRegistry
+from repro.tensor import functional as _functional
+from repro.tensor import tensor as _tensor
+from repro.tensor.tensor import (
+    PROFILED_MODULE_OPS,
+    PROFILED_TENSOR_OPS,
+    Tensor,
+)
+
+#: Key prefix every op-hook metric is recorded under.
+OP_PREFIX = "op/"
+
+#: Timer key for full reverse-mode graph traversals.
+BACKWARD_PASS_KEY = "autograd/backward_pass"
+
+# The single active registry; module-global so the wrappers can assert
+# non-reentrancy cheaply.
+_ACTIVE: MetricsRegistry | None = None
+
+
+def is_profiling() -> bool:
+    """Whether a :func:`profile_ops` block is currently active."""
+    return _ACTIVE is not None
+
+
+def op_label(attribute_name: str) -> str:
+    """Human-readable op name: ``__matmul__`` -> ``matmul``."""
+    return attribute_name.strip("_")
+
+
+def _wrap_op(fn, label: str, registry: MetricsRegistry):
+    """Build the timing/counting shim around one forward function."""
+    key = OP_PREFIX + label
+    backward_key = key + ".backward"
+    calls_key = key + ".calls"
+    bytes_key = key + ".bytes"
+
+    @functools.wraps(fn)
+    def profiled(*args, **kwargs):
+        start = time.perf_counter()
+        out = fn(*args, **kwargs)
+        registry.record_seconds(key, time.perf_counter() - start, absolute=True)
+        registry.count(calls_key, absolute=True)
+        if isinstance(out, Tensor):
+            registry.count(bytes_key, out.data.nbytes, absolute=True)
+            inner = out._backward
+            if inner is not None:
+
+                def timed_backward(grad, _inner=inner):
+                    t0 = time.perf_counter()
+                    _inner(grad)
+                    registry.record_seconds(
+                        backward_key, time.perf_counter() - t0, absolute=True
+                    )
+
+                out._backward = timed_backward
+        return out
+
+    profiled.__profiled_original__ = fn
+    return profiled
+
+
+def _wrap_backward_pass(fn, registry: MetricsRegistry):
+    """Time whole ``Tensor.backward`` traversals (closures included)."""
+
+    @functools.wraps(fn)
+    def profiled(self, grad=None):
+        start = time.perf_counter()
+        result = fn(self, grad)
+        registry.record_seconds(
+            BACKWARD_PASS_KEY, time.perf_counter() - start, absolute=True
+        )
+        registry.count(BACKWARD_PASS_KEY + ".calls", absolute=True)
+        return result
+
+    profiled.__profiled_original__ = fn
+    return profiled
+
+
+@contextlib.contextmanager
+def profile_ops(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Enable op-level profiling of the autodiff engine inside a block.
+
+    Parameters
+    ----------
+    registry:
+        Sink for the recorded metrics.  A fresh :class:`MetricsRegistry`
+        is created (and yielded) when omitted.
+
+    Yields
+    ------
+    The registry collecting ``op/*`` timers and counters.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise TelemetryError("profile_ops() does not nest; a block is already active")
+    registry = registry if registry is not None else MetricsRegistry()
+    _ACTIVE = registry
+
+    saved: list[tuple[object, str, object]] = []
+
+    def install(owner, attribute: str, wrapper) -> None:
+        saved.append((owner, attribute, getattr(owner, attribute)))
+        setattr(owner, attribute, wrapper)
+
+    try:
+        for name in PROFILED_TENSOR_OPS:
+            original = getattr(Tensor, name)
+            install(Tensor, name, _wrap_op(original, op_label(name), registry))
+        install(
+            Tensor, "backward", _wrap_backward_pass(Tensor.backward, registry)
+        )
+        for name in PROFILED_MODULE_OPS:
+            original = getattr(_tensor, name)
+            install(_tensor, name, _wrap_op(original, op_label(name), registry))
+        for name in _functional.PROFILED_FUNCTIONAL_OPS:
+            original = getattr(_functional, name)
+            install(_functional, name, _wrap_op(original, op_label(name), registry))
+        yield registry
+    finally:
+        for owner, attribute, original in reversed(saved):
+            setattr(owner, attribute, original)
+        _ACTIVE = None

@@ -9,7 +9,14 @@ topic models in :mod:`repro.models`, together with functional helpers
 used by the test-suite to certify every operator's gradient.
 """
 
-from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, as_tensor
+from repro.tensor.tensor import (
+    PROFILED_MODULE_OPS,
+    PROFILED_TENSOR_OPS,
+    Tensor,
+    as_tensor,
+    is_grad_enabled,
+    no_grad,
+)
 from repro.tensor import functional
 from repro.tensor.functional import (
     softmax,
@@ -27,6 +34,8 @@ from repro.tensor.functional import (
 from repro.tensor.gradcheck import gradcheck, numerical_gradient
 
 __all__ = [
+    "PROFILED_MODULE_OPS",
+    "PROFILED_TENSOR_OPS",
     "Tensor",
     "no_grad",
     "is_grad_enabled",

@@ -16,6 +16,26 @@ from repro.tensor.tensor import Tensor, as_tensor
 _SELU_ALPHA = 1.6732632423543772
 _SELU_SCALE = 1.0507009873554805
 
+#: Composite functional ops eligible for op-level profiling (see
+#: :func:`repro.telemetry.ophooks.profile_ops`).  Profiling a composite
+#: also profiles the primitive Tensor ops it is built from, so op tables
+#: show both the composite's total and its constituents.
+PROFILED_FUNCTIONAL_OPS: tuple[str, ...] = (
+    "logsumexp",
+    "softmax",
+    "log_softmax",
+    "sigmoid",
+    "tanh",
+    "relu",
+    "leaky_relu",
+    "selu",
+    "softplus",
+    "gelu",
+    "cross_entropy_with_probs",
+    "kl_normal_standard",
+    "mse",
+)
+
 
 def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
     """Numerically stable ``log(sum(exp(x)))`` along ``axis``."""

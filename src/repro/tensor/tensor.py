@@ -9,6 +9,12 @@ topologically sorts the graph and runs the closures in reverse order.
 Only float64 data is used.  Neural topic models are small enough that the
 extra precision is free, and it makes the finite-difference gradient checks
 in the test-suite much sharper.
+
+Profiling: :data:`PROFILED_TENSOR_OPS` / :data:`PROFILED_MODULE_OPS` name
+the operations that :func:`repro.telemetry.ophooks.profile_ops` wraps with
+timing/counting shims while active.  The default path is untouched — the
+hooks swap the class/module attributes in and back out, so disabled runs
+execute the original unwrapped code.
 """
 
 from __future__ import annotations
@@ -22,6 +28,36 @@ import numpy as np
 from repro.errors import GradientError, ShapeError
 
 _GRAD_STATE = threading.local()
+
+#: Tensor methods eligible for op-level profiling (dunder names are
+#: reported without their underscores, e.g. ``__matmul__`` -> ``matmul``).
+PROFILED_TENSOR_OPS: tuple[str, ...] = (
+    "__add__",
+    "__neg__",
+    "__sub__",
+    "__mul__",
+    "__truediv__",
+    "__pow__",
+    "__matmul__",
+    "__getitem__",
+    "exp",
+    "log",
+    "sqrt",
+    "abs",
+    "clip",
+    "maximum",
+    "sum",
+    "mean",
+    "max",
+    "min",
+    "reshape",
+    "transpose",
+    "expand_dims",
+    "squeeze",
+)
+
+#: Module-level graph constructors eligible for op-level profiling.
+PROFILED_MODULE_OPS: tuple[str, ...] = ("concatenate", "stack", "where")
 
 
 def is_grad_enabled() -> bool:

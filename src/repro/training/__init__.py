@@ -23,6 +23,16 @@ from repro.training.callbacks import (
     ValidationEvaluator,
 )
 
+
+def __getattr__(name: str):
+    # Lazy re-export: repro.telemetry.callback subclasses Callback from
+    # this package, so a top-level import here would be circular.
+    if name == "TelemetryCallback":
+        from repro.telemetry.callback import TelemetryCallback
+
+        return TelemetryCallback
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "set_global_seed",
     "spawn_rng",
@@ -35,5 +45,6 @@ __all__ = [
     "EarlyStopping",
     "HistoryLogger",
     "LambdaCallback",
+    "TelemetryCallback",
     "ValidationEvaluator",
 ]

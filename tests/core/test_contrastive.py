@@ -6,7 +6,6 @@ import pytest
 from repro.core import ContrastiveMode, npmi_kernel, topic_contrastive_loss
 from repro.core.similarity import SimilarityKernel
 from repro.errors import ShapeError
-from repro.metrics import NpmiMatrix
 from repro.tensor import Tensor, gradcheck
 
 

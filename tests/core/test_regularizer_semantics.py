@@ -16,7 +16,6 @@ from repro.core import (
     topic_contrastive_loss,
 )
 from repro.core.similarity import SimilarityKernel
-from repro.metrics import NpmiMatrix
 from repro.tensor import Tensor, softmax
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import Corpus, Vocabulary
+from repro.data import Corpus
 from repro.errors import CorpusError
 
 

@@ -1,7 +1,6 @@
 """Theme-bank hygiene: the banks are data, so test them like data."""
 
 import numpy as np
-import pytest
 
 from repro.data.preprocessing import STOP_WORDS
 from repro.data.theme_banks import BACKGROUND_BANK, THEME_BANKS, bank_vocabulary

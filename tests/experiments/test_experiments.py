@@ -1,8 +1,5 @@
 """Experiment harness smoke tests (very small configurations)."""
 
-import dataclasses
-
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError

@@ -31,8 +31,6 @@ def stream():
 
 def _make_online(vocab_size, epochs=4):
     def factory():
-        from repro.embeddings import svd_embeddings
-
         # cheap random-projection embeddings (frozen anyway)
         rng = np.random.default_rng(0)
         embeddings = rng.normal(size=(vocab_size, 24))

@@ -1,6 +1,5 @@
 """Model registry: construction of every evaluated model."""
 
-import numpy as np
 import pytest
 
 from repro.core import ContraTopic

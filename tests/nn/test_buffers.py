@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import BatchNorm1d, Linear, Module, Sequential
+from repro.nn import BatchNorm1d, Linear, Sequential
 from repro.tensor import Tensor
 
 

@@ -1,0 +1,86 @@
+"""TelemetryCallback: JSONL streaming round-trip on a tiny training run."""
+
+import io
+
+import pytest
+
+from repro.models.prodlda import ProdLDA
+from repro.telemetry import MetricsRegistry, TelemetryCallback, read_jsonl
+from repro.training import TelemetryCallback as ReexportedCallback
+
+
+class TestConstruction:
+    def test_path_and_stream_are_exclusive(self, tmp_path):
+        with pytest.raises(ValueError):
+            TelemetryCallback(path=tmp_path / "x.jsonl", stream=io.StringIO())
+
+    def test_reexported_from_training_package(self):
+        assert ReexportedCallback is TelemetryCallback
+
+
+class TestJsonlRoundTrip:
+    @pytest.fixture(scope="class")
+    def run(self, tmp_path_factory, tiny_corpus, fast_config):
+        path = tmp_path_factory.mktemp("telemetry") / "run.jsonl"
+        registry = MetricsRegistry()
+        callback = TelemetryCallback(path=path, registry=registry, run_name="tiny")
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        model.fit(tiny_corpus, callbacks=[callback])
+        return model, callback, registry, read_jsonl(path)
+
+    def test_event_bracket(self, run, fast_config):
+        _, callback, _, records = run
+        events = [r["event"] for r in records]
+        assert events[0] == "fit_start"
+        assert events[-1] == "fit_end"
+        assert events[1:-1] == ["epoch"] * fast_config.epochs
+        assert all(r["run"] == "tiny" for r in records)
+
+    def test_file_matches_in_memory_records(self, run):
+        _, callback, _, records = run
+        assert records == callback.records
+        assert callback.epochs == [r for r in records if r["event"] == "epoch"]
+
+    def test_fit_start_describes_the_model(self, run, fast_config):
+        model, _, _, records = run
+        start = records[0]
+        assert start["model"] == "ProdLDA"
+        assert start["epochs_planned"] == fast_config.epochs
+        assert start["batch_size"] == fast_config.batch_size
+        assert start["num_parameters"] == model.num_parameters()
+
+    def test_epoch_records_carry_loss_split_and_throughput(self, run):
+        _, _, _, records = run
+        for record in records:
+            if record["event"] != "epoch":
+                continue
+            assert record["elbo"] == pytest.approx(record["rec"] + record["kl"])
+            assert record["contrastive"] == pytest.approx(record.get("extra", 0.0))
+            assert record["epoch_seconds"] > 0
+            assert record["docs_per_sec"] > 0
+
+    def test_fit_end_totals(self, run, fast_config):
+        _, _, _, records = run
+        end = records[-1]
+        assert end["epochs_run"] == fast_config.epochs
+        assert end["wall_seconds"] > 0
+
+    def test_registry_accumulates_training_metrics(self, run, tiny_corpus, fast_config):
+        _, _, registry, _ = run
+        assert registry.counters["train/epochs"].value == fast_config.epochs
+        assert registry.timers["train/epoch"].count == fast_config.epochs
+        assert registry.timers["train/fit"].count == 1
+        docs = registry.counters["train/docs"].value
+        assert docs == pytest.approx(len(tiny_corpus) * fast_config.epochs, rel=0.05)
+
+
+class TestStreamSink:
+    def test_borrowed_stream_not_closed(self, tiny_corpus, fast_config):
+        stream = io.StringIO()
+        callback = TelemetryCallback(stream=stream, run_name="borrowed")
+        ProdLDA(tiny_corpus.vocab_size, fast_config).fit(
+            tiny_corpus, callbacks=[callback]
+        )
+        assert not stream.closed
+        lines = [line for line in stream.getvalue().splitlines() if line]
+        assert len(lines) == len(callback.records)

@@ -1,0 +1,147 @@
+"""The metrics core: counters, timer stats, nesting, snapshot/merge."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.telemetry import Counter, MetricsRegistry, TimerStat
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("docs")
+        counter.add()
+        counter.add(4)
+        counter.add(0.5)
+        assert counter.value == pytest.approx(5.5)
+
+    def test_registry_returns_same_counter(self):
+        registry = MetricsRegistry()
+        registry.counter("x").add(2)
+        registry.counter("x").add(3)
+        assert registry.counters["x"].value == 5
+
+    def test_count_shorthand(self):
+        registry = MetricsRegistry()
+        registry.count("y", 7)
+        registry.count("y")
+        assert registry.counters["y"].value == 8
+
+
+class TestTimerStat:
+    def test_aggregates_min_max_mean(self):
+        stat = TimerStat()
+        for value in (0.2, 0.1, 0.3):
+            stat.record(value)
+        assert stat.count == 3
+        assert stat.total_seconds == pytest.approx(0.6)
+        assert stat.min_seconds == pytest.approx(0.1)
+        assert stat.max_seconds == pytest.approx(0.3)
+        assert stat.mean_seconds == pytest.approx(0.2)
+
+    def test_empty_stat_is_json_safe(self):
+        stat = TimerStat()
+        assert stat.mean_seconds == 0.0
+        as_dict = stat.as_dict()
+        assert as_dict["min_seconds"] == 0.0  # not math.inf
+        json.dumps(as_dict)
+
+
+class TestTimerNesting:
+    def test_nested_timers_join_keys(self):
+        registry = MetricsRegistry()
+        with registry.timer("fit"):
+            with registry.timer("epoch"):
+                with registry.timer("batch"):
+                    pass
+            with registry.timer("epoch"):
+                pass
+        assert set(registry.timers) == {"fit", "fit/epoch", "fit/epoch/batch"}
+        assert registry.timers["fit/epoch"].count == 2
+        assert registry.timers["fit"].count == 1
+
+    def test_timer_records_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.timer("stage"):
+                raise RuntimeError("boom")
+        assert registry.timers["stage"].count == 1
+        assert registry.current_scope() == ""  # scope stack unwound
+
+    def test_elapsed_is_positive_and_ordered(self):
+        registry = MetricsRegistry()
+        with registry.timer("outer"):
+            with registry.timer("inner"):
+                sum(range(10_000))
+        outer = registry.timers["outer"].total_seconds
+        inner = registry.timers["outer/inner"].total_seconds
+        assert 0 < inner <= outer
+
+    def test_absolute_keys_bypass_scope(self):
+        registry = MetricsRegistry()
+        with registry.timer("fit"):
+            registry.record_seconds("op/matmul", 0.5, absolute=True)
+            registry.count("op/matmul.calls", absolute=True)
+            registry.count("scoped", 1)
+        assert "op/matmul" in registry.timers
+        assert "op/matmul.calls" in registry.counters
+        assert "fit/scoped" in registry.counters
+
+    def test_scopes_are_thread_local(self):
+        registry = MetricsRegistry()
+        seen = {}
+
+        def worker():
+            with registry.timer("worker_stage"):
+                seen["scope"] = registry.current_scope()
+
+        with registry.timer("main_stage"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # the worker's scope never inherited "main_stage"
+        assert seen["scope"] == "worker_stage"
+        assert "worker_stage" in registry.timers
+        assert "main_stage/worker_stage" not in registry.timers
+
+
+class TestSnapshotMergeReset:
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.count("docs", 10)
+        registry.record_seconds("fit", 1.25)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["counters"]["docs"] == 10
+        assert snapshot["timers"]["fit"]["total_seconds"] == pytest.approx(1.25)
+
+    def test_merge_folds_counters_and_timers(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.count("docs", 5)
+        a.record_seconds("fit", 1.0)
+        b.count("docs", 3)
+        b.record_seconds("fit", 3.0)
+        b.record_seconds("extra", 0.5)
+        a.merge(b)
+        assert a.counters["docs"].value == 8
+        assert a.timers["fit"].count == 2
+        assert a.timers["fit"].total_seconds == pytest.approx(4.0)
+        assert a.timers["fit"].max_seconds == pytest.approx(3.0)
+        assert a.timers["extra"].total_seconds == pytest.approx(0.5)
+
+    def test_merge_preserves_min(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.record_seconds("t", 2.0)
+        b.record_seconds("t", 0.5)
+        a.merge(b)
+        assert a.timers["t"].min_seconds == pytest.approx(0.5)
+        assert not math.isinf(a.timers["t"].min_seconds)
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.count("docs")
+        registry.record_seconds("fit", 1.0)
+        registry.reset()
+        assert registry.counters == {}
+        assert registry.timers == {}

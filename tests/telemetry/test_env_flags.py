@@ -1,0 +1,27 @@
+"""The benchmark suite's env-flag parsing (REPRO_BENCH_FAST semantics)."""
+
+import pytest
+
+from benchmarks.conftest import parse_env_flag
+
+
+class TestParseEnvFlag:
+    @pytest.mark.parametrize("value", ["1", "true", "TRUE", "yes", "on", " On "])
+    def test_true_values(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAG", value)
+        assert parse_env_flag("REPRO_TEST_FLAG") is True
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "False", "no", "off"])
+    def test_false_values(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAG", value)
+        assert parse_env_flag("REPRO_TEST_FLAG") is False
+
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_FLAG", raising=False)
+        assert parse_env_flag("REPRO_TEST_FLAG") is False
+        assert parse_env_flag("REPRO_TEST_FLAG", default=True) is True
+
+    def test_garbage_raises_instead_of_being_truthy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAG", "fastish")
+        with pytest.raises(ValueError, match="REPRO_TEST_FLAG"):
+            parse_env_flag("REPRO_TEST_FLAG")

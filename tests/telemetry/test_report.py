@@ -1,0 +1,209 @@
+"""BENCH reports: build/serialise round-trip and the regression compare."""
+
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry import (
+    SCHEMA,
+    MetricsRegistry,
+    build_report,
+    compare_reports,
+    epoch_rows_from_history,
+    format_report,
+    load_report,
+    write_report,
+)
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for _ in range(3):
+        registry.record_seconds("op/matmul", 0.01, absolute=True)
+        registry.count("op/matmul.calls", absolute=True)
+        registry.count("op/matmul.bytes", 1024, absolute=True)
+    registry.record_seconds("op/matmul.backward", 0.02, absolute=True)
+    registry.record_seconds("op/exp", 0.002, absolute=True)
+    registry.count("op/exp.calls", absolute=True)
+    return registry
+
+
+def _epochs() -> list[dict]:
+    return [
+        {
+            "epoch": i,
+            "epoch_seconds": 0.5,
+            "docs_per_sec": 200.0,
+            "elbo": 100.0 + i,
+            "contrastive": 50.0,
+        }
+        for i in range(4)
+    ]
+
+
+class TestBuildReport:
+    def test_ops_table(self):
+        report = build_report("demo", registry=_populated_registry())
+        assert report["schema"] == SCHEMA
+        by_op = {row["op"]: row for row in report["ops"]}
+        matmul = by_op["matmul"]
+        assert matmul["calls"] == 3
+        assert matmul["total_seconds"] == pytest.approx(0.03)
+        assert matmul["mean_seconds"] == pytest.approx(0.01)
+        assert matmul["backward_seconds"] == pytest.approx(0.02)
+        assert matmul["bytes"] == 3 * 1024
+        # sorted by descending forward time
+        assert report["ops"][0]["op"] == "matmul"
+
+    def test_totals_roll_up(self):
+        report = build_report(
+            "demo", registry=_populated_registry(), epochs=_epochs()
+        )
+        totals = report["totals"]
+        assert totals["epochs"] == 4
+        assert totals["epoch_seconds"] == pytest.approx(2.0)
+        assert totals["docs_per_sec"] == pytest.approx(200.0)
+        assert totals["op_seconds"] == pytest.approx(0.032)
+        assert totals["op_backward_seconds"] == pytest.approx(0.02)
+        assert totals["op_calls"] == 4
+        assert 0 < totals["contrastive_loss_share"] < 1
+
+    def test_epoch_rows_from_history(self):
+        rows = epoch_rows_from_history(
+            [{"rec": 10.0, "kl": 2.0, "extra": 5.0, "epoch": 0}]
+        )
+        assert rows[0]["elbo"] == pytest.approx(12.0)
+        assert rows[0]["contrastive"] == pytest.approx(5.0)
+
+    def test_format_report_mentions_key_sections(self):
+        report = build_report(
+            "demo", registry=_populated_registry(), epochs=_epochs()
+        )
+        text = format_report(report)
+        assert "matmul" in text
+        assert "docs/s" in text
+        assert "totals" in text
+
+
+class TestSerialisation:
+    def test_write_load_round_trip(self, tmp_path):
+        report = build_report(
+            "demo", registry=_populated_registry(), epochs=_epochs(), meta={"k": 1}
+        )
+        path = write_report(report, tmp_path / "nested" / "BENCH_demo.json")
+        loaded = load_report(path)
+        assert loaded == json.loads(json.dumps(report))  # JSON-faithful
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ValueError, match="schema"):
+            load_report(path)
+
+
+class TestCompareReports:
+    @pytest.fixture
+    def baseline(self):
+        return build_report("demo", registry=_populated_registry(), epochs=_epochs())
+
+    def test_identical_reports_pass(self, baseline):
+        failures, table = compare_reports(baseline, copy.deepcopy(baseline))
+        assert failures == []
+        assert "totals.epoch_seconds" in table
+
+    def test_three_times_slower_fails(self, baseline):
+        slow = copy.deepcopy(baseline)
+        for key in ("op_seconds", "op_backward_seconds", "epoch_seconds",
+                    "epoch_seconds_mean"):
+            slow["totals"][key] *= 3.0
+        slow["totals"]["docs_per_sec"] /= 3.0
+        failures, table = compare_reports(baseline, slow, threshold=2.0)
+        failed_keys = {f.split(":")[0] for f in failures}
+        assert "totals.epoch_seconds" in failed_keys
+        assert "totals.docs_per_sec" in failed_keys  # rates gate on slowdowns too
+        assert "FAIL" in table
+
+    def test_faster_current_passes(self, baseline):
+        fast = copy.deepcopy(baseline)
+        for key in ("op_seconds", "epoch_seconds", "epoch_seconds_mean"):
+            fast["totals"][key] /= 3.0
+        fast["totals"]["docs_per_sec"] *= 3.0
+        failures, _ = compare_reports(baseline, fast)
+        assert failures == []
+
+    def test_noise_floor_suppresses_tiny_timings(self, baseline):
+        base = copy.deepcopy(baseline)
+        cur = copy.deepcopy(baseline)
+        base["totals"]["op_seconds"] = 1e-5
+        cur["totals"]["op_seconds"] = 1e-3  # 100x, but under the floor
+        failures, table = compare_reports(base, cur)
+        assert all("op_seconds" not in f for f in failures)
+        assert "noise" in table
+
+    def test_threshold_must_exceed_one(self, baseline):
+        with pytest.raises(ValueError):
+            compare_reports(baseline, baseline, threshold=1.0)
+
+
+class TestCheckRegressionScript:
+    """benchmarks/check_regression.py end to end, as CI invokes it."""
+
+    SCRIPT = REPO / "benchmarks" / "check_regression.py"
+
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(self.SCRIPT), *argv],
+            capture_output=True,
+            text=True,
+        )
+
+    def _reports(self, tmp_path):
+        baseline = build_report(
+            "computational_analysis",
+            registry=_populated_registry(),
+            epochs=_epochs(),
+        )
+        base_path = write_report(baseline, tmp_path / "baseline.json")
+        return baseline, base_path
+
+    def test_exit_zero_on_match(self, tmp_path):
+        baseline, base_path = self._reports(tmp_path)
+        cur_path = write_report(baseline, tmp_path / "current.json")
+        result = self._run("--baseline", str(base_path), "--current", str(cur_path))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "perf-guard OK" in result.stdout
+
+    def test_exit_one_on_regression(self, tmp_path):
+        baseline, base_path = self._reports(tmp_path)
+        slow = copy.deepcopy(baseline)
+        for key in ("epoch_seconds", "epoch_seconds_mean", "op_seconds"):
+            slow["totals"][key] *= 3.0
+        cur_path = write_report(slow, tmp_path / "current.json")
+        result = self._run("--baseline", str(base_path), "--current", str(cur_path))
+        assert result.returncode == 1
+        assert "PERF REGRESSION" in result.stdout
+
+    def test_exit_two_on_missing_input(self, tmp_path):
+        result = self._run(
+            "--baseline", str(tmp_path / "nope.json"),
+            "--current", str(tmp_path / "also-nope.json"),
+        )
+        assert result.returncode == 2
+
+    def test_update_baseline_copies_current(self, tmp_path):
+        baseline, _ = self._reports(tmp_path)
+        cur_path = write_report(baseline, tmp_path / "current.json")
+        new_base = tmp_path / "fresh" / "baseline.json"
+        result = self._run(
+            "--baseline", str(new_base),
+            "--current", str(cur_path),
+            "--update-baseline",
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert load_report(new_base)["name"] == "computational_analysis"

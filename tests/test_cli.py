@@ -127,6 +127,63 @@ class TestCommands:
             metric(eval_out, "coherence@100%"), abs=2e-3
         )
 
+    def test_bench_writes_telemetry_report(self, tmp_path):
+        from repro.telemetry import load_report, read_jsonl
+
+        report_path = tmp_path / "BENCH_cli.json"
+        jsonl_path = tmp_path / "run.jsonl"
+        output = _run(
+            [
+                "bench",
+                "--dataset",
+                "20ng",
+                "--model",
+                "contratopic",
+                "--scale",
+                "0.08",
+                "--num-topics",
+                "6",
+                "--epochs",
+                "2",
+                "--telemetry",
+                str(report_path),
+                "--jsonl",
+                str(jsonl_path),
+                "--profile-ops",
+                "--name",
+                "cli_smoke",
+            ]
+        )
+        assert "wrote telemetry report" in output
+        report = load_report(report_path)
+        assert report["name"] == "cli_smoke"
+        assert report["meta"]["profile_ops"] is True
+        assert any(row["op"] == "matmul" for row in report["ops"])
+        assert len(report["epochs"]) == 2
+        assert report["totals"]["docs_per_sec"] > 0
+        assert report["totals"]["op_calls"] > 0
+        events = [r["event"] for r in read_jsonl(jsonl_path)]
+        assert events[0] == "fit_start" and events[-1] == "fit_end"
+
+    def test_bench_rejects_non_neural_model(self, tmp_path):
+        with pytest.raises(SystemExit, match="neural"):
+            main(
+                [
+                    "bench",
+                    "--dataset",
+                    "20ng",
+                    "--model",
+                    "lda",
+                    "--scale",
+                    "0.08",
+                    "--num-topics",
+                    "4",
+                    "--telemetry",
+                    str(tmp_path / "x.json"),
+                ],
+                out=io.StringIO(),
+            )
+
     def test_lda_checkpoint_skipped(self, tmp_path):
         output = _run(
             [

@@ -6,7 +6,6 @@ real models on the shared tiny dataset and assert *relative* properties —
 the same shapes the benchmark harness reproduces at larger scale.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -5,7 +5,6 @@ import pytest
 
 from repro.models.base import TopicModel
 from repro.training import (
-    EvaluationResult,
     evaluate_model,
     multi_seed_evaluation,
     train_and_evaluate,
