@@ -21,7 +21,6 @@ Refreshing the baseline after an intentional perf change::
 from __future__ import annotations
 
 import argparse
-import shutil
 import sys
 from pathlib import Path
 
@@ -29,6 +28,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.io import atomic_write  # noqa: E402
 from repro.telemetry import compare_reports, load_report  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_computational_analysis.json"
@@ -69,7 +69,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.update_baseline:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        shutil.copyfile(args.current, args.baseline)
+        # Atomic copy: an interrupted update must not leave a truncated
+        # baseline that every subsequent CI run would compare against.
+        with atomic_write(args.baseline, "w", category="report") as fp:
+            fp.write(args.current.read_text(encoding="utf-8"))
         print(f"baseline updated: {args.baseline}")
         return 0
 

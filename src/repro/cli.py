@@ -3,13 +3,19 @@
 Commands
 --------
 ``train``     Train any registry model on a dataset profile, report the
-              §V.B metrics, optionally save a checkpoint.
+              §V.B metrics, optionally save a checkpoint.  ``--guard``
+              enables the fault-tolerant runtime, ``--checkpoint-dir``
+              writes periodic/best/last-good resumable checkpoints, and
+              ``--resume`` continues an interrupted run
+              bitwise-consistently.
 ``evaluate``  Reload a checkpoint and re-score it on the test split.
 ``topics``    Train (or reload) and print the top topics with NPMI.
 ``datasets``  Print the Table-I statistics of the bundled profiles.
 ``bench``     Train with telemetry enabled and write a ``BENCH_*.json``
               report (per-op timings with ``--profile-ops``, per-epoch
-              throughput, ELBO-vs-contrastive loss split).
+              throughput, ELBO-vs-contrastive loss split).  The
+              ``--inject-*`` flags drive the deterministic fault harness
+              so recovery paths can be smoke-tested in CI.
 
 Examples
 --------
@@ -17,12 +23,16 @@ Examples
 
     python -m repro datasets
     python -m repro train --dataset 20ng --model contratopic --epochs 30 \
-        --checkpoint /tmp/ct.npz
+        --guard --checkpoint-dir /tmp/ckpt --checkpoint /tmp/ct.npz
+    python -m repro train --dataset 20ng --model contratopic --epochs 30 \
+        --resume /tmp/ckpt/last.npz
     python -m repro evaluate --dataset 20ng --model contratopic \
         --checkpoint /tmp/ct.npz
     python -m repro topics --dataset yahoo --model etm --num-topics 20
     python -m repro bench --dataset 20ng --model contratopic --epochs 5 \
         --telemetry out.json --profile-ops
+    python -m repro bench --dataset 20ng --model contratopic --epochs 3 \
+        --guard --inject-nan 0.25 --inject-grad 0.1 --telemetry smoke.json
 """
 
 from __future__ import annotations
@@ -67,6 +77,33 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _fit_kwargs(args: argparse.Namespace, model) -> dict:
+    """Translate resilience flags into ``NeuralTopicModel.fit`` kwargs."""
+    from repro.models.base import NeuralTopicModel
+
+    kwargs: dict = {}
+    callbacks = []
+    if getattr(args, "guard", False):
+        from repro.training.resilience import GuardPolicy
+
+        kwargs["guard"] = GuardPolicy()
+    if getattr(args, "resume", None):
+        kwargs["resume_from"] = args.resume
+    if getattr(args, "checkpoint_dir", None):
+        from repro.training.resilience import CheckpointCallback
+
+        callbacks.append(
+            CheckpointCallback(args.checkpoint_dir, every=args.checkpoint_every)
+        )
+    if callbacks:
+        kwargs["callbacks"] = callbacks
+    if kwargs and not isinstance(model, NeuralTopicModel):
+        raise SystemExit(
+            "--guard/--resume/--checkpoint-dir require a neural model"
+        )
+    return kwargs
+
+
 def _build_and_maybe_load(args: argparse.Namespace, out):
     context = ExperimentContext(_settings_from_args(args))
     model = context.build(args.model, seed=args.seed)
@@ -80,8 +117,16 @@ def _build_and_maybe_load(args: argparse.Namespace, out):
         model.eval()
         print(f"loaded checkpoint {args.checkpoint}", file=out)
     else:
-        print(f"training {args.model} on {args.dataset}...", file=out)
-        model.fit(context.dataset.train)
+        kwargs = _fit_kwargs(args, model)
+        if kwargs.get("resume_from"):
+            print(
+                f"resuming {args.model} on {args.dataset} "
+                f"from {kwargs['resume_from']}...",
+                file=out,
+            )
+        else:
+            print(f"training {args.model} on {args.dataset}...", file=out)
+        model.fit(context.dataset.train, **kwargs)
     return context, model
 
 
@@ -111,11 +156,15 @@ def _cmd_train(args: argparse.Namespace, out) -> int:
         from repro.nn.module import Module
 
         if isinstance(model, Module):
-            save_checkpoint(
-                model,
-                args.checkpoint,
-                extra={"model": args.model, "dataset": args.dataset},
-            )
+            extra = {"model": args.model, "dataset": args.dataset}
+            if getattr(model, "_trainer", None) is not None:
+                # Full v2 checkpoint (optimizer + RNG streams + epoch) so
+                # the file can seed a later --resume.
+                from repro.training.resilience import save_training_checkpoint
+
+                save_training_checkpoint(model, args.checkpoint, extra=extra)
+            else:
+                save_checkpoint(model, args.checkpoint, extra=extra)
             print(f"saved checkpoint to {args.checkpoint}", file=out)
         else:
             print("note: non-neural model, checkpoint skipped", file=out)
@@ -162,13 +211,46 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     if not isinstance(model, NeuralTopicModel):
         raise SystemExit("bench requires a neural model (with an epoch loop)")
     registry = MetricsRegistry()
+    callbacks = []
+    if args.checkpoint_dir:
+        from repro.training.resilience import CheckpointCallback
+
+        callbacks.append(CheckpointCallback(args.checkpoint_dir))
     callback = TelemetryCallback(
         path=args.jsonl, registry=registry, run_name=args.model
     )
+    callbacks.append(callback)
+
+    fit_kwargs: dict = {}
+    injector_context = contextlib.nullcontext()
+    if args.guard:
+        from repro.training.resilience import GuardPolicy
+
+        fit_kwargs["guard"] = GuardPolicy()
+    if args.inject_nan or args.inject_grad or args.inject_interrupts:
+        from repro.training.faults import (
+            FaultInjector,
+            FaultPlan,
+            interrupted_writes,
+        )
+
+        if args.inject_interrupts and not args.checkpoint_dir:
+            raise SystemExit("--inject-interrupts requires --checkpoint-dir")
+        injector = FaultInjector(
+            FaultPlan(
+                nan_loss_rate=args.inject_nan,
+                exploding_grad_rate=args.inject_grad,
+                interrupt_saves=tuple(range(args.inject_interrupts)),
+                seed=args.faults_seed,
+            )
+        )
+        fit_kwargs["faults"] = injector
+        if args.inject_interrupts:
+            injector_context = interrupted_writes(injector)
     print(f"benchmarking {args.model} on {args.dataset}...", file=out)
     profiler = profile_ops(registry) if args.profile_ops else contextlib.nullcontext()
-    with profiler, registry.timer("bench/fit"):
-        model.fit(context.dataset.train, callbacks=[callback])
+    with injector_context, profiler, registry.timer("bench/fit"):
+        model.fit(context.dataset.train, callbacks=callbacks, **fit_kwargs)
     report = build_report(
         args.name or f"{args.model}_{args.dataset}",
         registry=registry,
@@ -181,6 +263,10 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
             "epochs": args.epochs,
             "seed": args.seed,
             "profile_ops": bool(args.profile_ops),
+            "guard": bool(args.guard),
+            "inject_nan": args.inject_nan,
+            "inject_grad": args.inject_grad,
+            "inject_interrupts": args.inject_interrupts,
         },
     )
     path = write_report(report, args.telemetry)
@@ -196,6 +282,27 @@ def build_parser() -> argparse.ArgumentParser:
     train = sub.add_parser("train", help="train a model and report metrics")
     _add_model_arguments(train)
     train.add_argument("--checkpoint", default=None, help="save parameters here")
+    train.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write periodic last/best/last-good resumable checkpoints here",
+    )
+    train.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="epochs between periodic checkpoints (default: 1)",
+    )
+    train.add_argument(
+        "--resume",
+        default=None,
+        help="resume training from a v2 checkpoint (e.g. <dir>/last.npz)",
+    )
+    train.add_argument(
+        "--guard",
+        action="store_true",
+        help="enable NaN/divergence guards (skip/backoff/restore/degrade)",
+    )
 
     evaluate = sub.add_parser("evaluate", help="evaluate a saved checkpoint")
     _add_model_arguments(evaluate)
@@ -226,6 +333,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable op-level autodiff profiling (adds per-op tables)",
     )
     bench.add_argument("--name", default=None, help="report name (default: model_dataset)")
+    bench.add_argument(
+        "--guard",
+        action="store_true",
+        help="enable NaN/divergence guards during the benchmarked run",
+    )
+    bench.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="also write resumable checkpoints (required by --inject-interrupts)",
+    )
+    bench.add_argument(
+        "--inject-nan",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="fault harness: per-batch probability of a NaN loss",
+    )
+    bench.add_argument(
+        "--inject-grad",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="fault harness: per-batch probability of exploding gradients",
+    )
+    bench.add_argument(
+        "--inject-interrupts",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fault harness: interrupt the first N checkpoint commits",
+    )
+    bench.add_argument(
+        "--faults-seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic fault injector (default: 0)",
+    )
     return parser
 
 

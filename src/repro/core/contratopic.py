@@ -124,6 +124,12 @@ class ContraTopic(NeuralTopicModel):
     def on_fit_start(self, corpus) -> None:
         self.backbone.on_fit_start(corpus)
 
+    def rng_streams(self) -> dict:
+        # Resume support: the backbone's stream drives dropout/epsilon
+        # noise (encode_theta delegates there) while self._rng drives the
+        # Gumbel subset sampling — both must travel in checkpoints.
+        return {"model": self._rng, "backbone": self.backbone._rng}
+
     # ------------------------------------------------------------------
     # the contribution: λ·L_con
     # ------------------------------------------------------------------

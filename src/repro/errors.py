@@ -42,3 +42,8 @@ class NotFittedError(ReproError, RuntimeError):
 
 class TelemetryError(ReproError, RuntimeError):
     """Telemetry was used illegally (nested op profiling, closed sink...)."""
+
+
+class TrainingDivergedError(ReproError, RuntimeError):
+    """Training kept producing non-finite losses/gradients after every
+    guard escalation (skip, LR backoff, restore, degradation) was spent."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -24,12 +25,14 @@ from repro.data.loaders import BatchIterator
 from repro.data.vocabulary import Vocabulary
 from repro.errors import ConfigError, NotFittedError
 from repro.nn import BatchNorm1d, Linear, MLP, Module
-from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.optim import Adam, Optimizer, clip_grad_norm
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor, no_grad
 
-if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.training.callbacks import Callback
+    from repro.training.faults import FaultInjector
+    from repro.training.resilience import GuardPolicy, TrainingGuard
 
 
 @dataclass
@@ -122,6 +125,22 @@ class VaeEncoder(Module):
         return mu, logvar
 
 
+@dataclass
+class TrainerContext:
+    """The per-``fit`` training state that is not model parameters.
+
+    Callbacks reach it through ``model._trainer`` (e.g. the checkpoint
+    callback needs the optimizer and RNG streams to write a resumable
+    format-v2 checkpoint); it stays attached after ``fit`` returns so a
+    post-training save can still capture the full state.
+    """
+
+    optimizer: Optimizer
+    batch_rng: np.random.Generator
+    guard: "TrainingGuard | None" = None
+    epoch: int = -1
+
+
 class NeuralTopicModel(TopicModel, Module):
     """Common machinery: encoder, reparameterization, ELBO, training loop.
 
@@ -131,6 +150,13 @@ class NeuralTopicModel(TopicModel, Module):
     replace the categorical likelihood), and :meth:`kl_loss` (WLDA swaps
     the KL for MMD).
     """
+
+    #: Class-level defaults so subclasses that bypass ``__init__`` (e.g.
+    #: ContraTopic, which reuses its backbone's encoder) still have them.
+    #: ``extra_loss_enabled`` is the graceful-degradation switch: the
+    #: guard flips it off when the contrastive term repeatedly diverges.
+    extra_loss_enabled: bool = True
+    _trainer: "TrainerContext | None" = None
 
     def __init__(self, vocab_size: int, config: NTMConfig):
         Module.__init__(self)
@@ -185,7 +211,9 @@ class NeuralTopicModel(TopicModel, Module):
         kl = self.kl_loss(mu, logvar, theta)
         loss = rec + kl * self.config.kl_weight
         parts = {"rec": rec.item(), "kl": kl.item()}
-        extra = self.extra_loss(theta, beta, bow)
+        # ELBO-only degradation: the guard disables the extra (contrastive)
+        # term when it repeatedly produces non-finite losses.
+        extra = self.extra_loss(theta, beta, bow) if self.extra_loss_enabled else None
         if extra is not None:
             loss = loss + extra
             parts["extra"] = extra.item()
@@ -196,6 +224,9 @@ class NeuralTopicModel(TopicModel, Module):
         self,
         corpus: Corpus,
         callbacks: Sequence["Callback"] = (),
+        guard: "GuardPolicy | None" = None,
+        faults: "FaultInjector | None" = None,
+        resume_from: str | Path | None = None,
     ) -> "NeuralTopicModel":
         """Algorithm-1 style epoch/mini-batch training with Adam.
 
@@ -207,6 +238,19 @@ class NeuralTopicModel(TopicModel, Module):
             :class:`repro.training.callbacks.Callback` instances observing
             the epoch loop; any callback returning True from
             ``on_epoch_end`` stops training early.
+        guard:
+            Optional :class:`repro.training.resilience.GuardPolicy`
+            enabling per-batch loss/gradient finiteness checks with the
+            skip → LR-backoff → restore → degrade escalation ladder.
+        faults:
+            Optional :class:`repro.training.faults.FaultInjector` that
+            deterministically corrupts losses/gradients — the test harness
+            for the guard's recovery paths.
+        resume_from:
+            Path of a format-v2 checkpoint (written with trainer state,
+            e.g. by :class:`repro.training.resilience.CheckpointCallback`);
+            training continues from the epoch after the checkpoint and is
+            bitwise-identical to an uninterrupted run.
         """
         if corpus.vocab_size != self.vocab_size:
             raise ConfigError(
@@ -214,15 +258,30 @@ class NeuralTopicModel(TopicModel, Module):
             )
         self.train()
         self.on_fit_start(corpus)
+        optimizer = Adam(self.parameters(), lr=self.config.learning_rate)
+        batch_rng = np.random.default_rng(self.config.seed + 1)
+        start_epoch = 0
+        if resume_from is not None:
+            start_epoch = self._restore_training_state(
+                resume_from, optimizer, batch_rng
+            )
+        guard_runtime: "TrainingGuard | None" = None
+        if guard is not None:
+            from repro.training.resilience import TrainingGuard
+
+            guard_runtime = TrainingGuard(guard, model=self, optimizer=optimizer)
+        self._trainer = TrainerContext(
+            optimizer=optimizer,
+            batch_rng=batch_rng,
+            guard=guard_runtime,
+            epoch=start_epoch - 1,
+        )
         for callback in callbacks:
             callback.on_fit_start(self)
-        optimizer = Adam(self.parameters(), lr=self.config.learning_rate)
         batches = BatchIterator(
-            corpus,
-            batch_size=self.config.batch_size,
-            rng=np.random.default_rng(self.config.seed + 1),
+            corpus, batch_size=self.config.batch_size, rng=batch_rng
         )
-        for epoch in range(self.config.epochs):
+        for epoch in range(start_epoch, self.config.epochs):
             epoch_start = time.perf_counter()
             epoch_parts: dict[str, float] = {}
             n_batches = 0
@@ -231,11 +290,26 @@ class NeuralTopicModel(TopicModel, Module):
             for bow in batches:
                 optimizer.zero_grad()
                 loss, parts = self.loss_on_batch(bow)
+                if faults is not None:
+                    faults.corrupt_loss(loss)
+                if guard_runtime is not None and not guard_runtime.check_loss(
+                    loss.item()
+                ):
+                    guard_runtime.handle_fault("loss")
+                    continue
                 loss.backward()
-                grad_norm_total += clip_grad_norm(
-                    self.parameters(), self.config.grad_clip
-                )
+                if faults is not None:
+                    faults.corrupt_gradients(self.parameters())
+                grad_norm = clip_grad_norm(self.parameters(), self.config.grad_clip)
+                if guard_runtime is not None and not guard_runtime.check_gradients(
+                    grad_norm
+                ):
+                    guard_runtime.handle_fault("gradient")
+                    continue
                 optimizer.step()
+                if guard_runtime is not None:
+                    guard_runtime.on_batch_ok()
+                grad_norm_total += grad_norm
                 for key, value in parts.items():
                     epoch_parts[key] = epoch_parts.get(key, 0.0) + value
                 n_batches += 1
@@ -250,7 +324,15 @@ class NeuralTopicModel(TopicModel, Module):
                 docs_seen / epoch_seconds if epoch_seconds > 0 else 0.0
             )
             logs["grad_norm"] = grad_norm_total / max(n_batches, 1)
-            self.history.append(logs | {"epoch": float(epoch)})
+            if guard_runtime is not None:
+                logs.update(guard_runtime.epoch_logs())
+                guard_runtime.on_epoch_end()
+            # The history entry IS the logs dict callbacks receive, so a
+            # callback annotating the logs (e.g. CheckpointCallback's
+            # guard_interrupted_saves delta) annotates the history too.
+            logs["epoch"] = float(epoch)
+            self.history.append(logs)
+            self._trainer.epoch = epoch
             stop = False
             for callback in callbacks:
                 stop = callback.on_epoch_end(self, epoch, logs) or stop
@@ -264,6 +346,72 @@ class NeuralTopicModel(TopicModel, Module):
 
     def on_fit_start(self, corpus: Corpus) -> None:
         """Hook run before training (e.g. CLNTM precomputes tf-idf)."""
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume support
+    # ------------------------------------------------------------------
+    def rng_streams(self) -> dict[str, np.random.Generator]:
+        """Every RNG stream training consumes (for checkpoint/resume).
+
+        Subclasses with additional streams (e.g. ContraTopic's Gumbel
+        noise generator) extend this mapping; bitwise-consistent resume
+        requires every stream to be captured.
+        """
+        return {"model": self._rng}
+
+    def training_state(self) -> dict:
+        """JSON-serializable snapshot of the non-parameter training state.
+
+        Travels as ``trainer_state`` in format-v2 checkpoints
+        (:func:`repro.io.save_checkpoint`); :meth:`fit` with
+        ``resume_from=`` restores it via :meth:`_restore_training_state`.
+        """
+        context = self._trainer
+        if context is None:
+            raise ConfigError("training_state requires an active fit()")
+        return {
+            "epoch": int(context.epoch),
+            "rng": {
+                name: rng.bit_generator.state
+                for name, rng in self.rng_streams().items()
+            },
+            "batch_rng": context.batch_rng.bit_generator.state,
+            "history": [dict(entry) for entry in self.history],
+            "extra_loss_enabled": bool(self.extra_loss_enabled),
+        }
+
+    def _restore_training_state(
+        self,
+        path: str | Path,
+        optimizer: Optimizer,
+        batch_rng: np.random.Generator,
+    ) -> int:
+        """Load a v2 checkpoint into (self, optimizer, RNG streams).
+
+        Returns the epoch index training should continue from.
+        """
+        from repro.io import CheckpointError, restore_checkpoint
+
+        meta = restore_checkpoint(self, path, optimizer=optimizer)
+        state = meta.get("trainer_state")
+        if not state:
+            raise CheckpointError(
+                f"{path} carries no trainer state; resumable checkpoints "
+                "are written by CheckpointCallback or "
+                "save_training_checkpoint()"
+            )
+        streams = self.rng_streams()
+        for name, rng_state in state["rng"].items():
+            if name not in streams:
+                raise CheckpointError(
+                    f"{path} has RNG stream {name!r} unknown to "
+                    f"{type(self).__name__} (streams: {sorted(streams)})"
+                )
+            streams[name].bit_generator.state = rng_state
+        batch_rng.bit_generator.state = state["batch_rng"]
+        self.history = [dict(entry) for entry in state["history"]]
+        self.extra_loss_enabled = bool(state.get("extra_loss_enabled", True))
+        return int(state["epoch"]) + 1
 
     # ------------------------------------------------------------------
     # TopicModel interface

@@ -29,11 +29,44 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     return total
 
 
+def _pack_slot(
+    state: dict[str, np.ndarray], name: str, arrays: Sequence[np.ndarray]
+) -> None:
+    """Store per-parameter slot arrays under ``name.<index>`` keys."""
+    for i, arr in enumerate(arrays):
+        state[f"{name}.{i}"] = np.array(arr, copy=True)
+
+
+def _unpack_slot(
+    state: dict[str, np.ndarray], name: str, parameters: Sequence[Parameter]
+) -> list[np.ndarray]:
+    """Read back a slot packed by :func:`_pack_slot`; validate shapes."""
+    arrays: list[np.ndarray] = []
+    for i, p in enumerate(parameters):
+        key = f"{name}.{i}"
+        if key not in state:
+            raise ConfigError(f"optimizer state is missing {key!r}")
+        arr = np.asarray(state[key], dtype=np.float64)
+        if arr.shape != p.data.shape:
+            raise ConfigError(
+                f"optimizer state shape mismatch for {key!r}: "
+                f"{arr.shape} vs parameter {p.data.shape}"
+            )
+        arrays.append(arr.copy())
+    return arrays
+
+
 class Optimizer:
     """Base class: stores parameters, provides ``zero_grad``, counts steps.
 
     ``step_count`` is the number of completed :meth:`step` calls — free
     telemetry for throughput reports (updates/sec, updates/epoch).
+
+    :meth:`state_dict` / :meth:`load_state_dict` snapshot and restore the
+    full update state (learning rate, step counter, per-parameter slots
+    such as Adam's moments) as plain arrays, so checkpoints can resume
+    training bitwise-consistently (:mod:`repro.io`,
+    :mod:`repro.training.resilience`).
     """
 
     def __init__(self, parameters: Sequence[Parameter], lr: float):
@@ -51,6 +84,33 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def _save_slots(self, state: dict[str, np.ndarray]) -> None:
+        """Subclass hook: add per-parameter slot arrays to ``state``."""
+
+    def _load_slots(self, state: dict[str, np.ndarray]) -> None:
+        """Subclass hook: restore what :meth:`_save_slots` stored."""
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot the optimizer's state as plain numpy arrays (copies)."""
+        state: dict[str, np.ndarray] = {
+            "lr": np.asarray(self.lr, dtype=np.float64),
+            "step_count": np.asarray(self.step_count, dtype=np.int64),
+        }
+        self._save_slots(state)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a snapshot from :meth:`state_dict`; shapes must match."""
+        for key in ("lr", "step_count"):
+            if key not in state:
+                raise ConfigError(f"optimizer state is missing {key!r}")
+        self.lr = float(state["lr"])
+        self.step_count = int(state["step_count"])
+        self._load_slots(state)
 
 
 class SGD(Optimizer):
@@ -81,6 +141,12 @@ class SGD(Optimizer):
                 vel += grad
                 grad = vel
             p.data = p.data - self.lr * grad
+
+    def _save_slots(self, state: dict[str, np.ndarray]) -> None:
+        _pack_slot(state, "velocity", self._velocity)
+
+    def _load_slots(self, state: dict[str, np.ndarray]) -> None:
+        self._velocity = _unpack_slot(state, "velocity", self.parameters)
 
 
 class Adam(Optimizer):
@@ -125,6 +191,18 @@ class Adam(Optimizer):
             v_hat = v / bias2
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def _save_slots(self, state: dict[str, np.ndarray]) -> None:
+        state["t"] = np.asarray(self._t, dtype=np.int64)
+        _pack_slot(state, "m", self._m)
+        _pack_slot(state, "v", self._v)
+
+    def _load_slots(self, state: dict[str, np.ndarray]) -> None:
+        if "t" not in state:
+            raise ConfigError("optimizer state is missing 't'")
+        self._t = int(state["t"])
+        self._m = _unpack_slot(state, "m", self.parameters)
+        self._v = _unpack_slot(state, "v", self.parameters)
+
 
 class AdaGrad(Optimizer):
     """AdaGrad (Duchi et al., 2011) — used by the mini-GloVe trainer."""
@@ -146,3 +224,9 @@ class AdaGrad(Optimizer):
                 continue
             accum += p.grad**2
             p.data = p.data - self.lr * p.grad / (np.sqrt(accum) + self.eps)
+
+    def _save_slots(self, state: dict[str, np.ndarray]) -> None:
+        _pack_slot(state, "accum", self._accum)
+
+    def _load_slots(self, state: dict[str, np.ndarray]) -> None:
+        self._accum = _unpack_slot(state, "accum", self.parameters)

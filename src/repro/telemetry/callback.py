@@ -16,13 +16,19 @@ regularizer's training cost is visible per epoch.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import IO
 
+from repro.io import commit_file
 from repro.nn.module import Module
 from repro.telemetry.core import MetricsRegistry
 from repro.training.callbacks import Callback
+
+#: Epoch-log prefix the resilience guard uses; matching keys are folded
+#: into the registry as ``guard/<name>`` counters.
+GUARD_LOG_PREFIX = "guard_"
 
 
 class TelemetryCallback(Callback):
@@ -66,6 +72,7 @@ class TelemetryCallback(Callback):
         self.epochs: list[dict] = []
         self._stream: IO[str] | None = stream
         self._owns_stream = False
+        self._tmp_path: Path | None = None
         self._fit_start = 0.0
 
     # ------------------------------------------------------------------
@@ -80,7 +87,12 @@ class TelemetryCallback(Callback):
     # ------------------------------------------------------------------
     def on_fit_start(self, model) -> None:
         if self.path is not None:
-            self._stream = self.path.open("w", encoding="utf-8")
+            # Stream to a tmp file and atomically publish it at fit end:
+            # a crashed run leaves the tmp behind for forensics but never
+            # a truncated file at the final path.
+            self._tmp_path = self.path.with_name(f"{self.path.name}.tmp")
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = self._tmp_path.open("w", encoding="utf-8")
             self._owns_stream = True
         self._fit_start = time.perf_counter()
         self.records.clear()
@@ -101,13 +113,20 @@ class TelemetryCallback(Callback):
         contrastive = float(logs.get("extra", 0.0))
         record = {
             "event": "epoch",
-            "epoch": int(epoch),
             **{k: float(v) for k, v in logs.items()},
+            "epoch": int(epoch),
             "elbo": rec + kl,
             "contrastive": contrastive,
         }
         self.epochs.append(self._emit(record))
         if self.registry is not None:
+            for key, value in logs.items():
+                if key.startswith(GUARD_LOG_PREFIX) and value:
+                    self.registry.count(
+                        f"guard/{key[len(GUARD_LOG_PREFIX):]}",
+                        float(value),
+                        absolute=True,
+                    )
             self.registry.count("train/epochs", absolute=True)
             if "epoch_seconds" in logs:
                 self.registry.record_seconds(
@@ -133,7 +152,10 @@ class TelemetryCallback(Callback):
         if self.registry is not None:
             self.registry.record_seconds("train/fit", wall, absolute=True)
         if self._owns_stream and self._stream is not None:
+            self._stream.flush()
+            os.fsync(self._stream.fileno())
             self._stream.close()
+            commit_file(self._tmp_path, self.path, category="telemetry")
             self._stream = None
             self._owns_stream = False
 

@@ -23,6 +23,7 @@ import json
 from pathlib import Path
 from typing import Sequence
 
+from repro.io import atomic_write
 from repro.telemetry.core import MetricsRegistry
 from repro.telemetry.ophooks import OP_PREFIX
 
@@ -91,6 +92,11 @@ def _epoch_totals(epochs: Sequence[dict]) -> dict:
     denominator = abs(totals["elbo_mean"]) + abs(totals["contrastive_mean"])
     if denominator > 0:
         totals["contrastive_loss_share"] = abs(totals["contrastive_mean"]) / denominator
+    # Guard recovery actions (repro.training.resilience) roll up as sums,
+    # so a report makes divergences-and-recoveries visible at a glance.
+    guard_keys = {k for e in epochs for k in e if k.startswith("guard_")}
+    for key in sorted(guard_keys):
+        totals[key] = float(sum(e.get(key, 0.0) for e in epochs))
     return totals
 
 
@@ -139,10 +145,13 @@ def epoch_rows_from_history(history: Sequence[dict]) -> list[dict]:
 
 
 def write_report(report: dict, path: str | Path) -> Path:
-    """Serialise a report; returns the written path."""
+    """Serialise a report atomically; returns the written path.
+
+    Uses the shared tmp + fsync + rename helper, so an interrupted run
+    never leaves a truncated ``BENCH_*.json`` behind.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as fp:
+    with atomic_write(path, "w", category="report") as fp:
         json.dump(report, fp, indent=2, sort_keys=True)
         fp.write("\n")
     return path

@@ -22,6 +22,18 @@ from repro.training.callbacks import (
     LambdaCallback,
     ValidationEvaluator,
 )
+from repro.training.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    interrupted_writes,
+)
+from repro.training.resilience import (
+    CheckpointCallback,
+    GuardPolicy,
+    TrainingGuard,
+    save_training_checkpoint,
+)
 
 
 def __getattr__(name: str):
@@ -42,9 +54,17 @@ __all__ = [
     "multi_seed_evaluation",
     "CLUSTER_COUNTS",
     "Callback",
+    "CheckpointCallback",
     "EarlyStopping",
+    "FaultInjector",
+    "FaultPlan",
+    "GuardPolicy",
     "HistoryLogger",
+    "InjectedFault",
     "LambdaCallback",
     "TelemetryCallback",
+    "TrainingGuard",
     "ValidationEvaluator",
+    "interrupted_writes",
+    "save_training_checkpoint",
 ]

@@ -1,0 +1,145 @@
+"""Deterministic fault injection for the training runtime.
+
+The recovery paths of :mod:`repro.training.resilience` (skip batch, LR
+backoff, checkpoint restore, graceful degradation) only earn their keep if
+they are exercised in CI rather than theoretical.  This module makes the
+three failure modes the ContraTopic objective actually produces —
+NaN/Inf losses from the Gumbel-softmax/NPMI kernel, exploding gradients,
+and writes interrupted mid-checkpoint — injectable on demand:
+
+* :class:`FaultPlan` declares *what* to inject (explicit batch steps
+  and/or a seed-driven rate), so a plan replays identically across runs.
+* :class:`FaultInjector` is handed to
+  :meth:`repro.models.base.NeuralTopicModel.fit` via ``faults=`` and
+  corrupts losses/gradients at the planned steps.
+* :func:`interrupted_writes` routes atomic checkpoint commits through the
+  injector, simulating a crash after the bytes were written but before
+  the rename published them — the final file must stay intact.
+
+Everything is seed-driven (``numpy.random.default_rng``); no global state.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro import io as _io
+from repro.errors import ConfigError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.nn.module import Parameter
+    from repro.tensor.tensor import Tensor
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """Raised by the harness to simulate a crash (e.g. mid-checkpoint)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative, replayable description of the faults to inject.
+
+    ``*_steps`` name explicit 0-based batch steps (global across epochs);
+    ``*_rate`` adds seed-driven Bernoulli injection on top.  A plan with
+    the same fields and seed injects at exactly the same steps every run.
+    """
+
+    nan_loss_steps: tuple[int, ...] = ()
+    nan_loss_rate: float = 0.0
+    exploding_grad_steps: tuple[int, ...] = ()
+    exploding_grad_rate: float = 0.0
+    #: Multiplier applied to gradients at injection steps.  The default is
+    #: large enough that the squared global norm overflows to +inf, which
+    #: is what a genuine blow-up looks like to the finiteness guard.
+    grad_scale: float = 1e200
+    #: 0-based indices of checkpoint commits to interrupt (requires the
+    #: :func:`interrupted_writes` context to be active).
+    interrupt_saves: tuple[int, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("nan_loss_rate", "exploding_grad_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must lie in [0, 1], got {rate}")
+        if self.grad_scale <= 1.0:
+            raise ConfigError("grad_scale must exceed 1")
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against a live training loop.
+
+    The fit loop calls :meth:`corrupt_loss` once per batch (advancing the
+    injector's step counter) and :meth:`corrupt_gradients` after backward;
+    checkpoint commits reach :meth:`on_commit` through the
+    :func:`interrupted_writes` context.  ``counts`` tallies every injected
+    fault, so tests can assert the harness actually fired.
+    """
+
+    def __init__(self, plan: FaultPlan | None = None, **plan_kwargs):
+        if plan is not None and plan_kwargs:
+            raise ConfigError("pass either a FaultPlan or keyword fields, not both")
+        self.plan = plan or FaultPlan(**plan_kwargs)
+        self._rng = np.random.default_rng(self.plan.seed)
+        self._step = -1
+        self._commits = 0
+        self.counts = {"nan_loss": 0, "exploding_grad": 0, "interrupted_saves": 0}
+
+    # ------------------------------------------------------------------
+    def _planned(self, steps: Sequence[int], rate: float) -> bool:
+        by_step = self._step in steps
+        by_rate = rate > 0.0 and float(self._rng.random()) < rate
+        return by_step or by_rate
+
+    def corrupt_loss(self, loss: "Tensor") -> bool:
+        """Advance one batch step; overwrite the loss with NaN if planned."""
+        self._step += 1
+        if not self._planned(self.plan.nan_loss_steps, self.plan.nan_loss_rate):
+            return False
+        loss.data = np.full_like(np.asarray(loss.data, dtype=np.float64), np.nan)
+        self.counts["nan_loss"] += 1
+        return True
+
+    def corrupt_gradients(self, parameters: Iterable["Parameter"]) -> bool:
+        """Scale every gradient by ``grad_scale`` if planned for this step."""
+        if not self._planned(
+            self.plan.exploding_grad_steps, self.plan.exploding_grad_rate
+        ):
+            return False
+        for p in parameters:
+            if p.grad is not None:
+                p.grad = p.grad * self.plan.grad_scale
+        self.counts["exploding_grad"] += 1
+        return True
+
+    def on_commit(self, category: str) -> None:
+        """Commit hook: crash the planned checkpoint publications."""
+        if category != "checkpoint":
+            return
+        index = self._commits
+        self._commits += 1
+        if index in self.plan.interrupt_saves:
+            self.counts["interrupted_saves"] += 1
+            raise InjectedFault(
+                f"injected crash during checkpoint commit #{index}"
+            )
+
+
+@contextlib.contextmanager
+def interrupted_writes(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Route atomic checkpoint commits through ``injector.on_commit``.
+
+    While active, the commits named by ``plan.interrupt_saves`` raise
+    :class:`InjectedFault` *after* the tmp file was written but *before*
+    the rename — exactly the window a real crash would hit.  The final
+    path is guaranteed untouched (that is the property under test).
+    """
+    _io._COMMIT_HOOKS.append(injector.on_commit)
+    try:
+        yield injector
+    finally:
+        _io._COMMIT_HOOKS.remove(injector.on_commit)

@@ -43,6 +43,29 @@ class EvaluationResult:
     coherence_std: dict[float, float] = field(default_factory=dict)
     diversity_std: dict[float, float] = field(default_factory=dict)
     km_purity_std: dict[int, float] = field(default_factory=dict)
+    #: Populated by :func:`multi_seed_evaluation`: per-seed "ok" or
+    #: "diverged" status.  A diverged seed is excluded from the reported
+    #: means instead of silently poisoning them; its status keeps the
+    #: exclusion visible.
+    seed_status: dict[int, str] = field(default_factory=dict)
+    #: Set by :func:`evaluate_model` when the model's outputs (topic-word
+    #: matrix, document-topic vectors) contained non-finite values.  Rank
+    #: statistics like the coherence top-k word selection can still come
+    #: out finite on NaN inputs, so metric finiteness alone cannot catch a
+    #: diverged model.
+    diverged: bool = False
+
+    def is_finite(self) -> bool:
+        """True when the run converged and every metric value is finite."""
+        if self.diverged:
+            return False
+        values = [
+            *self.coherence.values(),
+            *self.diversity.values(),
+            *self.km_purity.values(),
+            *self.km_nmi.values(),
+        ]
+        return bool(np.all(np.isfinite(values))) if values else True
 
     def summary(self) -> dict[str, float]:
         """Flat scalar summary used by reports and tests."""
@@ -57,6 +80,10 @@ class EvaluationResult:
             last = max(self.km_purity)
             out["km_purity@min"] = self.km_purity[first]
             out["km_purity@max"] = self.km_purity[last]
+        if self.seed_status:
+            statuses = self.seed_status.values()
+            out["seeds_ok"] = float(sum(s == "ok" for s in statuses))
+            out["seeds_diverged"] = float(sum(s != "ok" for s in statuses))
         return out
 
 
@@ -76,6 +103,7 @@ def evaluate_model(
     counts exceeding the number of test documents are skipped.
     """
     topic_word = model.topic_word_matrix()
+    diverged = not bool(np.all(np.isfinite(topic_word)))
     coherence = coherence_by_percentage(topic_word, test_npmi, percentages=percentages)
     diversity = diversity_by_percentage(topic_word, test_npmi, percentages=percentages)
 
@@ -83,20 +111,28 @@ def evaluate_model(
     km_nmi: dict[int, float] = {}
     if test_corpus.labels is not None:
         doc_topic = model.transform(test_corpus)
-        for n_clusters in cluster_counts:
-            if n_clusters > len(test_corpus):
-                continue
-            assignments = KMeans(n_clusters, seed=clustering_seed).fit_predict(doc_topic)
-            km_purity[n_clusters] = purity(assignments, test_corpus.labels)
-            km_nmi[n_clusters] = normalized_mutual_information(
-                assignments, test_corpus.labels
-            )
+        if not bool(np.all(np.isfinite(doc_topic))):
+            # KMeans over NaN vectors is meaningless; skip clustering and
+            # let the diverged flag tell the story.
+            diverged = True
+        else:
+            for n_clusters in cluster_counts:
+                if n_clusters > len(test_corpus):
+                    continue
+                assignments = KMeans(n_clusters, seed=clustering_seed).fit_predict(
+                    doc_topic
+                )
+                km_purity[n_clusters] = purity(assignments, test_corpus.labels)
+                km_nmi[n_clusters] = normalized_mutual_information(
+                    assignments, test_corpus.labels
+                )
     return EvaluationResult(
         model_name=model_name or type(model).__name__,
         coherence=coherence,
         diversity=diversity,
         km_purity=km_purity,
         km_nmi=km_nmi,
+        diverged=diverged,
     )
 
 
@@ -131,9 +167,19 @@ def multi_seed_evaluation(
     model_name: str | None = None,
     cluster_counts: Sequence[int] = CLUSTER_COUNTS,
 ) -> EvaluationResult:
-    """§V.F protocol: average the evaluation over several random seeds."""
-    results = [
-        train_and_evaluate(
+    """§V.F protocol: average the evaluation over several random seeds.
+
+    A seed whose run produced non-finite metrics (a diverged model) is
+    flagged as ``"diverged"`` in the result's ``seed_status`` and excluded
+    from the reported means — the paper's mean±std tables are only
+    meaningful over runs that actually converged.  When *every* seed
+    diverged, the (NaN) mean over all of them is returned so the failure
+    stays visible rather than being masked.
+    """
+    results: list[EvaluationResult] = []
+    seed_status: dict[int, str] = {}
+    for seed in seeds:
+        result = train_and_evaluate(
             model_factory,
             train_corpus,
             test_corpus,
@@ -142,9 +188,13 @@ def multi_seed_evaluation(
             model_name=model_name,
             cluster_counts=cluster_counts,
         )
-        for seed in seeds
-    ]
-    return _mean_results(results)
+        seed_status[seed] = "ok" if result.is_finite() else "diverged"
+        results.append(result)
+    finite = [r for r, seed in zip(results, seeds) if seed_status[seed] == "ok"]
+    merged = _mean_results(finite or results)
+    merged.seed_status = seed_status
+    merged.diverged = not finite
+    return merged
 
 
 def _mean_results(results: Sequence[EvaluationResult]) -> EvaluationResult:

@@ -124,6 +124,85 @@ class TestClipGradNorm:
         np.testing.assert_allclose(total, 1.0)
 
 
+class TestStateDict:
+    @pytest.mark.parametrize(
+        "make_opt",
+        [
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9),
+            lambda ps: Adam(ps, lr=0.2),
+            lambda ps: AdaGrad(ps, lr=1.0),
+        ],
+    )
+    def test_restored_optimizer_continues_bitwise_identically(self, make_opt):
+        def run(steps, resume_at=None):
+            rng = np.random.default_rng(0)
+            p = _param(np.zeros(4))
+            opt = make_opt([p])
+            snapshot = None
+            for step in range(steps):
+                if step == resume_at:
+                    snapshot = (p.data.copy(), opt.state_dict())
+                p.grad = rng.standard_normal(4)
+                opt.step()
+            return p.data.copy(), opt, snapshot
+
+        full, _, _ = run(10)
+        _, _, (param_at_5, state_at_5) = run(10, resume_at=5)
+
+        # rebuild from the snapshot and replay the last 5 steps
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            rng.standard_normal(4)
+        p = _param(param_at_5)
+        opt = make_opt([p])
+        opt.load_state_dict(state_at_5)
+        for _ in range(5):
+            p.grad = rng.standard_normal(4)
+            opt.step()
+        np.testing.assert_array_equal(p.data, full)
+
+    def test_roundtrip_restores_lr_and_step_count(self):
+        p = _param([1.0])
+        opt = SGD([p], lr=0.3)
+        p.grad = np.ones(1)
+        opt.step()
+        state = opt.state_dict()
+
+        fresh = SGD([_param([1.0])], lr=0.1)
+        fresh.load_state_dict(state)
+        assert fresh.lr == 0.3
+        assert fresh.step_count == 1
+
+    def test_state_dict_values_are_copies(self):
+        p = _param([1.0])
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.ones(1)
+        opt.step()
+        state = opt.state_dict()
+        state["velocity.0"][:] = 99.0
+        assert opt._velocity[0][0] != 99.0
+
+    def test_missing_key_rejected(self):
+        opt = Adam([_param([1.0])], lr=0.1)
+        state = opt.state_dict()
+        del state["m.0"]
+        with pytest.raises(ConfigError):
+            Adam([_param([1.0])], lr=0.1).load_state_dict(state)
+
+    def test_missing_scalar_rejected(self):
+        opt = SGD([_param([1.0])], lr=0.1)
+        state = opt.state_dict()
+        del state["step_count"]
+        with pytest.raises(ConfigError):
+            SGD([_param([1.0])], lr=0.1).load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        opt = SGD([_param([1.0, 2.0])], lr=0.1)
+        state = opt.state_dict()
+        with pytest.raises(ConfigError):
+            SGD([_param([1.0, 2.0, 3.0])], lr=0.1).load_state_dict(state)
+
+
 class TestConvergence:
     @pytest.mark.parametrize(
         "make_opt",

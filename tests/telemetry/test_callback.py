@@ -74,6 +74,60 @@ class TestJsonlRoundTrip:
         assert docs == pytest.approx(len(tiny_corpus) * fast_config.epochs, rel=0.05)
 
 
+class TestAtomicJsonl:
+    def test_no_tmp_left_after_a_completed_run(
+        self, tiny_corpus, fast_config, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        callback = TelemetryCallback(path=path)
+        ProdLDA(tiny_corpus.vocab_size, fast_config).fit(
+            tiny_corpus, callbacks=[callback]
+        )
+        assert path.exists()
+        assert not (tmp_path / "run.jsonl.tmp").exists()
+
+    def test_interrupted_run_never_publishes_a_partial_file(
+        self, fast_config, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        callback = TelemetryCallback(path=path)
+        model = ProdLDA(30, fast_config)
+        callback.on_fit_start(model)
+        callback.on_epoch_end(model, 0, {"rec": 1.0, "kl": 0.5})
+        # the "crash": on_fit_end never runs — records stay in the tmp
+        # file for forensics, the final path is never created
+        assert not path.exists()
+        assert (tmp_path / "run.jsonl.tmp").exists()
+        callback._stream.close()
+
+
+class TestGuardCounterFolding:
+    def test_guard_log_keys_become_registry_counters(self, fast_config):
+        registry = MetricsRegistry()
+        callback = TelemetryCallback(registry=registry)
+        model = ProdLDA(30, fast_config)
+        callback.on_fit_start(model)
+        callback.on_epoch_end(
+            model, 0, {"rec": 1.0, "guard_faults": 2.0, "guard_skipped_batches": 2.0}
+        )
+        callback.on_epoch_end(
+            model, 1, {"rec": 1.0, "guard_faults": 1.0, "guard_lr_backoffs": 1.0}
+        )
+        callback.on_fit_end(model)
+        assert registry.counters["guard/faults"].value == 3.0
+        assert registry.counters["guard/skipped_batches"].value == 2.0
+        assert registry.counters["guard/lr_backoffs"].value == 1.0
+
+    def test_zero_valued_guard_keys_create_no_counters(self, fast_config):
+        registry = MetricsRegistry()
+        callback = TelemetryCallback(registry=registry)
+        model = ProdLDA(30, fast_config)
+        callback.on_fit_start(model)
+        callback.on_epoch_end(model, 0, {"rec": 1.0, "guard_faults": 0.0})
+        callback.on_fit_end(model)
+        assert "guard/faults" not in registry.counters
+
+
 class TestStreamSink:
     def test_borrowed_stream_not_closed(self, tiny_corpus, fast_config):
         stream = io.StringIO()

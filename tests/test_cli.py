@@ -201,3 +201,101 @@ class TestCommands:
             ]
         )
         assert "checkpoint skipped" in output
+
+
+class TestResilienceFlags:
+    _base = [
+        "--dataset",
+        "20ng",
+        "--scale",
+        "0.08",
+        "--num-topics",
+        "6",
+        "--epochs",
+        "2",
+    ]
+
+    def test_train_checkpoint_dir_then_resume(self, tmp_path):
+        ckpt_dir = tmp_path / "ckpt"
+        _run(
+            ["train", "--model", "etm", *self._base, "--checkpoint-dir", str(ckpt_dir)]
+        )
+        assert (ckpt_dir / "last.npz").exists()
+        resume_out = _run(
+            [
+                "train",
+                "--model",
+                "etm",
+                "--dataset",
+                "20ng",
+                "--scale",
+                "0.08",
+                "--num-topics",
+                "6",
+                "--epochs",
+                "3",
+                "--resume",
+                str(ckpt_dir / "last.npz"),
+            ]
+        )
+        assert "resuming" in resume_out
+        assert "coherence@100%" in resume_out
+
+    def test_resilience_flags_rejected_for_non_neural_models(self, tmp_path):
+        with pytest.raises(SystemExit, match="neural"):
+            main(
+                [
+                    "train",
+                    "--model",
+                    "lda",
+                    "--dataset",
+                    "20ng",
+                    "--scale",
+                    "0.08",
+                    "--num-topics",
+                    "4",
+                    "--guard",
+                ],
+                out=io.StringIO(),
+            )
+
+    def test_bench_fault_injection_surfaces_guard_counters(self, tmp_path):
+        from repro.telemetry import load_report
+
+        report_path = tmp_path / "BENCH_faults.json"
+        output = _run(
+            [
+                "bench",
+                "--model",
+                "contratopic",
+                *self._base,
+                "--guard",
+                "--inject-nan",
+                "1.0",
+                "--telemetry",
+                str(report_path),
+            ]
+        )
+        assert "wrote telemetry report" in output
+        report = load_report(report_path)
+        counters = report["registry"]["counters"]
+        assert counters["guard/faults"] > 0
+        assert counters["guard/skipped_batches"] > 0
+        assert report["totals"]["guard_faults"] > 0
+        assert report["meta"]["inject_nan"] == 1.0
+
+    def test_bench_interrupts_require_checkpoint_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="checkpoint-dir"):
+            main(
+                [
+                    "bench",
+                    "--model",
+                    "contratopic",
+                    *self._base,
+                    "--inject-interrupts",
+                    "1",
+                    "--telemetry",
+                    str(tmp_path / "x.json"),
+                ],
+                out=io.StringIO(),
+            )

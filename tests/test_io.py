@@ -1,17 +1,22 @@
 """Checkpointing and corpus serialization."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.data import Corpus, Vocabulary
 from repro.io import (
     CheckpointError,
+    atomic_write,
     load_checkpoint,
     load_corpus,
+    restore_checkpoint,
     save_checkpoint,
     save_corpus,
 )
 from repro.models import ProdLDA
+from repro.nn import Adam
 
 
 class TestCheckpoints:
@@ -55,6 +60,96 @@ class TestCheckpoints:
         path = tmp_path / "random.npz"
         np.savez(path, junk=np.zeros(3))
         with pytest.raises(CheckpointError):
+            load_checkpoint(ProdLDA(tiny_corpus.vocab_size, fast_config), path)
+
+
+class TestAtomicWrite:
+    def test_success_publishes_and_removes_tmp(self, tmp_path):
+        path = tmp_path / "out.json"
+        with atomic_write(path) as fp:
+            fp.write('{"ok": true}')
+        assert json.loads(path.read_text()) == {"ok": True}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_failure_preserves_previous_content(self, tmp_path):
+        path = tmp_path / "out.json"
+        path.write_text("previous")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as fp:
+                fp.write("partial garbage")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "previous"
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "out.txt"
+        with atomic_write(path) as fp:
+            fp.write("deep")
+        assert path.read_text() == "deep"
+
+    def test_rejects_read_modes(self, tmp_path):
+        for mode in ("r", "a", "w+"):
+            with pytest.raises(ValueError):
+                with atomic_write(tmp_path / "x", mode):
+                    pass
+
+
+class TestV2Checkpoints:
+    def test_roundtrip_with_optimizer_and_trainer_state(
+        self, tiny_corpus, fast_config, tmp_path
+    ):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        trainer_state = {"epoch": 4, "note": "resume here"}
+        path = tmp_path / "v2.npz"
+        save_checkpoint(
+            model, path, optimizer=optimizer, trainer_state=trainer_state
+        )
+
+        fresh = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        fresh_opt = Adam(fresh.parameters(), lr=0.5)
+        meta = restore_checkpoint(fresh, path, optimizer=fresh_opt)
+        assert meta["format_version"] == 2
+        assert meta["optimizer_class"] == "Adam"
+        assert meta["trainer_state"] == trainer_state
+        assert fresh_opt.lr == optimizer.lr
+
+    def test_optimizer_state_required_when_requested(
+        self, tiny_corpus, fast_config, tmp_path
+    ):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        path = tmp_path / "plain.npz"
+        save_checkpoint(model, path)  # parameters only
+        fresh = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        with pytest.raises(CheckpointError):
+            restore_checkpoint(
+                fresh, path, optimizer=Adam(fresh.parameters(), lr=0.1)
+            )
+
+    def test_truncated_file_rejected(self, tiny_corpus, fast_config, tmp_path):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(ProdLDA(tiny_corpus.vocab_size, fast_config), path)
+
+    def test_garbage_bytes_rejected(self, tiny_corpus, fast_config, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"\x00\x01definitely not a zip archive\xff" * 10)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(ProdLDA(tiny_corpus.vocab_size, fast_config), path)
+
+    def test_unsupported_version_rejected(
+        self, tiny_corpus, fast_config, tmp_path
+    ):
+        path = tmp_path / "future.npz"
+        meta = json.dumps({"format_version": 99, "extra": {}})
+        np.savez(
+            path,
+            **{"__repro_meta__": np.frombuffer(meta.encode(), dtype=np.uint8)},
+        )
+        with pytest.raises(CheckpointError, match="version"):
             load_checkpoint(ProdLDA(tiny_corpus.vocab_size, fast_config), path)
 
 

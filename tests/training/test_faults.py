@@ -1,0 +1,125 @@
+"""Deterministic fault injection: plans, injectors, interrupted writes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.io import atomic_write, load_checkpoint, save_checkpoint
+from repro.models import ProdLDA
+from repro.tensor import Tensor
+from repro.training.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    interrupted_writes,
+)
+
+
+def _loss() -> Tensor:
+    return Tensor(np.array(1.5))
+
+
+class TestFaultPlan:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nan_loss_rate": -0.1},
+            {"nan_loss_rate": 1.5},
+            {"exploding_grad_rate": 2.0},
+            {"grad_scale": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultPlan(**kwargs)
+
+    def test_plan_and_kwargs_are_exclusive(self):
+        with pytest.raises(ConfigError):
+            FaultInjector(FaultPlan(), nan_loss_rate=0.5)
+
+
+class TestLossInjection:
+    def test_explicit_steps(self):
+        injector = FaultInjector(nan_loss_steps=(1, 3))
+        hits = [injector.corrupt_loss(_loss()) for _ in range(5)]
+        assert hits == [False, True, False, True, False]
+        assert injector.counts["nan_loss"] == 2
+
+    def test_corrupted_loss_is_nan(self):
+        injector = FaultInjector(nan_loss_steps=(0,))
+        loss = _loss()
+        assert injector.corrupt_loss(loss)
+        assert np.isnan(loss.item())
+
+    def test_rate_injection_is_seed_deterministic(self):
+        def run(seed):
+            injector = FaultInjector(nan_loss_rate=0.4, seed=seed)
+            return [injector.corrupt_loss(_loss()) for _ in range(40)]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+        assert any(run(3)) and not all(run(3))
+
+
+class TestGradientInjection:
+    def test_scaled_gradients_overflow_the_global_norm(self, fast_config):
+        from repro.nn.optim import clip_grad_norm
+
+        model = ProdLDA(30, fast_config)
+        for p in model.parameters():
+            p.grad = np.ones_like(p.data)
+        injector = FaultInjector(exploding_grad_steps=(0,))
+        injector._step = 0  # corrupt_gradients does not advance the step
+        assert injector.corrupt_gradients(model.parameters())
+        assert not np.isfinite(clip_grad_norm(model.parameters(), 10.0))
+        assert injector.counts["exploding_grad"] == 1
+
+    def test_untouched_outside_planned_steps(self, fast_config):
+        model = ProdLDA(30, fast_config)
+        for p in model.parameters():
+            p.grad = np.ones_like(p.data)
+        injector = FaultInjector(exploding_grad_steps=(5,))
+        injector._step = 0
+        assert not injector.corrupt_gradients(model.parameters())
+        assert all(np.all(p.grad == 1.0) for p in model.parameters())
+
+
+class TestInterruptedWrites:
+    def test_only_checkpoint_commits_are_interrupted(self):
+        injector = FaultInjector(interrupt_saves=(0,))
+        injector.on_commit("report")
+        injector.on_commit("telemetry")
+        assert injector.counts["interrupted_saves"] == 0
+        with pytest.raises(InjectedFault):
+            injector.on_commit("checkpoint")
+        assert injector.counts["interrupted_saves"] == 1
+        injector.on_commit("checkpoint")  # only commit #0 was planned
+
+    def test_interrupted_save_leaves_previous_file_intact(
+        self, fast_config, tmp_path
+    ):
+        model = ProdLDA(30, fast_config)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path, extra={"generation": 1})
+
+        injector = FaultInjector(interrupt_saves=(0,))
+        with interrupted_writes(injector):
+            with pytest.raises(InjectedFault):
+                save_checkpoint(model, path, extra={"generation": 2})
+            # the crash hit between write and publish: old bytes survive
+            assert load_checkpoint(ProdLDA(30, fast_config), path) == {
+                "generation": 1
+            }
+            # the next (unplanned) commit goes through
+            save_checkpoint(model, path, extra={"generation": 3})
+        assert load_checkpoint(ProdLDA(30, fast_config), path) == {"generation": 3}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_hook_removed_on_exit(self, tmp_path):
+        injector = FaultInjector(interrupt_saves=(0,))
+        with interrupted_writes(injector):
+            pass
+        with atomic_write(tmp_path / "out.txt", "w", category="checkpoint") as fp:
+            fp.write("fine\n")
+        assert (tmp_path / "out.txt").read_text() == "fine\n"
+        assert injector.counts["interrupted_saves"] == 0

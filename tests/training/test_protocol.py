@@ -171,3 +171,79 @@ class TestMultiSeedStd:
             cluster_counts=(4,),
         )
         assert result.coherence_std == {}
+
+
+class _DivergingStub(_StubModel):
+    """Stub whose topics collapse to NaN for a configured set of seeds."""
+
+    def __init__(self, num_topics, seed=0, bad_seeds=()):
+        super().__init__(num_topics, seed=seed)
+        self.bad_seeds = bad_seeds
+
+    def topic_word_matrix(self):
+        beta = super().topic_word_matrix()
+        if self.seed in self.bad_seeds:
+            beta = np.full_like(beta, np.nan)
+        return beta
+
+
+class TestDivergedSeeds:
+    def test_diverged_seed_is_flagged_and_excluded(
+        self, tiny_dataset, tiny_test_npmi
+    ):
+        result = multi_seed_evaluation(
+            lambda seed: _DivergingStub(num_topics=6, seed=seed, bad_seeds=(1,)),
+            tiny_dataset.train,
+            tiny_dataset.test,
+            tiny_test_npmi,
+            seeds=(0, 1, 2),
+            cluster_counts=(4,),
+        )
+        assert result.seed_status == {0: "ok", 1: "diverged", 2: "ok"}
+        # the NaN run was excluded: the reported means stay finite
+        assert all(np.isfinite(v) for v in result.coherence.values())
+        summary = result.summary()
+        assert summary["seeds_ok"] == 2.0
+        assert summary["seeds_diverged"] == 1.0
+
+    def test_excluded_mean_equals_mean_over_good_seeds(
+        self, tiny_dataset, tiny_test_npmi
+    ):
+        with_bad = multi_seed_evaluation(
+            lambda seed: _DivergingStub(num_topics=6, seed=seed, bad_seeds=(1,)),
+            tiny_dataset.train,
+            tiny_dataset.test,
+            tiny_test_npmi,
+            seeds=(0, 1, 2),
+            cluster_counts=(4,),
+        )
+        only_good = multi_seed_evaluation(
+            lambda seed: _DivergingStub(num_topics=6, seed=seed),
+            tiny_dataset.train,
+            tiny_dataset.test,
+            tiny_test_npmi,
+            seeds=(0, 2),
+            cluster_counts=(4,),
+        )
+        assert with_bad.coherence == pytest.approx(only_good.coherence)
+
+    def test_all_diverged_keeps_the_failure_visible(
+        self, tiny_dataset, tiny_test_npmi
+    ):
+        result = multi_seed_evaluation(
+            lambda seed: _DivergingStub(
+                num_topics=6, seed=seed, bad_seeds=(0, 1)
+            ),
+            tiny_dataset.train,
+            tiny_dataset.test,
+            tiny_test_npmi,
+            seeds=(0, 1),
+            cluster_counts=(4,),
+        )
+        assert set(result.seed_status.values()) == {"diverged"}
+        assert not result.is_finite()
+
+    def test_is_finite_on_empty_result(self):
+        from repro.training.protocol import EvaluationResult
+
+        assert EvaluationResult("x", {}, {}).is_finite()

@@ -1,0 +1,216 @@
+"""Numerical guards: the escalation ladder, and checkpointing callbacks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, TrainingDivergedError
+from repro.io import restore_checkpoint
+from repro.models import ProdLDA
+from repro.nn import SGD
+from repro.training.faults import FaultInjector, interrupted_writes
+from repro.training.resilience import (
+    GUARD_COUNTERS,
+    CheckpointCallback,
+    GuardPolicy,
+    TrainingGuard,
+    save_training_checkpoint,
+)
+
+
+def _guarded(fast_config, **policy_kwargs):
+    """A (guard, model, optimizer) triple over an untrained ProdLDA."""
+    model = ProdLDA(30, fast_config)
+    optimizer = SGD(model.parameters(), lr=0.1)
+    guard = TrainingGuard(GuardPolicy(**policy_kwargs), model, optimizer)
+    return guard, model, optimizer
+
+
+class TestGuardPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"skips_per_escalation": 0},
+            {"lr_backoff": 0.0},
+            {"lr_backoff": 1.0},
+            {"max_lr_backoffs": -1},
+            {"max_restores": -1},
+            {"min_lr": 0.0},
+            {"max_faults": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            GuardPolicy(**kwargs)
+
+
+class TestChecks:
+    def test_loss_finiteness(self):
+        assert TrainingGuard.check_loss(1.0)
+        assert not TrainingGuard.check_loss(float("nan"))
+        assert not TrainingGuard.check_loss(float("inf"))
+
+    def test_gradient_finiteness(self):
+        assert TrainingGuard.check_gradients(5.0)
+        assert not TrainingGuard.check_gradients(float("inf"))
+
+
+class TestEscalationLadder:
+    def test_first_fault_only_skips(self, fast_config):
+        guard, model, optimizer = _guarded(fast_config)
+        for p in model.parameters():
+            p.grad = np.ones_like(p.data)
+        assert guard.handle_fault("loss") == "skip"
+        assert guard.counts["faults"] == 1
+        assert guard.counts["skipped_batches"] == 1
+        assert optimizer.lr == 0.1  # below the escalation threshold
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_consecutive_faults_back_off_the_lr(self, fast_config):
+        guard, _, optimizer = _guarded(fast_config, skips_per_escalation=2)
+        guard.handle_fault("loss")
+        assert guard.handle_fault("loss") == "lr_backoff"
+        assert optimizer.lr == pytest.approx(0.05)
+        assert guard.counts["lr_backoffs"] == 1
+
+    def test_clean_batch_resets_the_consecutive_counter(self, fast_config):
+        guard, _, optimizer = _guarded(fast_config, skips_per_escalation=2)
+        guard.handle_fault("loss")
+        guard.on_batch_ok()
+        guard.handle_fault("loss")  # consecutive run restarted: no escalation
+        assert optimizer.lr == 0.1
+        assert guard.counts["faults"] == 2
+
+    def test_lr_never_drops_below_min_lr(self, fast_config):
+        guard, _, optimizer = _guarded(
+            fast_config,
+            skips_per_escalation=1,
+            max_lr_backoffs=50,
+            min_lr=0.04,
+        )
+        for _ in range(10):
+            guard.handle_fault("loss")
+        assert optimizer.lr == pytest.approx(0.04)
+
+    def test_restore_rewinds_to_the_snapshot(self, fast_config):
+        guard, model, optimizer = _guarded(
+            fast_config, skips_per_escalation=1, max_lr_backoffs=0
+        )
+        snapshot = model.state_dict()
+        for p in model.parameters():
+            p.data = p.data + 1.0
+        assert guard.handle_fault("gradient") == "restore"
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, snapshot[name])
+        assert guard.counts["restores"] == 1
+
+    def test_restore_keeps_the_backed_off_lr(self, fast_config):
+        guard, _, optimizer = _guarded(
+            fast_config, skips_per_escalation=1, max_lr_backoffs=1, max_restores=1
+        )
+        guard.handle_fault("loss")  # -> lr_backoff (snapshot still has lr=0.1)
+        assert guard.handle_fault("loss") == "restore"
+        assert optimizer.lr == pytest.approx(0.05)
+
+    def test_final_rung_degrades_to_elbo_only(self, fast_config):
+        guard, model, _ = _guarded(
+            fast_config, skips_per_escalation=1, max_lr_backoffs=0, max_restores=0
+        )
+        assert model.extra_loss_enabled
+        assert guard.handle_fault("loss") == "degrade"
+        assert not model.extra_loss_enabled
+        assert guard.counts["degradations"] == 1
+        # the ladder is exhausted: further escalations fall back to skipping
+        assert guard.handle_fault("loss") == "skip"
+
+    def test_fault_budget_raises(self, fast_config):
+        guard, _, _ = _guarded(fast_config, max_faults=2)
+        guard.handle_fault("loss")
+        with pytest.raises(TrainingDivergedError):
+            guard.handle_fault("loss")
+
+    def test_epoch_logs_are_deltas(self, fast_config):
+        guard, _, _ = _guarded(fast_config)
+        guard.handle_fault("loss")
+        logs = guard.epoch_logs()
+        assert set(logs) == {f"guard_{name}" for name in GUARD_COUNTERS}
+        assert logs["guard_faults"] == 1.0
+        assert guard.epoch_logs()["guard_faults"] == 0.0
+
+
+class TestGuardedFit:
+    def test_injected_nan_is_survived_and_logged(self, tiny_corpus, fast_config):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        injector = FaultInjector(nan_loss_steps=(1, 2))
+        model.fit(tiny_corpus, guard=GuardPolicy(), faults=injector)
+        assert injector.counts["nan_loss"] == 2
+        guard = model._trainer.guard
+        assert guard.counts["faults"] == 2
+        assert guard.counts["skipped_batches"] == 2
+        assert sum(e.get("guard_faults", 0.0) for e in model.history) == 2.0
+        # the run still converged to finite losses
+        assert np.isfinite(model.history[-1]["total"])
+
+    def test_injected_gradient_blowup_is_caught(self, tiny_corpus, fast_config):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        injector = FaultInjector(exploding_grad_steps=(0,))
+        model.fit(tiny_corpus, guard=GuardPolicy(), faults=injector)
+        guard = model._trainer.guard
+        assert injector.counts["exploding_grad"] == 1
+        assert guard.counts["faults"] == 1
+        assert any("gradient:" in action for action in guard.actions)
+        assert np.isfinite(model.history[-1]["total"])
+
+    def test_unguarded_fit_has_no_guard_logs(self, tiny_corpus, fast_config):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        model.fit(tiny_corpus)
+        assert model._trainer.guard is None
+        assert not any(k.startswith("guard_") for k in model.history[-1])
+
+
+class TestCheckpointCallback:
+    def test_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ConfigError):
+            CheckpointCallback(tmp_path, every=0)
+
+    def test_writes_last_best_and_last_good(self, tiny_corpus, fast_config, tmp_path):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        callback = CheckpointCallback(tmp_path / "ckpt")
+        model.fit(tiny_corpus, callbacks=[callback])
+        for path in (callback.last_path, callback.best_path, callback.last_good_path):
+            assert path.exists()
+            meta = restore_checkpoint(
+                ProdLDA(tiny_corpus.vocab_size, fast_config), path
+            )
+            assert meta["trainer_state"] is not None
+        assert callback.saves > 0
+        assert callback.interrupted == 0
+        assert not list((tmp_path / "ckpt").glob("*.tmp"))
+
+    def test_periodic_save_respects_every(self, tiny_corpus, fast_config, tmp_path):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        callback = CheckpointCallback(tmp_path / "ckpt", every=100)
+        model.fit(tiny_corpus, callbacks=[callback])
+        assert not callback.last_path.exists()  # 5 epochs < every=100
+        assert callback.last_good_path.exists()
+
+    def test_interrupted_save_is_counted_and_survived(
+        self, tiny_corpus, fast_config, tmp_path
+    ):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        callback = CheckpointCallback(tmp_path / "ckpt")
+        injector = FaultInjector(interrupt_saves=(0,))
+        with interrupted_writes(injector):
+            model.fit(tiny_corpus, callbacks=[callback], faults=injector)
+        assert callback.interrupted == 1
+        assert injector.counts["interrupted_saves"] == 1
+        # epoch 0's last.npz commit crashed; the epoch-1 save replaced it
+        assert callback.last_path.exists()
+        assert sum(
+            e.get("guard_interrupted_saves", 0.0) for e in model.history
+        ) == 1.0
+        assert not list((tmp_path / "ckpt").glob("*.tmp"))
+
+    def test_save_training_checkpoint_requires_a_fit(self, fast_config, tmp_path):
+        model = ProdLDA(30, fast_config)
+        with pytest.raises(ConfigError):
+            save_training_checkpoint(model, tmp_path / "x.npz")
