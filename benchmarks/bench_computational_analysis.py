@@ -18,13 +18,14 @@ baseline in ``benchmarks/baselines/``.
 
 import time
 
-from benchmarks.conftest import STRICT, emit_report, print_block
+from benchmarks.conftest import BENCH_DTYPE, STRICT, emit_report, print_block
 from repro.core import ContraTopicConfig, npmi_kernel
 from repro.core.contratopic import ContraTopic
 from repro.experiments.context import ExperimentContext
 from repro.experiments.reporting import format_table
 from repro.metrics import compute_npmi_matrix
-from repro.telemetry import MetricsRegistry, TelemetryCallback, load_report, profile_ops
+from repro.telemetry import MetricsRegistry, TelemetryCallback, load_report
+from repro.tensor import default_dtype
 
 #: Epochs of the dedicated op-profiling run (kept short: the per-op shims
 #: must not distort the headline plain-vs-regularized epoch comparison,
@@ -43,7 +44,7 @@ def _regularized(context, settings, kernel) -> ContraTopic:
     )
 
 
-def test_computational_analysis(benchmark, settings_nytimes):
+def test_computational_analysis(benchmark, settings_nytimes, profile_into_suite):
     context = ExperimentContext(settings_nytimes)
     corpus = context.dataset.train
     registry = MetricsRegistry()
@@ -56,22 +57,27 @@ def test_computational_analysis(benchmark, settings_nytimes):
         kernel = npmi_kernel(npmi, temperature=settings_nytimes.kernel_temperature)
         kernel_bytes = kernel.matrix.nbytes + kernel.exp_matrix.nbytes
 
-        plain = context.build("etm", seed=0)
-        t0 = time.perf_counter()
-        plain.fit(corpus)
-        plain_epoch = (time.perf_counter() - t0) / settings_nytimes.epochs
+        # Training runs in the benchmark precision (float32 by default —
+        # the fused hot path's intended fast configuration); NPMI/metrics
+        # above stay float64.
+        with default_dtype(BENCH_DTYPE):
+            plain = context.build("etm", seed=0)
+            t0 = time.perf_counter()
+            plain.fit(corpus)
+            plain_epoch = (time.perf_counter() - t0) / settings_nytimes.epochs
 
-        regularized = _regularized(context, settings_nytimes, kernel)
-        t0 = time.perf_counter()
-        regularized.fit(corpus, callbacks=[telemetry])
-        regularized_epoch = (time.perf_counter() - t0) / settings_nytimes.epochs
+            regularized = _regularized(context, settings_nytimes, kernel)
+            t0 = time.perf_counter()
+            regularized.fit(corpus, callbacks=[telemetry])
+            regularized_epoch = (time.perf_counter() - t0) / settings_nytimes.epochs
 
-        # Dedicated short profiled run: per-op forward/backward wall time
-        # and allocation volume of one regularized training step stream.
-        profiled = _regularized(context, settings_nytimes, kernel)
-        profiled.config.epochs = PROFILE_EPOCHS
-        with profile_ops(registry):
-            profiled.fit(corpus)
+            # Dedicated short profiled run: per-op forward/backward wall
+            # time and allocation volume of one regularized training step
+            # stream (also fanned into the suite-wide ops table).
+            profiled = _regularized(context, settings_nytimes, kernel)
+            profiled.config.epochs = PROFILE_EPOCHS
+            with profile_into_suite(registry):
+                profiled.fit(corpus)
         return npmi_seconds, kernel_bytes, plain_epoch, regularized_epoch
 
     npmi_seconds, kernel_bytes, plain_epoch, regularized_epoch = benchmark.pedantic(
@@ -101,6 +107,7 @@ def test_computational_analysis(benchmark, settings_nytimes):
         epochs=telemetry.epochs,
         meta={
             "dataset": settings_nytimes.dataset,
+            "dtype": BENCH_DTYPE,
             "vocab_size": vocab,
             "epochs": settings_nytimes.epochs,
             "profile_epochs": PROFILE_EPOCHS,
@@ -115,9 +122,15 @@ def test_computational_analysis(benchmark, settings_nytimes):
     # timings, per-epoch throughput, and the ELBO-vs-contrastive split.
     report = load_report(report_path)
     assert report["ops"], "op profiling produced no op table"
-    matmul = {r["op"]: r for r in report["ops"]}["matmul"]
+    op_rows = {r["op"]: r for r in report["ops"]}
+    matmul = op_rows["matmul"]
     assert matmul["calls"] > 0 and matmul["total_seconds"] > 0
     assert matmul["backward_seconds"] > 0 and matmul["bytes"] > 0
+    # The hot path runs through the fused kernels: they must appear as
+    # single rows (encoder linear, β softmax, fused reconstruction NLL).
+    for fused_op in ("linear", "softmax", "nll_from_probs"):
+        assert op_rows[fused_op]["calls"] > 0, fused_op
+        assert op_rows[fused_op]["backward_seconds"] > 0, fused_op
     assert len(report["epochs"]) == settings_nytimes.epochs
     first_epoch = report["epochs"][0]
     assert first_epoch["docs_per_sec"] > 0

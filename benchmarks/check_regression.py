@@ -13,9 +13,21 @@ printed either way.  Per-op rows are informational only; the gate runs on
 the scalar totals (op/epoch second sums, mean epoch time, docs/sec
 throughput).
 
-Refreshing the baseline after an intentional perf change::
+The guard works on any pair of ``BENCH_*.json`` reports.  CI runs it
+twice: once on the end-to-end training report (defaults below) and once
+on the fused-kernel microbenchmark, pointing both flags at the ops
+reports::
+
+    REPRO_BENCH_FAST=1 python -m pytest benchmarks/bench_fused_ops.py -q
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baselines/BENCH_ops.json \
+        --current BENCH_ops.json
+
+Refreshing a baseline after an intentional perf change::
 
     python benchmarks/check_regression.py --update-baseline
+    python benchmarks/check_regression.py --update-baseline \
+        --baseline benchmarks/baselines/BENCH_ops.json --current BENCH_ops.json
 """
 
 from __future__ import annotations

@@ -17,6 +17,10 @@ Environment variables
 ``REPRO_BENCH_TELEMETRY_DIR``
     Directory the ``BENCH_*.json`` telemetry reports are written to
     (default: the current working directory).
+``REPRO_BENCH_DTYPE``
+    Precision the perf-measurement benchmarks *train* in (default
+    ``float32`` — the fused hot path's intended fast configuration).
+    Metrics/NPMI computations stay float64 regardless.
 
 Telemetry
 ---------
@@ -26,17 +30,25 @@ Every benchmark test is timed into a session-wide
 via the ``bench_registry`` fixture.  At session end the aggregate is
 written to ``BENCH_suite.json``; benchmarks with richer telemetry (op
 tables, epoch tables) emit their own report through :func:`emit_report`.
+
+Because :func:`repro.telemetry.profile_ops` blocks nest, op-profiled
+benchmark sections also fan their per-op rows into the session registry
+via :func:`profile_into_suite`, so ``BENCH_suite.json`` carries a
+populated ``ops`` table without profiling (and thereby distorting) the
+unprofiled headline timings.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 from pathlib import Path
 
 import pytest
 
 from repro.experiments import ExperimentSettings
-from repro.telemetry import MetricsRegistry, build_report, write_report
+from repro.telemetry import MetricsRegistry, build_report, profile_ops, write_report
+from repro.tensor import resolve_dtype
 
 _TRUE_VALUES = {"1", "true", "yes", "on"}
 _FALSE_VALUES = {"", "0", "false", "no", "off"}
@@ -70,6 +82,11 @@ FAST = parse_env_flag("REPRO_BENCH_FAST")
 #: which only hold for adequately-trained models.
 STRICT = not FAST
 
+#: Training precision of the perf-measurement benchmarks (validated so a
+#: typo in REPRO_BENCH_DTYPE fails loudly instead of silently changing
+#: what the numbers mean).
+BENCH_DTYPE = str(resolve_dtype(os.environ.get("REPRO_BENCH_DTYPE", "float32")))
+
 
 def telemetry_dir() -> Path:
     """Directory BENCH_*.json reports are written to."""
@@ -96,6 +113,23 @@ def _time_each_benchmark(request, bench_registry):
     """Record every test's wall time under ``bench/<test name>``."""
     with bench_registry.timer(f"bench/{request.node.name}"):
         yield
+
+
+@pytest.fixture(scope="session")
+def profile_into_suite(bench_registry):
+    """Op-profile a block into a local registry *and* the suite registry.
+
+    ``with profile_into_suite(registry): ...`` — both registries receive
+    the ``op/*`` rows (nested :func:`profile_ops` blocks), which is what
+    populates the ``ops`` table of ``BENCH_suite.json``.
+    """
+
+    @contextlib.contextmanager
+    def profile(registry: MetricsRegistry):
+        with profile_ops(bench_registry), profile_ops(registry):
+            yield registry
+
+    return profile
 
 
 def _base(dataset: str) -> ExperimentSettings:

@@ -12,10 +12,16 @@ Commands
 ``topics``    Train (or reload) and print the top topics with NPMI.
 ``datasets``  Print the Table-I statistics of the bundled profiles.
 ``bench``     Train with telemetry enabled and write a ``BENCH_*.json``
-              report (per-op timings with ``--profile-ops``, per-epoch
-              throughput, ELBO-vs-contrastive loss split).  The
-              ``--inject-*`` flags drive the deterministic fault harness
-              so recovery paths can be smoke-tested in CI.
+              report (per-op timings — on by default, disable with
+              ``--no-profile-ops`` — per-epoch throughput,
+              ELBO-vs-contrastive loss split).  ``--suite ops`` skips
+              training and instead microbenchmarks every fused autodiff
+              kernel on fixed seeded shapes.  The ``--inject-*`` flags
+              drive the deterministic fault harness so recovery paths can
+              be smoke-tested in CI.
+
+Every command accepts ``--dtype {float32,float64}`` to pick the training
+precision (equivalent to the ``REPRO_DTYPE`` environment variable).
 
 Examples
 --------
@@ -30,7 +36,8 @@ Examples
         --checkpoint /tmp/ct.npz
     python -m repro topics --dataset yahoo --model etm --num-topics 20
     python -m repro bench --dataset 20ng --model contratopic --epochs 5 \
-        --telemetry out.json --profile-ops
+        --dtype float32 --telemetry out.json
+    python -m repro bench --suite ops --telemetry BENCH_ops.json
     python -m repro bench --dataset 20ng --model contratopic --epochs 3 \
         --guard --inject-nan 0.25 --inject-grad 0.1 --telemetry smoke.json
 """
@@ -74,6 +81,12 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help="regularizer weight λ (default: the dataset's calibrated value)",
+    )
+    parser.add_argument(
+        "--dtype",
+        default=None,
+        choices=["float32", "float64"],
+        help="training precision (default: REPRO_DTYPE or float64)",
     )
 
 
@@ -193,8 +206,37 @@ def _cmd_datasets(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_bench_ops(args: argparse.Namespace, out) -> int:
+    """``bench --suite ops``: microbenchmark the fused kernels directly."""
+    from repro.telemetry import build_report, format_report, write_report
+    from repro.telemetry.microbench import run_ops_microbench
+    from repro.tensor import get_default_dtype
+
+    print("microbenchmarking fused autodiff kernels...", file=out)
+    registry = run_ops_microbench(
+        repeats=args.repeats, dtype=args.dtype, seed=args.seed
+    )
+    report = build_report(
+        args.name or "ops_microbench",
+        registry=registry,
+        meta={
+            "suite": "ops",
+            "dtype": args.dtype or str(get_default_dtype()),
+            "repeats": args.repeats,
+            "seed": args.seed,
+        },
+    )
+    path = write_report(report, args.telemetry)
+    print(format_report(report), file=out)
+    print(f"wrote telemetry report to {path}", file=out)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace, out) -> int:
     import contextlib
+
+    if args.suite == "ops":
+        return _cmd_bench_ops(args, out)
 
     from repro.models.base import NeuralTopicModel
     from repro.telemetry import (
@@ -262,6 +304,8 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
             "num_topics": args.num_topics,
             "epochs": args.epochs,
             "seed": args.seed,
+            "suite": "train",
+            "dtype": args.dtype or _current_dtype_name(),
             "profile_ops": bool(args.profile_ops),
             "guard": bool(args.guard),
             "inject_nan": args.inject_nan,
@@ -322,6 +366,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_model_arguments(bench)
     bench.add_argument(
+        "--suite",
+        default="train",
+        choices=["train", "ops"],
+        help="'train': benchmark an end-to-end training run; "
+        "'ops': microbenchmark every fused kernel on fixed shapes",
+    )
+    bench.add_argument(
         "--telemetry", required=True, help="path for the BENCH_*.json report"
     )
     bench.add_argument(
@@ -329,8 +380,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--profile-ops",
-        action="store_true",
-        help="enable op-level autodiff profiling (adds per-op tables)",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="op-level autodiff profiling (per-op tables; on by default)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=20,
+        help="--suite ops: timed forward+backward repetitions per kernel",
     )
     bench.add_argument("--name", default=None, help="report name (default: model_dataset)")
     bench.add_argument(
@@ -373,7 +431,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _current_dtype_name() -> str:
+    from repro.tensor import get_default_dtype
+
+    return str(get_default_dtype())
+
+
 def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    import contextlib
+
     args = build_parser().parse_args(argv)
     handlers = {
         "train": _cmd_train,
@@ -382,7 +448,13 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         "datasets": _cmd_datasets,
         "bench": _cmd_bench,
     }
-    return handlers[args.command](args, out)
+    precision = contextlib.nullcontext()
+    if getattr(args, "dtype", None):
+        from repro.tensor import default_dtype
+
+        precision = default_dtype(args.dtype)
+    with precision:
+        return handlers[args.command](args, out)
 
 
 if __name__ == "__main__":

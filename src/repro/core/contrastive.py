@@ -24,8 +24,6 @@ from __future__ import annotations
 
 import enum
 
-import numpy as np
-
 from repro.core.similarity import SimilarityKernel
 from repro.errors import ShapeError
 from repro.tensor.tensor import Tensor, as_tensor
@@ -84,8 +82,11 @@ def topic_contrastive_loss(
             f"kernel vocab {kernel.vocab_size} != samples vocab {v}"
         )
 
-    exp_kernel = Tensor(kernel.exp_matrix)          # (V, V), constant
-    diag = Tensor(np.diag(kernel.exp_matrix))       # (V,), constant
+    # Constant tensors are cached on the kernel (per dtype): re-wrapping
+    # the (V, V) matrix every batch costs an astype copy under float32.
+    dtype = samples.data.dtype
+    exp_kernel = kernel.exp_matrix_tensor(dtype)    # (V, V), constant
+    diag = kernel.exp_diag_tensor(dtype)            # (V,), constant
 
     # S[k, w] = Σ_w' y[k, w'] exp(K(w, w'))  — kernel is symmetric.
     similarity_sums = samples @ exp_kernel           # (K, V)

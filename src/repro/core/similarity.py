@@ -40,6 +40,34 @@ class SimilarityKernel:
     def vocab_size(self) -> int:
         return self.matrix.shape[0]
 
+    # ------------------------------------------------------------------
+    # constant-tensor cache
+    # ------------------------------------------------------------------
+    # The contrastive loss consumes exp(K) and its diagonal as constant
+    # Tensors every training step.  Re-wrapping the (V, V) matrix per batch
+    # is wasted work — under a float32 policy it would even re-copy the
+    # whole matrix each call — so the wrappers are cached per dtype.
+
+    def exp_matrix_tensor(self, dtype: np.dtype) -> "Tensor":
+        """Cached constant ``Tensor(exp_matrix)`` in ``dtype``."""
+        return self._cached(dtype)[0]
+
+    def exp_diag_tensor(self, dtype: np.dtype) -> "Tensor":
+        """Cached constant ``Tensor(diag(exp_matrix))`` in ``dtype``."""
+        return self._cached(dtype)[1]
+
+    def _cached(self, dtype: np.dtype) -> "tuple[Tensor, Tensor]":
+        from repro.tensor.tensor import Tensor  # local: avoid import cycle
+
+        dtype = np.dtype(dtype)
+        cache = self.__dict__.setdefault("_tensor_cache", {})
+        entry = cache.get(dtype)
+        if entry is None:
+            exp = self.exp_matrix.astype(dtype, copy=False)
+            entry = (Tensor(exp), Tensor(np.ascontiguousarray(np.diag(exp))))
+            cache[dtype] = entry
+        return entry
+
 
 def npmi_kernel(npmi: NpmiMatrix, temperature: float = 0.25) -> SimilarityKernel:
     """The paper's choice: K(w_i, w_j) = NPMI(w_i, w_j) ∈ [-1, 1].

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.tensor import fused
 from repro.tensor.tensor import Tensor, as_tensor
 from repro.tensor.tensor import where as tensor_where
 
@@ -71,14 +72,13 @@ def relaxed_topk_sample(
             raise ConfigError("provide gumbel_noise or rng")
         gumbel_noise = sample_gumbel((k, v), rng)
 
-    keys = log_probs + Tensor(np.asarray(gumbel_noise, dtype=np.float64))
+    keys = log_probs + Tensor(np.asarray(gumbel_noise), dtype=log_probs.data.dtype)
     inv_temp = 1.0 / temperature
     y: Tensor | None = None
     r = keys
     for _ in range(num_samples):
-        shift = Tensor(r.data.max(axis=1, keepdims=True))
-        exps = ((r - shift) * inv_temp).exp()
-        p = exps / exps.sum(axis=1, keepdims=True)
+        # Eq. 5: softmax of the tempered keys (fused max-shifted kernel).
+        p = fused.softmax(r * inv_temp, axis=1)
         y = p if y is None else y + p
         # Eq. 4's suppression log(1 - p).  For p -> 1 the log diverges and
         # a merely-large finite value may still lose to words whose own
@@ -88,7 +88,7 @@ def relaxed_topk_sample(
         saturated = p.data > 1.0 - 1e-4
         suppression = tensor_where(
             saturated,
-            Tensor(np.full(p.shape, -1e6)),
+            Tensor(np.full(p.shape, -1e6, dtype=p.data.dtype)),
             (1.0 - p.clip(high=1.0 - 1e-4) + _EPS).log(),
         )
         r = r + suppression

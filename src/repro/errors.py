@@ -41,7 +41,7 @@ class NotFittedError(ReproError, RuntimeError):
 
 
 class TelemetryError(ReproError, RuntimeError):
-    """Telemetry was used illegally (nested op profiling, closed sink...)."""
+    """Telemetry was used illegally (closed sink, malformed report...)."""
 
 
 class TrainingDivergedError(ReproError, RuntimeError):

@@ -23,6 +23,7 @@ from repro.data.corpus import Corpus
 from repro.errors import ConfigError
 from repro.models.base import NeuralTopicModel
 from repro.tensor import functional as F
+from repro.tensor.dtypes import get_default_dtype
 from repro.tensor.tensor import Tensor
 
 
@@ -89,7 +90,7 @@ class MultiLevelContraTopic(ContraTopic):
     def document_contrastive_loss(self, theta: Tensor, bow: np.ndarray) -> Tensor:
         """InfoNCE over (anchor, salient-view, deleted-view) triplets."""
         positive_bow, negative_bow = self._document_views(
-            np.asarray(bow, dtype=np.float64)
+            np.asarray(bow, dtype=get_default_dtype())
         )
         theta_pos, _, _ = self.encode_theta(positive_bow, sample=False)
         theta_neg, _, _ = self.encode_theta(negative_bow, sample=False)

@@ -27,6 +27,8 @@ from repro.errors import ConfigError, NotFittedError
 from repro.nn import BatchNorm1d, Linear, MLP, Module
 from repro.nn.optim import Adam, Optimizer, clip_grad_norm
 from repro.tensor import functional as F
+from repro.tensor import fused
+from repro.tensor.dtypes import get_default_dtype
 from repro.tensor.tensor import Tensor, no_grad
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
@@ -176,9 +178,7 @@ class NeuralTopicModel(TopicModel, Module):
 
     def reconstruction_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor:
         """Default: mean categorical negative log-likelihood (ETM-style)."""
-        word_probs = theta @ beta
-        log_probs = (word_probs + 1e-12).log()
-        return F.cross_entropy_with_probs(log_probs, bow)
+        return fused.nll_from_probs(theta @ beta, bow)
 
     def kl_loss(self, mu: Tensor, logvar: Tensor, theta: Tensor) -> Tensor:
         """Default: closed-form KL to the standard-normal logistic prior."""
@@ -193,10 +193,10 @@ class NeuralTopicModel(TopicModel, Module):
     # ------------------------------------------------------------------
     def encode_theta(self, bow: np.ndarray, sample: bool = True) -> tuple[Tensor, Tensor, Tensor]:
         """Return (θ, μ, logvar) for a batch of counts."""
-        bow_t = Tensor(np.asarray(bow, dtype=np.float64))
+        bow_t = Tensor(np.asarray(bow), dtype=get_default_dtype())
         mu, logvar = self.encoder(bow_t)
         if sample and self.training:
-            eps = Tensor(self._rng.standard_normal(mu.shape))
+            eps = Tensor(self._rng.standard_normal(mu.shape), dtype=mu.data.dtype)
             z = mu + (logvar * 0.5).exp() * eps
         else:
             z = mu

@@ -16,6 +16,7 @@ import numpy as np
 from repro.data.corpus import Corpus
 from repro.models.base import NTMConfig
 from repro.models.prodlda import ProdLDA
+from repro.tensor.dtypes import get_default_dtype
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
 
@@ -69,7 +70,9 @@ class CLNTM(ProdLDA):
         return positive, negative
 
     def extra_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor:
-        positive_bow, negative_bow = self._augment(np.asarray(bow, dtype=np.float64))
+        positive_bow, negative_bow = self._augment(
+            np.asarray(bow, dtype=get_default_dtype())
+        )
         theta_pos, _, _ = self.encode_theta(positive_bow, sample=False)
         theta_neg, _, _ = self.encode_theta(negative_bow, sample=False)
 

@@ -15,6 +15,7 @@ from repro.errors import ShapeError
 from repro.models.base import NeuralTopicModel, NTMConfig
 from repro.nn import init
 from repro.nn.module import Parameter
+from repro.tensor.dtypes import get_default_dtype
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
 
@@ -39,7 +40,7 @@ class ETM(NeuralTopicModel):
         word_embeddings: np.ndarray,
     ):
         super().__init__(vocab_size, config)
-        rho = np.asarray(word_embeddings, dtype=np.float64)
+        rho = np.asarray(word_embeddings, dtype=get_default_dtype())
         if rho.shape[0] != vocab_size:
             raise ShapeError(
                 f"embeddings rows {rho.shape[0]} != vocab size {vocab_size}"

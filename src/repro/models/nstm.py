@@ -17,7 +17,9 @@ from repro.nn import init
 from repro.nn.module import Parameter
 from repro.ot.costs import cosine_cost_matrix
 from repro.ot.sinkhorn import sinkhorn_divergence_loss
+from repro.tensor.dtypes import get_default_dtype
 from repro.tensor import functional as F
+from repro.tensor import fused
 from repro.tensor.tensor import Tensor
 
 
@@ -43,7 +45,7 @@ class NSTM(NeuralTopicModel):
         ot_weight: float = 5.0,
     ):
         super().__init__(vocab_size, config)
-        rho = np.asarray(word_embeddings, dtype=np.float64)
+        rho = np.asarray(word_embeddings, dtype=get_default_dtype())
         if rho.shape[0] != vocab_size:
             raise ShapeError(
                 f"embeddings rows {rho.shape[0]} != vocab size {vocab_size}"
@@ -67,7 +69,7 @@ class NSTM(NeuralTopicModel):
         return F.softmax(logits, axis=1)
 
     def reconstruction_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor:
-        bow = np.asarray(bow, dtype=np.float64)
+        bow = np.asarray(bow)
         word_dist = bow / np.maximum(bow.sum(axis=1, keepdims=True), 1.0)
         ot = sinkhorn_divergence_loss(
             self._cost_matrix(),
@@ -78,6 +80,5 @@ class NSTM(NeuralTopicModel):
         )
         # A light categorical term keeps the encoder's gradients healthy
         # early in training (the original warm-starts similarly).
-        log_probs = (theta @ beta + 1e-12).log()
-        rec = F.cross_entropy_with_probs(log_probs, bow)
+        rec = fused.nll_from_probs(theta @ beta, bow)
         return ot * self.ot_weight + rec * 0.1

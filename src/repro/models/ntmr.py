@@ -15,6 +15,7 @@ import numpy as np
 from repro.errors import ShapeError
 from repro.models.base import NTMConfig
 from repro.models.prodlda import ProdLDA
+from repro.tensor.dtypes import get_default_dtype
 from repro.tensor.tensor import Tensor
 
 
@@ -35,7 +36,7 @@ class NTMR(ProdLDA):
         coherence_weight: float = 5.0,
     ):
         super().__init__(vocab_size, config)
-        emb = np.asarray(word_embeddings, dtype=np.float64)
+        emb = np.asarray(word_embeddings, dtype=get_default_dtype())
         if emb.shape[0] != vocab_size:
             raise ShapeError(
                 f"embeddings rows {emb.shape[0]} != vocab size {vocab_size}"

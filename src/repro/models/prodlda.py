@@ -15,6 +15,7 @@ from repro.models.base import NeuralTopicModel, NTMConfig
 from repro.nn import init
 from repro.nn.module import Parameter
 from repro.tensor import functional as F
+from repro.tensor import fused
 from repro.tensor.tensor import Tensor
 
 
@@ -32,6 +33,6 @@ class ProdLDA(NeuralTopicModel):
         return F.softmax(self.topic_logits, axis=1)
 
     def reconstruction_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor:
-        # Product of experts: mix in logit space, then normalize.
-        log_probs = F.log_softmax(theta @ self.topic_logits, axis=1)
-        return F.cross_entropy_with_probs(log_probs, bow)
+        # Product of experts: mix in logit space, then normalize.  The
+        # log-softmax + weighted NLL pair is one fused node.
+        return fused.log_softmax_nll(theta @ self.topic_logits, bow)

@@ -18,7 +18,9 @@ from repro.models.base import NeuralTopicModel, NTMConfig
 from repro.nn import init
 from repro.nn.module import Parameter
 from repro.ot.costs import cosine_cost_matrix
+from repro.tensor.dtypes import get_default_dtype
 from repro.tensor import functional as F
+from repro.tensor import fused
 from repro.tensor.tensor import Tensor
 
 
@@ -43,7 +45,7 @@ class WeTe(NeuralTopicModel):
         ct_weight: float = 2.0,
     ):
         super().__init__(vocab_size, config)
-        rho = np.asarray(word_embeddings, dtype=np.float64)
+        rho = np.asarray(word_embeddings, dtype=get_default_dtype())
         if rho.shape[0] != vocab_size:
             raise ShapeError(
                 f"embeddings rows {rho.shape[0]} != vocab size {vocab_size}"
@@ -63,7 +65,7 @@ class WeTe(NeuralTopicModel):
         return F.softmax(logits, axis=1)
 
     def reconstruction_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor:
-        bow = np.asarray(bow, dtype=np.float64)
+        bow = np.asarray(bow)
         word_dist = Tensor(bow / np.maximum(bow.sum(axis=1, keepdims=True), 1.0))
         cost = cosine_cost_matrix(self.rho, self.topic_embeddings)  # (V, K)
         inv_temp = 1.0 / self.transport_temperature
@@ -91,6 +93,5 @@ class WeTe(NeuralTopicModel):
         backward = (theta * bwd_cost).sum(axis=1).mean()
 
         ct = (forward + backward) * self.ct_weight
-        log_probs = (theta @ beta + 1e-12).log()
-        rec = F.cross_entropy_with_probs(log_probs, bow)
+        rec = fused.nll_from_probs(theta @ beta, bow)
         return ct + rec * 0.1

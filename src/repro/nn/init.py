@@ -3,11 +3,17 @@
 All initializers take an explicit ``numpy.random.Generator`` so that model
 construction is fully deterministic under a seed — a requirement for the
 paper's three-seed evaluation protocol.
+
+Arrays are produced in the current default dtype (see
+:mod:`repro.tensor.dtypes`), so models built under a ``float32`` policy get
+float32 parameters end to end.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.tensor.dtypes import get_default_dtype
 
 
 def xavier_uniform(
@@ -16,7 +22,7 @@ def xavier_uniform(
     """Glorot/Xavier uniform: U(-a, a) with a = gain * sqrt(6/(fan_in+fan_out))."""
     fan_in, fan_out = _fans(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_normal(
@@ -25,7 +31,7 @@ def xavier_normal(
     """Glorot/Xavier normal: N(0, gain^2 * 2/(fan_in+fan_out))."""
     fan_in, fan_out = _fans(shape)
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def kaiming_uniform(
@@ -35,22 +41,22 @@ def kaiming_uniform(
     fan_in, _ = _fans(shape)
     gain = np.sqrt(2.0) if nonlinearity == "relu" else 1.0
     bound = gain * np.sqrt(3.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def normal(
     shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02
 ) -> np.ndarray:
     """Plain N(0, std^2) initialisation (used for embedding tables)."""
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape: tuple[int, ...]) -> np.ndarray:
-    return np.ones(shape)
+    return np.ones(shape, dtype=get_default_dtype())
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

@@ -16,6 +16,7 @@ from repro.errors import ConfigError, ShapeError
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.tensor import functional as F
+from repro.tensor import fused
 from repro.tensor.tensor import Tensor
 
 _ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
@@ -61,10 +62,7 @@ class Linear(Module):
             raise ShapeError(
                 f"Linear expected last dim {self.in_features}, got {x.shape}"
             )
-        out = x @ self.weight.T
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return fused.linear(x, self.weight, self.bias)
 
 
 class Dropout(Module):
@@ -81,7 +79,7 @@ class Dropout(Module):
         if not self.training or self.rate == 0.0:
             return x
         keep = 1.0 - self.rate
-        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        mask = (self._rng.random(x.shape) < keep).astype(x.data.dtype) / keep
         return x * Tensor(mask)
 
 
@@ -115,29 +113,18 @@ class BatchNorm1d(Module):
             raise ShapeError(
                 f"BatchNorm1d expected (batch, {self.num_features}), got {x.shape}"
             )
-        if self.training:
-            mean = x.mean(axis=0, keepdims=True)
-            centered = x - mean
-            var = (centered * centered).mean(axis=0, keepdims=True)
-            # Update running stats with detached values.
-            batch_var = var.data.reshape(-1)
-            n = x.shape[0]
-            unbiased = batch_var * (n / max(n - 1, 1))
-            self.running_mean = (
-                (1 - self.momentum) * self.running_mean
-                + self.momentum * mean.data.reshape(-1)
-            )
-            self.running_var = (
-                (1 - self.momentum) * self.running_var + self.momentum * unbiased
-            )
-            normed = centered / (var + self.eps).sqrt()
-        else:
-            mean_c = Tensor(self.running_mean[None, :])
-            var_c = Tensor(self.running_var[None, :])
-            normed = (x - mean_c) / (var_c + self.eps).sqrt()
-        if self.affine:
-            normed = normed * self.weight + self.bias
-        return normed
+        # The fused kernel updates the running statistics in place
+        # (training mode) and reads them as constants in eval mode.
+        return fused.batch_norm(
+            x,
+            running_mean=self.running_mean,
+            running_var=self.running_var,
+            weight=self.weight if self.affine else None,
+            bias=self.bias if self.affine else None,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
 
 
 class Identity(Module):

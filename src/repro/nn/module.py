@@ -144,7 +144,9 @@ class Module:
                 f"unexpected={sorted(unexpected)}"
             )
         for name, param in own.items():
-            value = np.asarray(param_state[name], dtype=np.float64)
+            # Adopt the parameter's own dtype so a float32 model restored
+            # from a float64 checkpoint (or vice versa) stays homogeneous.
+            value = np.asarray(param_state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "

@@ -46,7 +46,9 @@ def _unpack_slot(
         key = f"{name}.{i}"
         if key not in state:
             raise ConfigError(f"optimizer state is missing {key!r}")
-        arr = np.asarray(state[key], dtype=np.float64)
+        # Slots adopt the parameter's dtype so float32 training resumed
+        # from a float64 checkpoint (or vice versa) keeps its precision.
+        arr = np.asarray(state[key], dtype=p.data.dtype)
         if arr.shape != p.data.shape:
             raise ConfigError(
                 f"optimizer state shape mismatch for {key!r}: "

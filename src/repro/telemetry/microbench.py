@@ -1,0 +1,139 @@
+"""Deterministic microbenchmark of the fused autodiff kernels.
+
+``repro bench --suite ops`` runs every kernel in
+:data:`repro.tensor.fused.PROFILED_FUSED_OPS` — forward *and* backward —
+on fixed, seeded shapes under :func:`~repro.telemetry.ophooks.profile_ops`
+and reports the resulting per-op table.  Because the shapes and inputs
+are pinned, two reports produced on the same machine are directly
+comparable and CI can guard the kernels against timing regressions
+individually, not just through end-to-end training throughput.
+
+Shapes mirror the training hot path of the paper's configuration: a
+mini-batch of documents through an encoder layer (``linear``,
+``batch_norm``, activations), the softmax family over a vocabulary-sized
+axis, and the fused ELBO terms over (batch, vocab) count matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.core import MetricsRegistry
+from repro.telemetry.ophooks import profile_ops
+from repro.tensor import fused
+from repro.tensor.dtypes import default_dtype, get_default_dtype, resolve_dtype
+from repro.tensor.tensor import Tensor
+
+#: Fixed case shapes (documents per batch, encoder width, topics, vocab).
+BATCH = 64
+HIDDEN = 256
+TOPICS = 50
+VOCAB = 2000
+
+#: Default number of timed forward+backward repetitions per op.
+DEFAULT_REPEATS = 20
+
+
+def _cases(rng: np.random.Generator, dt: np.dtype) -> list[tuple[str, callable]]:
+    """One ``(label, thunk)`` per fused op; each thunk runs fwd + bwd."""
+
+    def t(shape, scale=1.0):
+        return Tensor(
+            (rng.standard_normal(shape) * scale).astype(dt), requires_grad=True
+        )
+
+    bow_topics = rng.integers(0, 5, size=(BATCH, TOPICS)).astype(dt)
+    bow_vocab = rng.integers(0, 3, size=(BATCH, VOCAB)).astype(dt)
+
+    def linear():
+        fused.linear(t((BATCH, HIDDEN)), t((TOPICS, HIDDEN)), t(TOPICS)).sum().backward()
+
+    def softmax():
+        fused.softmax(t((BATCH, VOCAB)), axis=1).max(axis=1).sum().backward()
+
+    def log_softmax():
+        fused.log_softmax(t((BATCH, VOCAB)), axis=1).mean().backward()
+
+    def logsumexp():
+        fused.logsumexp(t((BATCH, VOCAB)), axis=1).sum().backward()
+
+    def sigmoid():
+        fused.sigmoid(t((BATCH, HIDDEN))).sum().backward()
+
+    def softplus():
+        fused.softplus(t((BATCH, HIDDEN))).sum().backward()
+
+    def nll_from_probs():
+        probs = fused.softmax(t((BATCH, VOCAB)), axis=1)
+        fused.nll_from_probs(probs, bow_vocab).backward()
+
+    def log_softmax_nll():
+        fused.log_softmax_nll(t((BATCH, VOCAB)), bow_vocab).backward()
+
+    def kl_normal_standard():
+        fused.kl_normal_standard(t((BATCH, TOPICS)), t((BATCH, TOPICS), 0.1)).backward()
+
+    def batch_norm():
+        fused.batch_norm(
+            t((BATCH, HIDDEN)),
+            running_mean=np.zeros(HIDDEN, dtype=dt),
+            running_var=np.ones(HIDDEN, dtype=dt),
+            weight=t(HIDDEN, 0.1),
+            bias=t(HIDDEN, 0.1),
+            training=True,
+        ).sum().backward()
+
+    cases = [
+        ("linear", linear),
+        ("softmax", softmax),
+        ("log_softmax", log_softmax),
+        ("logsumexp", logsumexp),
+        ("sigmoid", sigmoid),
+        ("softplus", softplus),
+        ("nll_from_probs", nll_from_probs),
+        ("log_softmax_nll", log_softmax_nll),
+        ("kl_normal_standard", kl_normal_standard),
+        ("batch_norm", batch_norm),
+    ]
+    missing = set(fused.PROFILED_FUSED_OPS) - {name for name, _ in cases}
+    if missing:  # a new kernel must get a case before it ships
+        raise AssertionError(f"fused ops without a microbench case: {sorted(missing)}")
+    return cases
+
+
+def run_ops_microbench(
+    registry: MetricsRegistry | None = None,
+    repeats: int = DEFAULT_REPEATS,
+    dtype: str | np.dtype | None = None,
+    seed: int = 0,
+) -> MetricsRegistry:
+    """Time every fused kernel's forward+backward on fixed seeded inputs.
+
+    Parameters
+    ----------
+    registry:
+        Sink for the ``op/*`` metrics (a fresh one is created if omitted).
+    repeats:
+        Timed repetitions per op (each repetition is one forward and one
+        full backward on freshly built inputs).
+    dtype:
+        ``"float32"``/``"float64"``; defaults to the process default.
+    seed:
+        Seed of the input generator; fixed inputs make reports comparable.
+
+    Returns
+    -------
+    The registry holding one ``op/<name>`` timer row per fused kernel.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    dt = resolve_dtype(dtype) if dtype is not None else get_default_dtype()
+    with default_dtype(dt):
+        cases = _cases(np.random.default_rng(seed), dt)
+        for _, thunk in cases:  # warm-up: exclude first-call costs
+            thunk()
+        with profile_ops(registry):
+            for _ in range(repeats):
+                for _, thunk in cases:
+                    thunk()
+    registry.count("microbench/repeats", repeats, absolute=True)
+    return registry

@@ -5,10 +5,21 @@ This package is the stand-in for PyTorch's autograd in this reproduction
 a :class:`Tensor` type supporting broadcasting arithmetic, matrix products,
 reductions, indexing and the transcendental functions needed by the neural
 topic models in :mod:`repro.models`, together with functional helpers
-(softmax, log-softmax, KL terms) and a finite-difference gradient checker
-used by the test-suite to certify every operator's gradient.
+(softmax, log-softmax, KL terms), fused single-node kernels for the
+training hot path (:mod:`repro.tensor.fused`), a configurable default
+dtype (:mod:`repro.tensor.dtypes`: float64 by default, float32 opt-in via
+``REPRO_DTYPE`` / :func:`set_default_dtype`), and a finite-difference
+gradient checker used by the test-suite to certify every operator's
+gradient.
 """
 
+from repro.tensor.dtypes import (
+    SUPPORTED_DTYPES,
+    default_dtype,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
 from repro.tensor.tensor import (
     PROFILED_MODULE_OPS,
     PROFILED_TENSOR_OPS,
@@ -17,6 +28,8 @@ from repro.tensor.tensor import (
     is_grad_enabled,
     no_grad,
 )
+from repro.tensor import fused
+from repro.tensor.fused import PROFILED_FUSED_OPS
 from repro.tensor import functional
 from repro.tensor.functional import (
     softmax,
@@ -34,12 +47,19 @@ from repro.tensor.functional import (
 from repro.tensor.gradcheck import gradcheck, numerical_gradient
 
 __all__ = [
+    "PROFILED_FUSED_OPS",
     "PROFILED_MODULE_OPS",
     "PROFILED_TENSOR_OPS",
+    "SUPPORTED_DTYPES",
     "Tensor",
     "no_grad",
     "is_grad_enabled",
     "as_tensor",
+    "default_dtype",
+    "get_default_dtype",
+    "resolve_dtype",
+    "set_default_dtype",
+    "fused",
     "functional",
     "softmax",
     "log_softmax",

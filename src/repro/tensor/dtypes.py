@@ -1,0 +1,109 @@
+"""Floating-point dtype policy for the autodiff engine.
+
+Historically every :class:`~repro.tensor.tensor.Tensor` was pinned to
+float64.  That is still the default (the finite-difference gradient checks
+need the precision), but training-scale runs can opt into float32, which
+halves memory traffic through the O(K·V²) contrastive matmuls and lets the
+BLAS kernels run in single precision.
+
+The policy is a process-wide default, settable three ways:
+
+- the ``REPRO_DTYPE`` environment variable (``float32``/``float64``),
+  read once at import time;
+- :func:`set_default_dtype` for a persistent switch;
+- the :func:`default_dtype` context manager for a scoped switch (used by
+  :func:`repro.tensor.gradcheck.gradcheck`, which always pins float64).
+
+Only the *default construction* dtype changes.  Gradients always adopt the
+dtype of the tensor they flow into, so a graph stays homogeneous in
+whatever precision its leaves were created with.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Accepted spellings for :func:`resolve_dtype`.
+SUPPORTED_DTYPES: dict[str, np.dtype] = {
+    "float32": np.dtype(np.float32),
+    "float64": np.dtype(np.float64),
+}
+
+_ENV_VAR = "REPRO_DTYPE"
+
+# Thread-local so parallel test workers / guard threads cannot race a
+# scoped override; the process default seeds each thread's view.
+_STATE = threading.local()
+_PROCESS_DEFAULT = np.dtype(np.float64)
+
+
+def resolve_dtype(dtype: str | np.dtype | type | None) -> np.dtype:
+    """Normalise ``dtype`` to a supported ``np.dtype``.
+
+    Accepts ``"float32"``/``"float64"`` strings (case-insensitive),
+    ``np.float32``/``np.float64`` and their ``np.dtype`` forms, or ``None``
+    for the current default.  Anything else raises
+    :class:`~repro.errors.ConfigError` — a typo in ``REPRO_DTYPE`` should
+    fail loudly, not silently train in the wrong precision.
+    """
+    if dtype is None:
+        return get_default_dtype()
+    if isinstance(dtype, str):
+        key = dtype.strip().lower()
+        if key in SUPPORTED_DTYPES:
+            return SUPPORTED_DTYPES[key]
+        raise ConfigError(
+            f"unsupported dtype {dtype!r}; expected one of "
+            f"{sorted(SUPPORTED_DTYPES)}"
+        )
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError as exc:  # e.g. dtype=object()
+        raise ConfigError(f"unsupported dtype {dtype!r}") from exc
+    if resolved.name in SUPPORTED_DTYPES:
+        return SUPPORTED_DTYPES[resolved.name]
+    raise ConfigError(
+        f"unsupported dtype {resolved.name!r}; expected one of "
+        f"{sorted(SUPPORTED_DTYPES)}"
+    )
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors are created with (absent an explicit cast)."""
+    return getattr(_STATE, "dtype", _PROCESS_DEFAULT)
+
+
+def set_default_dtype(dtype: str | np.dtype | type) -> np.dtype:
+    """Set the process-wide default construction dtype; returns it."""
+    global _PROCESS_DEFAULT
+    resolved = resolve_dtype(dtype)
+    _PROCESS_DEFAULT = resolved
+    _STATE.dtype = resolved
+    return resolved
+
+
+@contextlib.contextmanager
+def default_dtype(dtype: str | np.dtype | type) -> Iterator[np.dtype]:
+    """Scoped override of the default dtype (restores the previous one)."""
+    previous = get_default_dtype()
+    _STATE.dtype = resolve_dtype(dtype)
+    try:
+        yield _STATE.dtype
+    finally:
+        _STATE.dtype = previous
+
+
+def _init_from_env() -> None:
+    value = os.environ.get(_ENV_VAR)
+    if value:
+        set_default_dtype(value)
+
+
+_init_from_env()

@@ -5,12 +5,20 @@ numerically-stable softmax / log-softmax / logsumexp, the common activation
 functions, and the closed-form loss terms used by VAE-style topic models
 (reconstruction cross-entropy against a bag-of-words, and the KL divergence
 between a diagonal Gaussian and the standard normal).
+
+The hot-path entries (``softmax``, ``log_softmax``, ``logsumexp``,
+``sigmoid``, ``softplus``, ``kl_normal_standard``) are aliases of the
+single-node kernels in :mod:`repro.tensor.fused`.  Their original
+multi-node builds are kept here under ``*_composed`` names: they are the
+executable specification the fused kernels are tested against
+(``tests/tensor/test_fused.py``), not dead code.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor import fused
 from repro.tensor.tensor import Tensor, as_tensor
 
 _SELU_ALPHA = 1.6732632423543772
@@ -37,8 +45,8 @@ PROFILED_FUNCTIONAL_OPS: tuple[str, ...] = (
 )
 
 
-def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
-    """Numerically stable ``log(sum(exp(x)))`` along ``axis``."""
+def logsumexp_composed(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Primitive-composed ``log(sum(exp(x)))`` (reference for the fused op)."""
     x = as_tensor(x)
     shift = Tensor(x.data.max(axis=axis, keepdims=True))  # constant, no grad
     out = ((x - shift).exp().sum(axis=axis, keepdims=True)).log() + shift
@@ -47,24 +55,31 @@ def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
     return out
 
 
-def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Softmax along ``axis`` with the max-shift stabilisation."""
+def softmax_composed(x: Tensor, axis: int = -1) -> Tensor:
+    """Primitive-composed max-shifted softmax (reference for the fused op)."""
     x = as_tensor(x)
     shift = Tensor(x.data.max(axis=axis, keepdims=True))
     e = (x - shift).exp()
     return e / e.sum(axis=axis, keepdims=True)
 
 
-def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Log-softmax along ``axis`` (more stable than ``softmax(x).log()``)."""
+def log_softmax_composed(x: Tensor, axis: int = -1) -> Tensor:
+    """Primitive-composed log-softmax (reference for the fused op)."""
     x = as_tensor(x)
-    return x - logsumexp(x, axis=axis, keepdims=True)
+    return x - logsumexp_composed(x, axis=axis, keepdims=True)
 
 
-def sigmoid(x: Tensor) -> Tensor:
-    """Logistic sigmoid computed via tanh for numerical robustness."""
+def sigmoid_composed(x: Tensor) -> Tensor:
+    """Primitive-composed tanh-form sigmoid (reference for the fused op)."""
     x = as_tensor(x)
     return (tanh(x * 0.5) + 1.0) * 0.5
+
+
+#: Hot-path functional ops are the fused single-node kernels.
+logsumexp = fused.logsumexp
+softmax = fused.softmax
+log_softmax = fused.log_softmax
+sigmoid = fused.sigmoid
 
 
 def tanh(x: Tensor) -> Tensor:
@@ -119,17 +134,7 @@ def selu(x: Tensor) -> Tensor:
     return Tensor._make(out_data, (x,), backward)
 
 
-def softplus(x: Tensor) -> Tensor:
-    """``log(1 + exp(x))`` computed stably for large ``|x|``."""
-    x = as_tensor(x)
-    out_data = np.logaddexp(0.0, x.data)
-
-    def backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
-            # d/dx softplus = sigmoid(x)
-            x._accumulate(grad * (0.5 * (np.tanh(0.5 * x.data) + 1.0)))
-
-    return Tensor._make(out_data, (x,), backward)
+softplus = fused.softplus
 
 
 def gelu(x: Tensor) -> Tensor:
@@ -156,23 +161,27 @@ def cross_entropy_with_probs(
     -------
     Scalar tensor: mean over the batch of ``-sum_v bow[d, v] * log p[d, v]``.
     """
-    counts = bow.data if isinstance(bow, Tensor) else np.asarray(bow, dtype=np.float64)
-    counts_t = Tensor(counts)
+    counts = bow.data if isinstance(bow, Tensor) else np.asarray(bow)
+    counts_t = Tensor(counts.astype(log_word_probs.data.dtype, copy=False))
     per_doc = -(log_word_probs * counts_t).sum(axis=1)
     return per_doc.mean()
 
 
-def kl_normal_standard(mu: Tensor, logvar: Tensor) -> Tensor:
-    """Mean KL( N(mu, exp(logvar)) || N(0, I) ) over the batch.
+def kl_normal_standard_composed(mu: Tensor, logvar: Tensor) -> Tensor:
+    """Primitive-composed KL( N(mu, exp(logvar)) || N(0, I) ) mean.
 
-    Uses the closed form ``0.5 * sum(exp(logvar) + mu^2 - 1 - logvar)``.
+    Uses the closed form ``0.5 * sum(exp(logvar) + mu^2 - 1 - logvar)``;
+    reference for :func:`repro.tensor.fused.kl_normal_standard`.
     """
     per_doc = ((logvar.exp() + mu * mu - 1.0 - logvar) * 0.5).sum(axis=1)
     return per_doc.mean()
 
 
+kl_normal_standard = fused.kl_normal_standard
+
+
 def mse(prediction: Tensor, target: np.ndarray | Tensor) -> Tensor:
     """Mean squared error against a constant (non-differentiated) target."""
     target_data = target.data if isinstance(target, Tensor) else np.asarray(target)
-    diff = prediction - Tensor(target_data)
+    diff = prediction - Tensor(target_data.astype(prediction.data.dtype, copy=False))
     return (diff * diff).mean()

@@ -1,0 +1,351 @@
+"""Fused autodiff kernels: one graph node where the composed ops used many.
+
+Every function here is semantically identical to a chain of primitive
+:class:`~repro.tensor.tensor.Tensor` operations (the reference compositions
+live in :mod:`repro.tensor.functional` as ``*_composed``), but runs the
+whole forward in numpy without intermediate graph nodes and backpropagates
+through a single hand-derived closure.  A composed ``softmax`` builds five
+nodes (max-shift constant, ``sub``, ``exp``, ``sum``, ``div``), five output
+temporaries and five Python closures per call; the fused one builds one node
+and reuses its forward buffers in the backward.  On the training hot path —
+the encoder's ``linear`` stack, the ELBO's log-softmax/NLL, the O(K·V²)
+contrastive step — this removes most of the Python-per-op overhead and
+roughly halves transient allocations.
+
+Dtype: all kernels compute in the dtype of their tensor inputs (see
+:mod:`repro.tensor.dtypes`); constant operands (bag-of-words counts,
+running statistics) are cast to match so float32 graphs stay float32.
+Scalar hyper-parameters are kept as Python floats, which numpy's promotion
+rules treat as weak — they never upcast a float32 array.
+
+Profiling: :data:`PROFILED_FUSED_OPS` names the kernels that
+:func:`repro.telemetry.ophooks.profile_ops` wraps while active, so fused
+calls appear as single rows of the per-op report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.tensor import Tensor, as_tensor
+
+#: Fused kernels eligible for op-level profiling (see
+#: :func:`repro.telemetry.ophooks.profile_ops`).  Each call is one graph
+#: node, so its row in the ops table covers what would otherwise be spread
+#: over 4-10 primitive rows.
+PROFILED_FUSED_OPS: tuple[str, ...] = (
+    "linear",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "sigmoid",
+    "softplus",
+    "nll_from_probs",
+    "log_softmax_nll",
+    "kl_normal_standard",
+    "batch_norm",
+)
+
+
+def _constant(value, dtype: np.dtype) -> np.ndarray:
+    """Materialise a non-differentiated operand in the graph's dtype."""
+    data = value.data if isinstance(value, Tensor) else np.asarray(value)
+    return data.astype(dtype, copy=False)
+
+
+# ----------------------------------------------------------------------
+# affine
+# ----------------------------------------------------------------------
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Fused affine map ``x @ weight.T + bias`` as a single node.
+
+    Replaces the ``transpose`` / ``matmul`` / ``add`` triple built by the
+    composed path.  ``x`` may have any number of leading batch dimensions;
+    ``weight`` is ``(out_features, in_features)``.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    if x.ndim < 2 or weight.ndim != 2:
+        raise ShapeError(
+            f"linear expects x of ndim >= 2 and a 2-D weight, got "
+            f"{x.shape} @ {weight.shape}"
+        )
+    if x.shape[-1] != weight.shape[1]:
+        raise ShapeError(
+            f"linear shape mismatch: x {x.shape} vs weight {weight.shape}"
+        )
+    out_data = x.data @ weight.data.T
+    if bias is not None:
+        out_data += bias.data  # fresh array: safe to add in place
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad @ weight.data)
+        if weight.requires_grad or (bias is not None and bias.requires_grad):
+            g2 = grad.reshape(-1, weight.data.shape[0])
+            if weight.requires_grad:
+                x2 = x.data.reshape(-1, weight.data.shape[1])
+                weight._accumulate(g2.T @ x2)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(g2.sum(axis=0))
+
+    return Tensor._make(out_data, parents, backward)
+
+
+# ----------------------------------------------------------------------
+# normalised exponentials
+# ----------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Fused max-shifted softmax: one node instead of five."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    out_data = shifted
+    out_data /= out_data.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            inner = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate((grad - inner) * out_data)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Fused log-softmax (``x - logsumexp(x)``) as a single node."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    sums = exps.sum(axis=axis, keepdims=True)
+    out_data = shifted - np.log(sums)
+    probs = exps
+    probs /= sums  # softmax, reused by the backward
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad - probs * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Fused numerically-stable ``log(sum(exp(x)))`` along ``axis``."""
+    x = as_tensor(x)
+    norm_axis = axis if axis >= 0 else x.ndim + axis
+    shift = x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(x.data - shift)
+    sums = exps.sum(axis=axis, keepdims=True)
+    out_data = np.log(sums) + shift
+    if not keepdims:
+        out_data = np.squeeze(out_data, axis=norm_axis)
+    probs = exps
+    probs /= sums
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            g = grad if keepdims else np.expand_dims(grad, norm_axis)
+            x._accumulate(g * probs)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# element-wise activations
+# ----------------------------------------------------------------------
+def sigmoid(x: Tensor) -> Tensor:
+    """Fused logistic sigmoid (tanh-form for numerical robustness)."""
+    x = as_tensor(x)
+    out_data = np.tanh(x.data * 0.5)
+    out_data += 1.0
+    out_data *= 0.5
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softplus(x: Tensor) -> Tensor:
+    """``log(1 + exp(x))`` computed stably for large ``|x|``."""
+    x = as_tensor(x)
+    out_data = np.logaddexp(0.0, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            # d/dx softplus = sigmoid(x)
+            x._accumulate(grad * (0.5 * (np.tanh(0.5 * x.data) + 1.0)))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# fused ELBO terms
+# ----------------------------------------------------------------------
+def nll_from_probs(
+    word_probs: Tensor, bow, eps: float = 1e-12
+) -> Tensor:
+    """Reconstruction NLL straight from word probabilities, in one node.
+
+    Computes ``mean_d( -sum_v bow[d,v] * log(p[d,v] + eps) )`` — the
+    ``(p + eps).log()`` / ``mul`` / ``sum`` / ``neg`` / ``mean`` chain used
+    by the mixture-form models (ETM-style ``theta @ beta`` decoders) — with
+    a single analytic backward ``dp = -(g/B) * bow / (p + eps)``.
+    ``bow`` is a constant (not differentiated).
+    """
+    word_probs = as_tensor(word_probs)
+    if word_probs.ndim != 2:
+        raise ShapeError(
+            f"nll_from_probs expects (batch, vocab) probabilities, got "
+            f"{word_probs.shape}"
+        )
+    counts = _constant(bow, word_probs.data.dtype)
+    denom = word_probs.data + eps
+    per_doc = -np.einsum("dv,dv->d", counts, np.log(denom))
+    out_data = np.asarray(per_doc.mean())
+    batch = word_probs.shape[0]
+
+    def backward(grad: np.ndarray) -> None:
+        if word_probs.requires_grad:
+            scale = -float(grad) / batch
+            word_probs._accumulate(scale * counts / denom)
+
+    return Tensor._make(out_data, (word_probs,), backward)
+
+
+def log_softmax_nll(logits: Tensor, bow) -> Tensor:
+    """Fused ``cross_entropy_with_probs(log_softmax(logits), bow)``.
+
+    The ProdLDA-style decoder head: row-wise log-softmax of the logits
+    followed by the weighted NLL against bag-of-words counts, collapsed
+    into one node.  The backward is the classic softmax cross-entropy
+    form ``dlogits = (g/B) * (softmax * total_counts - counts)`` — no
+    ``(batch, vocab)`` log-prob gradient temporary chain at all.
+    """
+    logits = as_tensor(logits)
+    if logits.ndim != 2:
+        raise ShapeError(
+            f"log_softmax_nll expects (batch, vocab) logits, got {logits.shape}"
+        )
+    counts = _constant(bow, logits.data.dtype)
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    sums = exps.sum(axis=1, keepdims=True)
+    log_probs = shifted - np.log(sums)
+    per_doc = -np.einsum("dv,dv->d", counts, log_probs)
+    out_data = np.asarray(per_doc.mean())
+    probs = exps
+    probs /= sums
+    totals = counts.sum(axis=1, keepdims=True)
+    batch = logits.shape[0]
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            scale = float(grad) / batch
+            logits._accumulate(scale * (probs * totals - counts))
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+def kl_normal_standard(mu: Tensor, logvar: Tensor) -> Tensor:
+    """Fused mean KL( N(mu, exp(logvar)) || N(0, I) ) over the batch.
+
+    Closed form ``0.5 * sum(exp(logvar) + mu^2 - 1 - logvar)`` with the
+    analytic backward ``dmu = (g/B) * mu``, ``dlogvar = (g/B) * 0.5 *
+    (exp(logvar) - 1)``.
+    """
+    mu = as_tensor(mu)
+    logvar = as_tensor(logvar)
+    if mu.ndim != 2 or logvar.shape != mu.shape:
+        raise ShapeError(
+            f"kl_normal_standard expects matching (batch, dim) inputs, got "
+            f"{mu.shape} and {logvar.shape}"
+        )
+    ev = np.exp(logvar.data)
+    per_doc = 0.5 * (ev + mu.data * mu.data - 1.0 - logvar.data).sum(axis=1)
+    out_data = np.asarray(per_doc.mean())
+    batch = mu.shape[0]
+
+    def backward(grad: np.ndarray) -> None:
+        scale = float(grad) / batch
+        if mu.requires_grad:
+            mu._accumulate(scale * mu.data)
+        if logvar.requires_grad:
+            logvar._accumulate((0.5 * scale) * (ev - 1.0))
+
+    return Tensor._make(out_data, (mu, logvar), backward)
+
+
+# ----------------------------------------------------------------------
+# batch normalisation
+# ----------------------------------------------------------------------
+def batch_norm(
+    x: Tensor,
+    running_mean: np.ndarray | None = None,
+    running_var: np.ndarray | None = None,
+    weight: Tensor | None = None,
+    bias: Tensor | None = None,
+    training: bool = True,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Fused batch normalisation over ``(batch, features)`` inputs.
+
+    Training mode normalises by the batch statistics (differentiating
+    through them, i.e. the full batch-norm backward) and, when running
+    statistic arrays are supplied, updates them **in place** with the
+    standard EMA (unbiased variance), like ``torch.nn.functional
+    .batch_norm``.  Eval mode normalises by the running statistics as
+    constants.  Replaces the mean / centering / variance / sqrt / divide /
+    scale / shift chain (9+ nodes) with one node.
+    """
+    x = as_tensor(x)
+    if x.ndim != 2:
+        raise ShapeError(f"batch_norm expects a (batch, features) input, got {x.shape}")
+    dtype = x.data.dtype
+    n = x.shape[0]
+    if training:
+        mean = x.data.mean(axis=0)
+        centered = x.data - mean
+        var = np.einsum("bf,bf->f", centered, centered) / n
+        if running_mean is not None:
+            running_mean *= 1.0 - momentum
+            running_mean += momentum * mean
+        if running_var is not None:
+            running_var *= 1.0 - momentum
+            running_var += (momentum * n / max(n - 1, 1)) * var
+    else:
+        if running_mean is None or running_var is None:
+            raise ShapeError("batch_norm in eval mode requires running statistics")
+        mean = running_mean.astype(dtype, copy=False)
+        var = running_var.astype(dtype, copy=False)
+        centered = x.data - mean
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = centered
+    xhat *= inv_std  # in place: `centered` is a fresh array
+    out_data = xhat * weight.data if weight is not None else xhat.copy()
+    if bias is not None:
+        out_data += bias.data
+
+    parents = tuple(p for p in (x, weight, bias) if p is not None)
+
+    def backward(grad: np.ndarray) -> None:
+        gxhat = grad * weight.data if weight is not None else grad
+        if x.requires_grad:
+            if training:
+                sum_g = gxhat.sum(axis=0)
+                sum_gx = np.einsum("bf,bf->f", gxhat, xhat)
+                x._accumulate(
+                    (inv_std / n) * (n * gxhat - sum_g - xhat * sum_gx)
+                )
+            else:
+                x._accumulate(gxhat * inv_std)
+        if weight is not None and weight.requires_grad:
+            weight._accumulate(np.einsum("bf,bf->f", grad, xhat))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=0))
+
+    return Tensor._make(out_data, parents, backward)

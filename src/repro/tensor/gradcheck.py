@@ -14,6 +14,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import GradientError
+from repro.tensor.dtypes import default_dtype
 from repro.tensor.tensor import Tensor
 
 
@@ -33,7 +34,10 @@ def numerical_gradient(
 
     def evaluate() -> float:
         # Wrap in (non-grad) Tensors so operator-only lambdas work too.
-        return float(func(*[Tensor(b) for b in base]).data)
+        # Finite differences need float64 precision regardless of the
+        # process-wide dtype policy, so pin it for the evaluation.
+        with default_dtype("float64"):
+            return float(func(*[Tensor(b) for b in base]).data)
 
     grad = np.zeros_like(base[index])
     it = np.nditer(base[index], flags=["multi_index"])
@@ -76,11 +80,12 @@ def gradcheck(
     :class:`~repro.errors.GradientError` with the offending input index.
     """
     arrays = [np.array(x, dtype=np.float64) for x in inputs]
-    tensors = [Tensor(a, requires_grad=True) for a in arrays]
-    output = func(*tensors)
-    if output.size != 1:
-        raise GradientError("gradcheck requires a scalar-valued function")
-    output.backward()
+    with default_dtype("float64"):  # gradcheck is always pinned to float64
+        tensors = [Tensor(a, requires_grad=True) for a in arrays]
+        output = func(*tensors)
+        if output.size != 1:
+            raise GradientError("gradcheck requires a scalar-valued function")
+        output.backward()
 
     for i, tensor in enumerate(tensors):
         analytical = tensor.grad if tensor.grad is not None else np.zeros_like(arrays[i])

@@ -6,9 +6,12 @@ a closure that, given the gradient of the loss with respect to the output,
 accumulates gradients into the parents.  Calling :meth:`Tensor.backward`
 topologically sorts the graph and runs the closures in reverse order.
 
-Only float64 data is used.  Neural topic models are small enough that the
-extra precision is free, and it makes the finite-difference gradient checks
-in the test-suite much sharper.
+Data is floating point, governed by the dtype policy in
+:mod:`repro.tensor.dtypes`: float arrays keep their precision, everything
+else (lists, scalars, integer arrays) is created in the current default
+dtype (float64 unless overridden — the finite-difference gradient checks
+need that precision; float32 halves memory traffic for training-scale
+runs).  Gradients always adopt the dtype of the tensor they flow into.
 
 Profiling: :data:`PROFILED_TENSOR_OPS` / :data:`PROFILED_MODULE_OPS` name
 the operations that :func:`repro.telemetry.ophooks.profile_ops` wraps with
@@ -26,8 +29,11 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.errors import GradientError, ShapeError
+from repro.tensor.dtypes import get_default_dtype, resolve_dtype
 
 _GRAD_STATE = threading.local()
+
+_FLOAT_DTYPES = frozenset((np.dtype(np.float32), np.dtype(np.float64)))
 
 #: Tensor methods eligible for op-level profiling (dunder names are
 #: reported without their underscores, e.g. ``__matmul__`` -> ``matmul``).
@@ -102,23 +108,58 @@ def as_tensor(value, requires_grad: bool = False) -> "Tensor":
     return Tensor(value, requires_grad=requires_grad)
 
 
+def _operand(value, like: "Tensor") -> "Tensor":
+    """Coerce a binary-op operand, treating Python scalars as *weak*.
+
+    A bare ``int``/``float``/``bool`` adopts the dtype of the tensor it
+    combines with (``x * 0.5`` never upcasts a float32 graph), mirroring
+    NEP-50 semantics.  Numpy scalars and arrays stay strong and go
+    through the normal :func:`as_tensor` construction rules.
+    """
+    if isinstance(value, Tensor):
+        return value
+    if isinstance(value, (int, float)) and not isinstance(value, np.generic):
+        return Tensor(np.asarray(value, dtype=like.data.dtype))
+    return as_tensor(value)
+
+
 class Tensor:
-    """A float64 numpy array that records the operations applied to it.
+    """A floating-point numpy array that records the operations applied to it.
 
     Parameters
     ----------
     data:
-        Anything ``np.asarray`` accepts.  Stored as float64.
+        Anything ``np.asarray`` accepts.  float32/float64 arrays keep their
+        dtype; everything else is cast to the current default dtype (see
+        :mod:`repro.tensor.dtypes`).
     requires_grad:
         If True, :meth:`backward` will populate :attr:`grad` for this tensor.
+    dtype:
+        Explicit dtype override (``"float32"``/``"float64"``/numpy forms).
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
 
     __array_priority__ = 100.0  # make numpy defer to our reflected operators
 
-    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
-        self.data = np.asarray(data, dtype=np.float64)
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        name: str | None = None,
+        dtype=None,
+    ):
+        arr = np.asarray(data)
+        if dtype is not None:
+            arr = arr.astype(resolve_dtype(dtype), copy=False)
+        elif not (
+            isinstance(data, (np.ndarray, np.generic)) and arr.dtype in _FLOAT_DTYPES
+        ):
+            # Lists, Python scalars and non-float arrays take the default
+            # dtype; float numpy arrays AND numpy scalars (reduction
+            # outputs like ``arr.sum()``) keep their precision.
+            arr = arr.astype(get_default_dtype(), copy=False)
+        self.data = arr
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
@@ -184,7 +225,7 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         """Add ``grad`` into this tensor's ``.grad`` slot."""
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -208,7 +249,7 @@ class Tensor:
                     f"scalar output, got shape {self.data.shape}"
                 )
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
@@ -244,7 +285,7 @@ class Tensor:
     # arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = _operand(other, self)
         out_data = self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -265,7 +306,7 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = _operand(other, self)
         out_data = self.data - other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -277,10 +318,10 @@ class Tensor:
         return Tensor._make(out_data, (self, other), backward)
 
     def __rsub__(self, other) -> "Tensor":
-        return as_tensor(other).__sub__(self)
+        return _operand(other, self).__sub__(self)
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = _operand(other, self)
         out_data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -294,7 +335,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = _operand(other, self)
         out_data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -306,7 +347,7 @@ class Tensor:
         return Tensor._make(out_data, (self, other), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return as_tensor(other).__truediv__(self)
+        return _operand(other, self).__truediv__(self)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
@@ -476,7 +517,7 @@ class Tensor:
             if not self.requires_grad:
                 return
             expanded = self.data.max(axis=axis, keepdims=True)
-            mask = (self.data == expanded).astype(np.float64)
+            mask = (self.data == expanded).astype(self.data.dtype)
             # Split gradient evenly across ties so the op stays well-defined.
             mask = mask / mask.sum(axis=axis, keepdims=True)
             g = grad

@@ -22,6 +22,7 @@ from repro.metrics.coherence import DEFAULT_PERCENTAGES, coherence_by_percentage
 from repro.metrics.diversity import diversity_by_percentage
 from repro.metrics.npmi import NpmiMatrix
 from repro.models.base import TopicModel
+from repro.tensor import no_grad
 
 CLUSTER_COUNTS = (20, 40, 60, 80, 100)
 
@@ -101,31 +102,41 @@ def evaluate_model(
     Clustering metrics are only computed when the test corpus has labels
     (20NG and Yahoo in the paper; NYTimes is skipped, as there).  Cluster
     counts exceeding the number of test documents are skipped.
-    """
-    topic_word = model.topic_word_matrix()
-    diverged = not bool(np.all(np.isfinite(topic_word)))
-    coherence = coherence_by_percentage(topic_word, test_npmi, percentages=percentages)
-    diversity = diversity_by_percentage(topic_word, test_npmi, percentages=percentages)
 
-    km_purity: dict[int, float] = {}
-    km_nmi: dict[int, float] = {}
-    if test_corpus.labels is not None:
-        doc_topic = model.transform(test_corpus)
-        if not bool(np.all(np.isfinite(doc_topic))):
-            # KMeans over NaN vectors is meaningless; skip clustering and
-            # let the diverged flag tell the story.
-            diverged = True
-        else:
-            for n_clusters in cluster_counts:
-                if n_clusters > len(test_corpus):
-                    continue
-                assignments = KMeans(n_clusters, seed=clustering_seed).fit_predict(
-                    doc_topic
-                )
-                km_purity[n_clusters] = purity(assignments, test_corpus.labels)
-                km_nmi[n_clusters] = normalized_mutual_information(
-                    assignments, test_corpus.labels
-                )
+    The whole protocol runs under ``no_grad()``: evaluation only reads the
+    model, and recording a throwaway autodiff graph here would waste time
+    and memory (``topic_word_matrix``/``transform`` guard themselves, but
+    the blanket guard also covers overridden model methods).
+    """
+    with no_grad():
+        topic_word = model.topic_word_matrix()
+        diverged = not bool(np.all(np.isfinite(topic_word)))
+        coherence = coherence_by_percentage(
+            topic_word, test_npmi, percentages=percentages
+        )
+        diversity = diversity_by_percentage(
+            topic_word, test_npmi, percentages=percentages
+        )
+
+        km_purity: dict[int, float] = {}
+        km_nmi: dict[int, float] = {}
+        if test_corpus.labels is not None:
+            doc_topic = model.transform(test_corpus)
+            if not bool(np.all(np.isfinite(doc_topic))):
+                # KMeans over NaN vectors is meaningless; skip clustering and
+                # let the diverged flag tell the story.
+                diverged = True
+            else:
+                for n_clusters in cluster_counts:
+                    if n_clusters > len(test_corpus):
+                        continue
+                    assignments = KMeans(
+                        n_clusters, seed=clustering_seed
+                    ).fit_predict(doc_topic)
+                    km_purity[n_clusters] = purity(assignments, test_corpus.labels)
+                    km_nmi[n_clusters] = normalized_mutual_information(
+                        assignments, test_corpus.labels
+                    )
     return EvaluationResult(
         model_name=model_name or type(model).__name__,
         coherence=coherence,

@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.errors import TelemetryError
 from repro.telemetry import MetricsRegistry, is_profiling, profile_ops
 from repro.telemetry.ophooks import BACKWARD_PASS_KEY
 from repro.tensor import PROFILED_MODULE_OPS, PROFILED_TENSOR_OPS, Tensor
 from repro.tensor import functional as F
+from repro.tensor import fused
 from repro.tensor import tensor as tensor_module
 
 
@@ -97,12 +97,32 @@ class TestZeroOverheadWhenDisabled:
         assert Tensor.__matmul__ is original
         assert not is_profiling()
 
-    def test_does_not_nest(self):
-        with profile_ops():
-            with pytest.raises(TelemetryError):
-                with profile_ops():
-                    pass
+    def test_nested_blocks_record_into_both_registries(self):
+        outer = MetricsRegistry()
+        inner = MetricsRegistry()
+        x = Tensor(np.ones((3, 3)), requires_grad=True)
+        with profile_ops(outer):
+            (x * 2.0).sum().backward()
+            with profile_ops(inner):
+                assert is_profiling()
+                (x * 3.0).sum().backward()
+            # inner exit must not tear the shims down for the outer block
+            (x * 4.0).sum().backward()
         assert not is_profiling()
+        # outer saw all three steps, inner only the one inside its block
+        assert outer.counters["op/mul.calls"].value == 3
+        assert inner.counters["op/mul.calls"].value == 1
+        assert inner.timers["op/mul.backward"].count == 1
+        original = Tensor.__mul__
+        assert not hasattr(original, "__profiled_original__")
+
+    def test_nested_blocks_do_not_double_count(self):
+        """One call through a shim records once per registry, not twice."""
+        registry = MetricsRegistry()
+        with profile_ops(registry), profile_ops():
+            (Tensor(np.ones(4), requires_grad=True) * 2.0).sum().backward()
+        assert registry.counters["op/mul.calls"].value == 1
+        assert registry.timers["op/mul"].count == 1
 
 
 class TestNumericalTransparency:
@@ -140,3 +160,40 @@ class TestNumericalTransparency:
             out = Tensor(np.ones((2, 2))) @ Tensor(np.ones((2, 2)))
         assert out._backward is None
         assert registry.timers["op/matmul"].count == 1
+
+
+class TestFusedOps:
+    def test_fused_kernels_appear_as_single_rows(self):
+        registry = MetricsRegistry()
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(5, 6)), requires_grad=True)
+        b = Tensor(np.zeros(5), requires_grad=True)
+        bow = rng.integers(0, 4, size=(4, 5)).astype(float)
+        with profile_ops(registry):
+            loss = fused.log_softmax_nll(fused.linear(x, w, b), bow)
+            loss.backward()
+        for op in ("linear", "log_softmax_nll"):
+            assert registry.counters[f"op/{op}.calls"].value == 1, op
+            assert registry.timers[f"op/{op}"].count == 1, op
+            assert registry.timers[f"op/{op}.backward"].count == 1, op
+        # fused: no primitive matmul/exp rows from these two calls
+        assert "op/matmul" not in registry.timers
+        assert "op/exp" not in registry.timers
+
+    def test_functional_alias_records_once(self):
+        """F.softmax is the fused kernel; a call must record exactly once."""
+        assert F.softmax is fused.softmax
+        registry = MetricsRegistry()
+        with profile_ops(registry):
+            F.softmax(Tensor(np.ones((2, 3)), requires_grad=True), axis=1)
+            fused.softmax(Tensor(np.ones((2, 3)), requires_grad=True), axis=1)
+        assert registry.counters["op/softmax.calls"].value == 2
+        assert registry.timers["op/softmax"].count == 2
+
+    def test_fused_attributes_restored(self):
+        originals = {name: getattr(fused, name) for name in fused.PROFILED_FUSED_OPS}
+        with profile_ops():
+            assert fused.softmax is not originals["softmax"]
+        for name, fn in originals.items():
+            assert getattr(fused, name) is fn, name

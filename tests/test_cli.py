@@ -165,6 +165,57 @@ class TestCommands:
         events = [r["event"] for r in read_jsonl(jsonl_path)]
         assert events[0] == "fit_start" and events[-1] == "fit_end"
 
+    def test_bench_suite_ops_writes_report(self, tmp_path):
+        from repro.telemetry import load_report
+        from repro.tensor.fused import PROFILED_FUSED_OPS
+
+        report_path = tmp_path / "BENCH_ops.json"
+        output = _run(
+            [
+                "bench",
+                "--suite",
+                "ops",
+                "--repeats",
+                "2",
+                "--dtype",
+                "float32",
+                "--telemetry",
+                str(report_path),
+            ]
+        )
+        assert "wrote telemetry report" in output
+        report = load_report(report_path)
+        assert report["meta"]["suite"] == "ops"
+        assert report["meta"]["dtype"] == "float32"
+        rows = {row["op"]: row for row in report["ops"]}
+        for op in PROFILED_FUSED_OPS:
+            assert rows[op]["calls"] >= 2
+            assert rows[op]["backward_seconds"] > 0
+
+    def test_dtype_flag_is_scoped_to_the_command(self):
+        from repro.tensor import get_default_dtype
+
+        before = get_default_dtype()
+        output = _run(
+            [
+                "train",
+                "--dataset",
+                "20ng",
+                "--model",
+                "etm",
+                "--scale",
+                "0.08",
+                "--num-topics",
+                "6",
+                "--epochs",
+                "2",
+                "--dtype",
+                "float32",
+            ]
+        )
+        assert "coherence@100%" in output
+        assert get_default_dtype() == before
+
     def test_bench_rejects_non_neural_model(self, tmp_path):
         with pytest.raises(SystemExit, match="neural"):
             main(
