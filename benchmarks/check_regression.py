@@ -14,14 +14,24 @@ the scalar totals (op/epoch second sums, mean epoch time, docs/sec
 throughput).
 
 The guard works on any pair of ``BENCH_*.json`` reports.  CI runs it
-twice: once on the end-to-end training report (defaults below) and once
-on the fused-kernel microbenchmark, pointing both flags at the ops
-reports::
+three times: on the end-to-end training report (defaults below), on the
+fused-kernel microbenchmark, and on the multi-seed parallel-vs-serial
+wall-clock (``benchmarks/bench_parallel_multiseed.py``), whose
+``multiseed_serial_seconds`` / ``multiseed_parallel_seconds`` /
+``multiseed_speedup`` totals this guard gates automatically because they
+are listed in :data:`repro.telemetry.report.TIME_TOTALS` /
+``RATE_TOTALS``::
 
     REPRO_BENCH_FAST=1 python -m pytest benchmarks/bench_fused_ops.py -q
     python benchmarks/check_regression.py \
         --baseline benchmarks/baselines/BENCH_ops.json \
         --current BENCH_ops.json
+
+    REPRO_BENCH_FAST=1 REPRO_WORKERS=2 \
+        python -m pytest benchmarks/bench_parallel_multiseed.py -q
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baselines/BENCH_suite.json \
+        --current BENCH_suite.json
 
 Refreshing a baseline after an intentional perf change::
 

@@ -16,9 +16,13 @@ Commands
               ``--no-profile-ops`` — per-epoch throughput,
               ELBO-vs-contrastive loss split).  ``--suite ops`` skips
               training and instead microbenchmarks every fused autodiff
-              kernel on fixed seeded shapes.  The ``--inject-*`` flags
-              drive the deterministic fault harness so recovery paths can
-              be smoke-tested in CI.
+              kernel on fixed seeded shapes.  ``--suite multiseed`` runs
+              the §V.F multi-seed evaluation twice — serial and across
+              ``--workers`` processes — asserts the metrics are
+              identical, and records both wall-clocks (and the speedup)
+              for the CI perf-guard.  The ``--inject-*`` flags drive the
+              deterministic fault harness so recovery paths can be
+              smoke-tested in CI.
 
 Every command accepts ``--dtype {float32,float64}`` to pick the training
 precision (equivalent to the ``REPRO_DTYPE`` environment variable).
@@ -38,6 +42,8 @@ Examples
     python -m repro bench --dataset 20ng --model contratopic --epochs 5 \
         --dtype float32 --telemetry out.json
     python -m repro bench --suite ops --telemetry BENCH_ops.json
+    python -m repro bench --suite multiseed --dataset 20ng --scale 0.1 \
+        --epochs 5 --num-seeds 5 --workers 4 --telemetry BENCH_suite.json
     python -m repro bench --dataset 20ng --model contratopic --epochs 3 \
         --guard --inject-nan 0.25 --inject-grad 0.1 --telemetry smoke.json
 """
@@ -232,11 +238,123 @@ def _cmd_bench_ops(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _results_equal(a, b) -> bool:
+    """Exact equality of two :class:`EvaluationResult`\\ s (NaN-tolerant).
+
+    NaN compares equal to NaN here: a seed that diverged identically in
+    both runs must not make the serial-vs-parallel equality check fail.
+    """
+
+    def scalar_equal(x, y) -> bool:
+        fx, fy = float(x), float(y)
+        return fx == fy or (fx != fx and fy != fy)
+
+    def dicts_equal(da, db) -> bool:
+        return da.keys() == db.keys() and all(
+            scalar_equal(da[k], db[k]) for k in da
+        )
+
+    return (
+        a.seed_status == b.seed_status
+        and a.diverged == b.diverged
+        and all(
+            dicts_equal(getattr(a, f), getattr(b, f))
+            for f in (
+                "coherence",
+                "diversity",
+                "km_purity",
+                "km_nmi",
+                "coherence_std",
+                "diversity_std",
+                "km_purity_std",
+            )
+        )
+    )
+
+
+def _cmd_bench_multiseed(args: argparse.Namespace, out) -> int:
+    """``bench --suite multiseed``: serial-vs-parallel §V.F evaluation.
+
+    Runs the same multi-seed evaluation twice — ``workers=1`` (the exact
+    serial path) and ``workers=N`` — asserts the merged metrics and
+    per-seed statuses are identical, and writes a report whose totals
+    carry both wall-clocks plus the speedup for the CI perf-guard.
+    """
+    import os
+
+    from repro.parallel import resolve_workers
+    from repro.telemetry import (
+        MetricsRegistry,
+        build_report,
+        format_report,
+        write_report,
+    )
+    from repro.telemetry.report import MULTISEED_PARALLEL_KEY, MULTISEED_SERIAL_KEY
+    from repro.training.protocol import multi_seed_evaluation
+
+    workers = resolve_workers(args.workers)
+    seeds = tuple(range(args.num_seeds))
+    context = ExperimentContext(_settings_from_args(args))
+    factory = context.factory(args.model)
+    registry = MetricsRegistry()
+
+    print(
+        f"multi-seed benchmark: {args.model} on {args.dataset}, "
+        f"{len(seeds)} seeds, serial vs {workers} workers...",
+        file=out,
+    )
+    runs = {}
+    for key, n in ((MULTISEED_SERIAL_KEY, 1), (MULTISEED_PARALLEL_KEY, workers)):
+        with registry.timer(key):
+            runs[key] = multi_seed_evaluation(
+                factory,
+                context.dataset.train,
+                context.dataset.test,
+                context.npmi_test,
+                seeds=seeds,
+                model_name=args.model,
+                workers=n,
+                registry=registry,
+                profile=args.profile_ops,
+            )
+    if not _results_equal(runs[MULTISEED_SERIAL_KEY], runs[MULTISEED_PARALLEL_KEY]):
+        raise SystemExit(
+            "multi-seed metrics differ between workers=1 and "
+            f"workers={workers}: {runs[MULTISEED_SERIAL_KEY].summary()} vs "
+            f"{runs[MULTISEED_PARALLEL_KEY].summary()}"
+        )
+    print("serial and parallel metrics are identical", file=out)
+    report = build_report(
+        args.name or f"multiseed_{args.model}_{args.dataset}",
+        registry=registry,
+        meta={
+            "suite": "multiseed",
+            "dataset": args.dataset,
+            "model": args.model,
+            "scale": args.scale,
+            "num_topics": args.num_topics,
+            "epochs": args.epochs,
+            "num_seeds": args.num_seeds,
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
+            "dtype": args.dtype or _current_dtype_name(),
+            "profile_ops": bool(args.profile_ops),
+            "metrics": runs[MULTISEED_PARALLEL_KEY].summary(),
+        },
+    )
+    path = write_report(report, args.telemetry)
+    print(format_report(report), file=out)
+    print(f"wrote telemetry report to {path}", file=out)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace, out) -> int:
     import contextlib
 
     if args.suite == "ops":
         return _cmd_bench_ops(args, out)
+    if args.suite == "multiseed":
+        return _cmd_bench_multiseed(args, out)
 
     from repro.models.base import NeuralTopicModel
     from repro.telemetry import (
@@ -368,9 +486,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite",
         default="train",
-        choices=["train", "ops"],
+        choices=["train", "ops", "multiseed"],
         help="'train': benchmark an end-to-end training run; "
-        "'ops': microbenchmark every fused kernel on fixed shapes",
+        "'ops': microbenchmark every fused kernel on fixed shapes; "
+        "'multiseed': serial-vs-parallel §V.F multi-seed evaluation "
+        "with a metric-equality assertion",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="--suite multiseed: worker processes of the parallel leg "
+        "(default: REPRO_WORKERS or the CPU count)",
+    )
+    bench.add_argument(
+        "--num-seeds",
+        type=int,
+        default=5,
+        help="--suite multiseed: how many seeds to evaluate (default: 5)",
     )
     bench.add_argument(
         "--telemetry", required=True, help="path for the BENCH_*.json report"

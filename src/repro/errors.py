@@ -44,6 +44,12 @@ class TelemetryError(ReproError, RuntimeError):
     """Telemetry was used illegally (closed sink, malformed report...)."""
 
 
+class ParallelExecutionError(ReproError, RuntimeError):
+    """Every task of a parallel fan-out failed, so there is no result to
+    aggregate.  Individual task failures are recorded, not raised — this
+    error fires only when nothing at all succeeded."""
+
+
 class TrainingDivergedError(ReproError, RuntimeError):
     """Training kept producing non-finite losses/gradients after every
     guard escalation (skip, LR backoff, restore, degradation) was spent."""

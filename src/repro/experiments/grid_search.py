@@ -41,6 +41,10 @@ class GridSearchResult:
     """All evaluated points plus the selected configuration."""
 
     points: list[GridPoint] = field(default_factory=list)
+    #: Grid points whose training run raised, as ``"(λ=..., v=...): error"``
+    #: strings.  A failed point is excluded from the selection instead of
+    #: aborting the sweep (see :mod:`repro.parallel`).
+    failures: list[str] = field(default_factory=list)
 
     @property
     def best(self) -> GridPoint:
@@ -74,6 +78,8 @@ def grid_search_contratopic(
     gumbel_temperature: float = 0.5,
     diversity_weight: float = 0.5,
     seed: int = 0,
+    workers: int | None = 1,
+    registry=None,
 ) -> tuple[GridSearchResult, ContraTopic]:
     """Sweep (λ, v) on a validation split, then refit the winner.
 
@@ -85,6 +91,14 @@ def grid_search_contratopic(
         comparison across grid points).
     train_corpus:
         Full training corpus; a validation split is carved out internally.
+    workers:
+        The grid points are independent train-and-score jobs, so they fan
+        out over :class:`repro.parallel.ParallelMap`.  ``1`` (default) is
+        the exact serial path; ``None`` resolves via ``REPRO_WORKERS`` /
+        CPU count.  Scores are identical for every worker count because
+        each point's model construction is deterministic and the
+        validation split is drawn before the fan-out.  A point whose run
+        raises is recorded in ``result.failures`` and skipped.
 
     Returns
     -------
@@ -92,6 +106,8 @@ def grid_search_contratopic(
         The scored grid and a ContraTopic refitted on the *full* training
         corpus with the winning configuration.
     """
+    from repro.parallel import ParallelMap, require_any_success
+
     if not lambda_grid or not v_grid:
         raise ConfigError("lambda_grid and v_grid must be non-empty")
     rng = np.random.default_rng(seed)
@@ -100,35 +116,43 @@ def grid_search_contratopic(
     valid_npmi = compute_npmi_matrix(valid)
     kernel = npmi_kernel(train_npmi, temperature=kernel_temperature)
 
+    grid = [(lw, v) for lw in lambda_grid for v in v_grid]
+
+    def score_point(point: tuple[float, int]) -> GridPoint:
+        lambda_weight, v = point
+        backbone: NeuralTopicModel = backbone_factory(train.vocab_size)
+        model = ContraTopic(
+            backbone,
+            kernel,
+            ContraTopicConfig(
+                lambda_weight=lambda_weight,
+                num_sampled_words=v,
+                gumbel_temperature=gumbel_temperature,
+                negative_weight=negative_weight,
+            ),
+        )
+        model.fit(train)
+        beta = model.topic_word_matrix()
+        coherence = topic_coherence(beta, valid_npmi)
+        diversity = topic_diversity(beta)
+        return GridPoint(
+            lambda_weight=lambda_weight,
+            num_sampled_words=v,
+            coherence=coherence,
+            diversity=diversity,
+            score=interpretability_score(coherence, diversity, diversity_weight),
+        )
+
+    outcomes = ParallelMap(workers=workers, registry=registry).map(
+        score_point, grid
+    )
+    require_any_success(outcomes, "grid-search")
     result = GridSearchResult()
-    for lambda_weight in lambda_grid:
-        for v in v_grid:
-            backbone: NeuralTopicModel = backbone_factory(train.vocab_size)
-            model = ContraTopic(
-                backbone,
-                kernel,
-                ContraTopicConfig(
-                    lambda_weight=lambda_weight,
-                    num_sampled_words=v,
-                    gumbel_temperature=gumbel_temperature,
-                    negative_weight=negative_weight,
-                ),
-            )
-            model.fit(train)
-            beta = model.topic_word_matrix()
-            coherence = topic_coherence(beta, valid_npmi)
-            diversity = topic_diversity(beta)
-            result.points.append(
-                GridPoint(
-                    lambda_weight=lambda_weight,
-                    num_sampled_words=v,
-                    coherence=coherence,
-                    diversity=diversity,
-                    score=interpretability_score(
-                        coherence, diversity, diversity_weight
-                    ),
-                )
-            )
+    for (lambda_weight, v), outcome in zip(grid, outcomes):
+        if outcome.ok:
+            result.points.append(outcome.value)
+        else:
+            result.failures.append(f"(λ={lambda_weight}, v={v}): {outcome.error}")
 
     best = result.best
     full_npmi = compute_npmi_matrix(train_corpus)

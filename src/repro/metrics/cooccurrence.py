@@ -4,15 +4,61 @@ Topic-coherence NPMI is conventionally estimated from boolean document
 co-occurrence: ``p(w) = df(w) / D`` and ``p(w_i, w_j) = df(w_i, w_j) / D``
 where ``df`` counts documents containing the word (pair).  The joint-count
 matrix is computed with one sparse matrix product.
+
+Caching: counting is O(nnz·V) and several callers re-count the *same*
+corpus — every grid point recomputes the validation NPMI, every
+evaluation recomputes the test NPMI.  :meth:`DocumentCooccurrence
+.from_corpus` therefore memoises per process, keyed by
+:func:`corpus_fingerprint` (a content hash, so two corpora with equal
+documents share an entry no matter how they were constructed).  The
+cache is bounded (LRU) because each entry holds a dense V×V matrix.
+Cached instances are shared — treat them as read-only.
 """
 
 from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
 
 import numpy as np
 from scipy import sparse
 
 from repro.data.corpus import Corpus
 from repro.errors import ShapeError
+
+#: Dense V×V joint matrices are large; keep only this many corpora.
+CACHE_CAPACITY = 8
+
+_COUNT_CACHE: "OrderedDict[str, DocumentCooccurrence]" = OrderedDict()
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def corpus_fingerprint(corpus: Corpus) -> str:
+    """Content hash of a corpus's documents (order-sensitive).
+
+    Two corpora with identical document sequences over the same-sized
+    vocabulary fingerprint identically regardless of how they were built
+    (loader, subset, split).  Labels are excluded — co-occurrence never
+    reads them.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(f"{len(corpus)}:{corpus.vocab_size}".encode())
+    for doc in corpus.documents:
+        digest.update(doc.size.to_bytes(8, "little"))
+        digest.update(np.ascontiguousarray(doc).tobytes())
+    return digest.hexdigest()
+
+
+def cooccurrence_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the per-process count cache."""
+    return {**_CACHE_STATS, "size": len(_COUNT_CACHE)}
+
+
+def clear_cooccurrence_cache() -> None:
+    """Drop every cached count (and reset the hit/miss counters)."""
+    _COUNT_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
 
 
 class DocumentCooccurrence:
@@ -39,8 +85,32 @@ class DocumentCooccurrence:
         self.joint = joint
 
     @classmethod
-    def from_corpus(cls, corpus: Corpus) -> "DocumentCooccurrence":
-        """Count document co-occurrence with a single sparse product."""
+    def from_corpus(cls, corpus: Corpus, cache: bool = True) -> "DocumentCooccurrence":
+        """Count document co-occurrence with a single sparse product.
+
+        With ``cache=True`` (the default) the result is memoised per
+        process under the corpus's content fingerprint; the returned
+        instance may be shared with other callers, so treat it as
+        read-only.  Pass ``cache=False`` to force a fresh count (and
+        leave the cache untouched).
+        """
+        if not cache:
+            return cls._count(corpus)
+        key = corpus_fingerprint(corpus)
+        hit = _COUNT_CACHE.get(key)
+        if hit is not None:
+            _COUNT_CACHE.move_to_end(key)
+            _CACHE_STATS["hits"] += 1
+            return hit
+        _CACHE_STATS["misses"] += 1
+        counted = cls._count(corpus)
+        _COUNT_CACHE[key] = counted
+        while len(_COUNT_CACHE) > CACHE_CAPACITY:
+            _COUNT_CACHE.popitem(last=False)
+        return counted
+
+    @classmethod
+    def _count(cls, corpus: Corpus) -> "DocumentCooccurrence":
         incidence = corpus.binary_doc_word()  # (docs, vocab), 0/1
         joint = (incidence.T @ incidence).toarray()
         doc_freq = np.diag(joint).copy()

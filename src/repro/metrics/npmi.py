@@ -13,11 +13,29 @@ inherited faithfully here.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.data.corpus import Corpus
 from repro.errors import ShapeError
-from repro.metrics.cooccurrence import DocumentCooccurrence
+from repro.metrics.cooccurrence import (
+    CACHE_CAPACITY,
+    DocumentCooccurrence,
+    corpus_fingerprint,
+)
+
+# NPMI derivation is itself O(V^2) in log/divide passes, so the finished
+# matrix is memoised alongside the counts: one build per (corpus,
+# parameters) per process.  Keyed by content fingerprint — a Corpus
+# source only; precounted DocumentCooccurrence sources have no
+# fingerprint and always compute.
+_NPMI_CACHE: "OrderedDict[tuple, NpmiMatrix]" = OrderedDict()
+
+
+def clear_npmi_cache() -> None:
+    """Drop every cached NPMI matrix (tests use this)."""
+    _NPMI_CACHE.clear()
 
 
 class NpmiMatrix:
@@ -79,6 +97,13 @@ def compute_npmi_matrix(
     The diagonal is set to 1 (a word is maximally associated with itself),
     though no consumer in this library reads the diagonal.
     """
+    key: tuple | None = None
+    if isinstance(source, Corpus):
+        key = (corpus_fingerprint(source), epsilon, never_cooccur_value)
+        cached = _NPMI_CACHE.get(key)
+        if cached is not None:
+            _NPMI_CACHE.move_to_end(key)
+            return cached
     cooc = (
         source
         if isinstance(source, DocumentCooccurrence)
@@ -106,4 +131,9 @@ def compute_npmi_matrix(
         npmi[:, absent] = 0.0
     np.fill_diagonal(npmi, 1.0)
     npmi = np.clip(npmi, -1.0, 1.0)
-    return NpmiMatrix(npmi)
+    result = NpmiMatrix(npmi)
+    if key is not None:
+        _NPMI_CACHE[key] = result
+        while len(_NPMI_CACHE) > CACHE_CAPACITY:
+            _NPMI_CACHE.popitem(last=False)
+    return result

@@ -22,6 +22,7 @@ import json
 import math
 import threading
 import time
+import uuid
 from dataclasses import dataclass
 from typing import IO
 
@@ -78,6 +79,28 @@ class TimerStat:
             "max_seconds": self.max_seconds,
         }
 
+    def merge(self, other: "TimerStat | dict") -> None:
+        """Fold another stat (or its :meth:`as_dict` form) into this one."""
+        if isinstance(other, dict):
+            count = int(other.get("count", 0))
+            if not count:
+                return
+            self.count += count
+            self.total_seconds += float(other.get("total_seconds", 0.0))
+            self.min_seconds = min(
+                self.min_seconds, float(other.get("min_seconds", math.inf))
+            )
+            self.max_seconds = max(
+                self.max_seconds, float(other.get("max_seconds", 0.0))
+            )
+        else:
+            if not other.count:
+                return
+            self.count += other.count
+            self.total_seconds += other.total_seconds
+            self.min_seconds = min(self.min_seconds, other.min_seconds)
+            self.max_seconds = max(self.max_seconds, other.max_seconds)
+
 
 class Timer:
     """Context manager timing one block into a registry.
@@ -126,6 +149,12 @@ class MetricsRegistry:
         self.counters: dict[str, Counter] = {}
         self.timers: dict[str, TimerStat] = {}
         self._scopes = threading.local()
+        #: Identity of this registry's recorded contents, carried through
+        #: :meth:`snapshot` so merges can be made idempotent: folding the
+        #: same source in twice (directly or via a snapshot that already
+        #: contains it) is a no-op instead of a double count.
+        self.uid: str = uuid.uuid4().hex
+        self._merged_uids: set[str] = set()
 
     # ------------------------------------------------------------------
     # scope handling
@@ -188,8 +217,15 @@ class MetricsRegistry:
     # consumers
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """A JSON-serialisable view of every counter and timer."""
+        """A JSON-serialisable view of every counter and timer.
+
+        Includes the registry's ``uid`` (and the uids already merged into
+        it), so :meth:`merge_snapshot` on the receiving side can reject
+        duplicates.
+        """
         return {
+            "uid": self.uid,
+            "merged_uids": sorted(self._merged_uids),
             "counters": {k: c.value for k, c in sorted(self.counters.items())},
             "timers": {k: t.as_dict() for k, t in sorted(self.timers.items())},
         }
@@ -198,23 +234,66 @@ class MetricsRegistry:
         """Write :meth:`snapshot` as JSON to an open text file."""
         json.dump(self.snapshot(), fp, indent=indent, sort_keys=True)
 
-    def merge(self, other: "MetricsRegistry") -> None:
-        """Fold another registry's counters and timers into this one."""
+    def merge(self, other: "MetricsRegistry") -> bool:
+        """Fold another registry's counters and timers into this one.
+
+        Idempotent: a source registry (identified by its ``uid``) is
+        folded in at most once, and a source that already contains this
+        registry's own contributions is likewise rejected, so parallel
+        fan-in cannot double-count nested ``profile_ops`` scopes no
+        matter how many code paths hand the same registry back.  Returns
+        ``True`` when the contents were folded, ``False`` on a no-op.
+        """
+        if not self._admit(other.uid, other._merged_uids):
+            return False
         for key, counter in other.counters.items():
             self.counter(key, absolute=True).add(counter.value)
         for key, stat in other.timers.items():
             mine = self.timers.get(key)
             if mine is None:
                 mine = self.timers[key] = TimerStat()
-            mine.count += stat.count
-            mine.total_seconds += stat.total_seconds
-            mine.min_seconds = min(mine.min_seconds, stat.min_seconds)
-            mine.max_seconds = max(mine.max_seconds, stat.max_seconds)
+            mine.merge(stat)
+        return True
+
+    def merge_snapshot(self, snapshot: dict) -> bool:
+        """Fold a :meth:`snapshot` dictionary into this registry.
+
+        The cross-process form of :meth:`merge` — worker processes ship
+        snapshots, not live registries.  Same idempotence contract: a
+        snapshot whose ``uid`` was already merged is a no-op.  Snapshots
+        predating the ``uid`` field are merged unconditionally.
+        """
+        uid = snapshot.get("uid")
+        if not self._admit(uid, snapshot.get("merged_uids", ())):
+            return False
+        for key, value in snapshot.get("counters", {}).items():
+            self.counter(key, absolute=True).add(value)
+        for key, stats in snapshot.get("timers", {}).items():
+            mine = self.timers.get(key)
+            if mine is None:
+                mine = self.timers[key] = TimerStat()
+            mine.merge(stats)
+        return True
+
+    def _admit(self, uid: str | None, transitive) -> bool:
+        """Record a merge source; False when it was already folded in."""
+        if uid is not None:
+            if uid == self.uid or uid in self._merged_uids:
+                return False
+            self._merged_uids.add(uid)
+        self._merged_uids.update(u for u in transitive if u != self.uid)
+        return True
 
     def reset(self) -> None:
-        """Drop every recorded counter and timer (scope stack survives)."""
+        """Drop every recorded counter and timer (scope stack survives).
+
+        Also forgets merged-source uids and adopts a fresh ``uid``: an
+        emptied registry is new content, mergeable again.
+        """
         self.counters.clear()
         self.timers.clear()
+        self._merged_uids.clear()
+        self.uid = uuid.uuid4().hex
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (

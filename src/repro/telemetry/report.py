@@ -33,6 +33,13 @@ SCHEMA = "repro.telemetry.bench/v1"
 #: regression comparison reports them but never fails on them.
 NOISE_FLOOR_SECONDS = 1e-3
 
+#: Registry timer keys the multi-seed benchmark records its serial and
+#: parallel wall-clock under (``python -m repro bench --suite multiseed``
+#: and ``benchmarks/bench_parallel_multiseed.py``).  :func:`build_report`
+#: rolls them into ``totals`` so the CI perf-guard can gate them.
+MULTISEED_SERIAL_KEY = "multiseed/serial"
+MULTISEED_PARALLEL_KEY = "multiseed/parallel"
+
 
 def _op_table(registry: MetricsRegistry) -> list[dict]:
     """Extract the per-op rows from a registry's ``op/*`` keys."""
@@ -115,6 +122,22 @@ def build_report(
         totals["op_backward_seconds"] = float(sum(r["backward_seconds"] for r in ops))
         totals["op_calls"] = int(sum(r["calls"] for r in ops))
         totals["op_bytes"] = int(sum(r["bytes"] for r in ops))
+    if registry is not None:
+        serial = registry.timers.get(MULTISEED_SERIAL_KEY)
+        parallel = registry.timers.get(MULTISEED_PARALLEL_KEY)
+        if serial is not None and serial.count:
+            totals["multiseed_serial_seconds"] = float(serial.total_seconds)
+        if parallel is not None and parallel.count:
+            totals["multiseed_parallel_seconds"] = float(parallel.total_seconds)
+        if (
+            serial is not None
+            and parallel is not None
+            and serial.count
+            and parallel.total_seconds > 0
+        ):
+            totals["multiseed_speedup"] = float(
+                serial.total_seconds / parallel.total_seconds
+            )
     report = {
         "schema": SCHEMA,
         "name": name,
@@ -234,10 +257,17 @@ def format_report(report: dict, max_ops: int = 12) -> str:
 # ----------------------------------------------------------------------
 
 #: totals keys where *larger* current values mean a slowdown.
-TIME_TOTALS = ("op_seconds", "op_backward_seconds", "epoch_seconds", "epoch_seconds_mean")
+TIME_TOTALS = (
+    "op_seconds",
+    "op_backward_seconds",
+    "epoch_seconds",
+    "epoch_seconds_mean",
+    "multiseed_serial_seconds",
+    "multiseed_parallel_seconds",
+)
 
 #: totals keys where *smaller* current values mean a slowdown.
-RATE_TOTALS = ("docs_per_sec",)
+RATE_TOTALS = ("docs_per_sec", "multiseed_speedup")
 
 
 def compare_reports(

@@ -7,7 +7,12 @@ clustering of document-topic vectors, and the three-random-seed averaging
 of §V.F.
 """
 
-from repro.training.seed import set_global_seed, spawn_rng
+from repro.training.seed import (
+    set_global_seed,
+    spawn_rng,
+    spawn_task_rng,
+    spawn_task_seed,
+)
 from repro.training.protocol import (
     EvaluationResult,
     evaluate_model,
@@ -48,6 +53,8 @@ def __getattr__(name: str):
 __all__ = [
     "set_global_seed",
     "spawn_rng",
+    "spawn_task_rng",
+    "spawn_task_seed",
     "EvaluationResult",
     "evaluate_model",
     "train_and_evaluate",

@@ -177,6 +177,9 @@ def multi_seed_evaluation(
     seeds: Sequence[int] = (0, 1, 2),
     model_name: str | None = None,
     cluster_counts: Sequence[int] = CLUSTER_COUNTS,
+    workers: int | None = 1,
+    registry=None,
+    profile: bool = False,
 ) -> EvaluationResult:
     """§V.F protocol: average the evaluation over several random seeds.
 
@@ -186,11 +189,25 @@ def multi_seed_evaluation(
     meaningful over runs that actually converged.  When *every* seed
     diverged, the (NaN) mean over all of them is returned so the failure
     stays visible rather than being masked.
+
+    The per-seed runs are independent, so they fan out over
+    :class:`repro.parallel.ParallelMap` when ``workers`` allows it
+    (``workers=1``, the default, is the exact in-process serial path;
+    ``workers=None`` resolves via ``REPRO_WORKERS`` / CPU count).  Every
+    seed is an explicit task argument, so the metrics are identical for
+    every worker count.  A seed whose run *raised* (a crash, an injected
+    fault from :mod:`repro.training.faults`, an escalated divergence) is
+    recorded as ``"failed: <ExcType>"`` in ``seed_status`` and excluded
+    exactly like a diverged seed, instead of aborting the other seeds'
+    runs; only when no seed produced a result at all does this raise
+    :class:`~repro.errors.ParallelExecutionError`.  ``registry`` /
+    ``profile`` forward to :class:`~repro.parallel.ParallelMap` so worker
+    telemetry is merged back for ``BENCH_*.json`` reports.
     """
-    results: list[EvaluationResult] = []
-    seed_status: dict[int, str] = {}
-    for seed in seeds:
-        result = train_and_evaluate(
+    from repro.parallel import ParallelMap
+
+    def run_one_seed(seed: int) -> EvaluationResult:
+        return train_and_evaluate(
             model_factory,
             train_corpus,
             test_corpus,
@@ -199,10 +216,31 @@ def multi_seed_evaluation(
             model_name=model_name,
             cluster_counts=cluster_counts,
         )
+
+    outcomes = ParallelMap(workers=workers, registry=registry, profile=profile).map(
+        run_one_seed, list(seeds)
+    )
+    completed: list[tuple[int, EvaluationResult]] = []
+    seed_status: dict[int, str] = {}
+    for seed, outcome in zip(seeds, outcomes):
+        if not outcome.ok:
+            seed_status[seed] = f"failed: {outcome.error_type}"
+            continue
+        result = outcome.value
         seed_status[seed] = "ok" if result.is_finite() else "diverged"
-        results.append(result)
-    finite = [r for r, seed in zip(results, seeds) if seed_status[seed] == "ok"]
-    merged = _mean_results(finite or results)
+        completed.append((seed, result))
+    if not completed:
+        from repro.errors import ParallelExecutionError
+
+        details = "; ".join(
+            f"seed {seed}: {outcome.error}"
+            for seed, outcome in zip(seeds, outcomes)
+        )
+        raise ParallelExecutionError(
+            f"every seed of the multi-seed evaluation failed ({details})"
+        )
+    finite = [r for seed, r in completed if seed_status[seed] == "ok"]
+    merged = _mean_results(finite or [r for _, r in completed])
     merged.seed_status = seed_status
     merged.diverged = not finite
     return merged

@@ -123,3 +123,88 @@ def test_property_relaxed_sample_is_valid_soft_subset(v, k, seed):
     y = relaxed_topk_sample(Tensor(log_probs), num, 0.5, rng=rng).data
     np.testing.assert_allclose(y.sum(axis=1), np.full(2, float(num)), atol=1e-6)
     assert (y >= -1e-9).all()
+
+
+class TestFusedMatchesComposed:
+    """The fused single-node sampler against the composed reference."""
+
+    def _pair(self, seed, k=5, v=30, num=6, temperature=0.5, scale=1.0):
+        from repro.core.subset_sampling import relaxed_topk_sample_composed
+
+        rng = np.random.default_rng(seed)
+        log_probs = _log_probs(rng, k=k, v=v) * scale
+        noise = sample_gumbel(log_probs.shape, rng)
+        fused_in = Tensor(log_probs.copy(), requires_grad=True)
+        composed_in = Tensor(log_probs.copy(), requires_grad=True)
+        fused_out = relaxed_topk_sample(
+            fused_in, num, temperature, gumbel_noise=noise
+        )
+        composed_out = relaxed_topk_sample_composed(
+            composed_in, num, temperature, gumbel_noise=noise
+        )
+        return fused_in, fused_out, composed_in, composed_out
+
+    @pytest.mark.parametrize("temperature", [0.1, 0.5, 2.0])
+    def test_forward_equivalent(self, temperature):
+        _, fused_out, _, composed_out = self._pair(0, temperature=temperature)
+        np.testing.assert_allclose(
+            fused_out.data, composed_out.data, atol=1e-8, rtol=0
+        )
+
+    @pytest.mark.parametrize("temperature", [0.1, 0.5, 2.0])
+    def test_backward_equivalent(self, temperature):
+        fused_in, fused_out, composed_in, composed_out = self._pair(
+            1, temperature=temperature
+        )
+        rng = np.random.default_rng(9)
+        upstream = rng.normal(size=fused_out.shape)
+        fused_out.backward(upstream)
+        composed_out.backward(upstream)
+        np.testing.assert_allclose(
+            fused_in.grad, composed_in.grad, atol=1e-8, rtol=0
+        )
+
+    def test_equivalent_in_the_saturated_regime(self):
+        # Tiny temperature saturates p -> 1: the knock-out branch (zero
+        # gradient) must engage identically on both paths.
+        fused_in, fused_out, composed_in, composed_out = self._pair(
+            2, temperature=0.01, scale=5.0, num=3
+        )
+        np.testing.assert_allclose(
+            fused_out.data, composed_out.data, atol=1e-8, rtol=0
+        )
+        fused_out.backward(np.ones(fused_out.shape))
+        composed_out.backward(np.ones(composed_out.shape))
+        np.testing.assert_allclose(
+            fused_in.grad, composed_in.grad, atol=1e-8, rtol=0
+        )
+
+    def test_fused_gradcheck(self):
+        rng = np.random.default_rng(3)
+        noise = sample_gumbel((2, 6), rng)
+        beta_logits = rng.normal(size=(2, 6))
+
+        def f(logits):
+            log_beta = (softmax(logits, axis=1) + 1e-12).log()
+            y = relaxed_topk_sample(log_beta, 3, 0.7, gumbel_noise=noise)
+            return (y * np.arange(6.0)).sum()
+
+        assert gradcheck(f, [beta_logits], atol=1e-4, rtol=1e-3)
+
+    def test_fused_is_one_graph_node(self):
+        rng = np.random.default_rng(4)
+        log_probs = Tensor(_log_probs(rng), requires_grad=True)
+        noise = sample_gumbel(log_probs.shape, rng)
+        out = relaxed_topk_sample(log_probs, 4, 0.5, gumbel_noise=noise)
+        assert out._parents == (log_probs,)
+
+    def test_float32_stays_float32(self):
+        rng = np.random.default_rng(5)
+        log_probs = Tensor(
+            _log_probs(rng).astype(np.float32), requires_grad=True
+        )
+        noise = sample_gumbel(log_probs.shape, rng)
+        out = relaxed_topk_sample(log_probs, 4, 0.5, gumbel_noise=noise)
+        assert out.data.dtype == np.float32
+        out.backward(np.ones(out.shape, dtype=np.float32))
+        assert log_probs.grad.dtype == np.float32

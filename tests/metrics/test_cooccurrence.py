@@ -61,3 +61,79 @@ class TestValidation:
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ShapeError):
             DocumentCooccurrence(3, np.zeros(2), np.zeros((3, 3)))
+
+
+class TestCountCache:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        from repro.metrics.cooccurrence import clear_cooccurrence_cache
+        from repro.metrics.npmi import clear_npmi_cache
+
+        clear_cooccurrence_cache()
+        clear_npmi_cache()
+        yield
+        clear_cooccurrence_cache()
+        clear_npmi_cache()
+
+    def test_fingerprint_is_content_based(self, toy_corpus):
+        from repro.metrics.cooccurrence import corpus_fingerprint
+
+        rebuilt = Corpus(
+            [doc.copy() for doc in toy_corpus.documents], toy_corpus.vocabulary
+        )
+        assert corpus_fingerprint(rebuilt) == corpus_fingerprint(toy_corpus)
+        shuffled = Corpus(list(reversed(toy_corpus.documents)), toy_corpus.vocabulary)
+        assert corpus_fingerprint(shuffled) != corpus_fingerprint(toy_corpus)
+
+    def test_repeated_counts_hit_the_cache(self, toy_corpus):
+        from repro.metrics.cooccurrence import cooccurrence_cache_stats
+
+        first = DocumentCooccurrence.from_corpus(toy_corpus)
+        second = DocumentCooccurrence.from_corpus(toy_corpus)
+        assert second is first
+        stats = cooccurrence_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["size"] == 1
+
+    def test_equal_content_shares_an_entry(self, toy_corpus):
+        first = DocumentCooccurrence.from_corpus(toy_corpus)
+        rebuilt = Corpus(
+            [doc.copy() for doc in toy_corpus.documents], toy_corpus.vocabulary
+        )
+        assert DocumentCooccurrence.from_corpus(rebuilt) is first
+
+    def test_cache_false_bypasses(self, toy_corpus):
+        from repro.metrics.cooccurrence import cooccurrence_cache_stats
+
+        first = DocumentCooccurrence.from_corpus(toy_corpus, cache=False)
+        second = DocumentCooccurrence.from_corpus(toy_corpus, cache=False)
+        assert second is not first
+        np.testing.assert_allclose(first.joint, second.joint)
+        assert cooccurrence_cache_stats()["size"] == 0
+
+    def test_capacity_bound(self):
+        from repro.metrics.cooccurrence import CACHE_CAPACITY, cooccurrence_cache_stats
+
+        vocab = Vocabulary(["a", "b", "c"])
+        for i in range(CACHE_CAPACITY + 3):
+            DocumentCooccurrence.from_corpus(Corpus([[0, 1], [i % 3]], vocab))
+        # distinct single-token docs give some repeats; just bound the size
+        assert cooccurrence_cache_stats()["size"] <= CACHE_CAPACITY
+
+    def test_npmi_built_once_per_corpus(self, toy_corpus):
+        from repro.metrics import compute_npmi_matrix
+
+        first = compute_npmi_matrix(toy_corpus)
+        second = compute_npmi_matrix(toy_corpus)
+        assert second is first
+        # different parameters are a different cache entry, not a stale hit
+        other = compute_npmi_matrix(toy_corpus, never_cooccur_value=0.0)
+        assert other is not first
+
+    def test_precounted_source_skips_cache(self, toy_corpus):
+        from repro.metrics import compute_npmi_matrix
+
+        counted = DocumentCooccurrence.from_corpus(toy_corpus, cache=False)
+        a = compute_npmi_matrix(counted)
+        b = compute_npmi_matrix(counted)
+        assert a is not b
+        np.testing.assert_allclose(a.matrix, b.matrix)

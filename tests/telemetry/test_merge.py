@@ -1,0 +1,129 @@
+"""Idempotent registry merging (the parallel fan-in contract)."""
+
+import math
+
+import numpy as np
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.core import TimerStat
+
+
+def _populated() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.count("docs", 10)
+    with registry.timer("fit"):
+        with registry.timer("epoch"):
+            pass
+    registry.record_seconds("fit/epoch", 0.25, absolute=True)
+    return registry
+
+
+class TestTimerStatMerge:
+    def test_merge_live_and_dict_forms_agree(self):
+        a, b = TimerStat(), TimerStat()
+        for s in (0.1, 0.3):
+            a.record(s)
+        via_stat, via_dict = TimerStat(), TimerStat()
+        via_stat.merge(a)
+        via_dict.merge(a.as_dict())
+        assert via_stat == via_dict
+        assert via_stat.count == 2
+        assert via_stat.total_seconds == a.total_seconds
+        assert via_stat.min_seconds == 0.1
+        assert via_stat.max_seconds == 0.3
+
+    def test_zero_count_merge_is_noop(self):
+        stat = TimerStat()
+        stat.merge(TimerStat())
+        stat.merge(TimerStat().as_dict())
+        assert stat.count == 0
+        assert stat.min_seconds == math.inf
+
+
+class TestRegistryMerge:
+    def test_round_trip(self):
+        source = _populated()
+        sink = MetricsRegistry()
+        assert sink.merge(source) is True
+        assert sink.counters["docs"].value == 10
+        assert sink.timers["fit"].count == 1
+        assert sink.timers["fit/epoch"].count == 2
+        assert sink.snapshot()["counters"] == source.snapshot()["counters"]
+        assert sink.snapshot()["timers"] == source.snapshot()["timers"]
+
+    def test_merge_is_idempotent(self):
+        source = _populated()
+        sink = MetricsRegistry()
+        sink.merge(source)
+        assert sink.merge(source) is False
+        assert sink.counters["docs"].value == 10
+        assert sink.timers["fit/epoch"].count == 2
+
+    def test_snapshot_merge_is_idempotent(self):
+        snapshot = _populated().snapshot()
+        sink = MetricsRegistry()
+        assert sink.merge_snapshot(snapshot) is True
+        assert sink.merge_snapshot(snapshot) is False
+        assert sink.counters["docs"].value == 10
+        assert sink.timers["fit/epoch"].count == 2
+
+    def test_transitive_contents_rejected(self):
+        # C already holds A through B; folding A directly in again must
+        # not double-count.
+        a = _populated()
+        b = MetricsRegistry()
+        b.merge(a)
+        c = MetricsRegistry()
+        c.merge(b)
+        assert c.merge(a) is False
+        assert c.merge_snapshot(a.snapshot()) is False
+        assert c.counters["docs"].value == 10
+
+    def test_self_merge_rejected(self):
+        registry = _populated()
+        assert registry.merge(registry) is False
+        assert registry.merge_snapshot(registry.snapshot()) is False
+        assert registry.counters["docs"].value == 10
+
+    def test_distinct_sources_accumulate(self):
+        sink = MetricsRegistry()
+        sink.merge(_populated())
+        sink.merge(_populated())
+        assert sink.counters["docs"].value == 20
+        assert sink.timers["fit/epoch"].count == 4
+
+    def test_legacy_snapshot_without_uid_merges(self):
+        snapshot = _populated().snapshot()
+        snapshot.pop("uid")
+        snapshot.pop("merged_uids")
+        sink = MetricsRegistry()
+        assert sink.merge_snapshot(snapshot) is True
+        assert sink.merge_snapshot(snapshot) is True  # no uid -> no dedup
+        assert sink.counters["docs"].value == 20
+
+    def test_reset_reissues_identity(self):
+        source = _populated()
+        sink = MetricsRegistry()
+        sink.merge(source)
+        source.reset()
+        source.count("docs", 3)
+        assert sink.merge(source) is True
+        assert sink.counters["docs"].value == 13
+
+    def test_profile_ops_scopes_merge_without_double_count(self):
+        from repro.telemetry import profile_ops
+        from repro.tensor import Tensor, fused
+
+        def one_run() -> MetricsRegistry:
+            registry = MetricsRegistry()
+            with profile_ops(registry):
+                x = Tensor(np.ones((3, 3)), requires_grad=True)
+                fused.softmax(x).sum().backward()
+            return registry
+
+        sink = MetricsRegistry()
+        worker = one_run()
+        calls = worker.counters["op/softmax.calls"].value
+        sink.merge_snapshot(worker.snapshot())
+        sink.merge_snapshot(worker.snapshot())
+        assert sink.counters["op/softmax.calls"].value == calls
