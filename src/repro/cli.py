@@ -96,31 +96,33 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _fit_kwargs(args: argparse.Namespace, model) -> dict:
-    """Translate resilience flags into ``NeuralTopicModel.fit`` kwargs."""
+def _run_spec(args: argparse.Namespace, model):
+    """Translate the CLI's resilience flags into a declarative RunSpec."""
     from repro.models.base import NeuralTopicModel
+    from repro.training.trainer import CheckpointSpec, RunSpec
 
-    kwargs: dict = {}
-    callbacks = []
+    guard = None
     if getattr(args, "guard", False):
         from repro.training.resilience import GuardPolicy
 
-        kwargs["guard"] = GuardPolicy()
-    if getattr(args, "resume", None):
-        kwargs["resume_from"] = args.resume
+        guard = GuardPolicy()
+    checkpoint = None
     if getattr(args, "checkpoint_dir", None):
-        from repro.training.resilience import CheckpointCallback
-
-        callbacks.append(
-            CheckpointCallback(args.checkpoint_dir, every=args.checkpoint_every)
+        checkpoint = CheckpointSpec(
+            args.checkpoint_dir, every=getattr(args, "checkpoint_every", 1)
         )
-    if callbacks:
-        kwargs["callbacks"] = callbacks
-    if kwargs and not isinstance(model, NeuralTopicModel):
+    resume = getattr(args, "resume", None) or None
+    is_neural = isinstance(model, NeuralTopicModel)
+    if (guard or checkpoint or resume) and not is_neural:
         raise SystemExit(
             "--guard/--resume/--checkpoint-dir require a neural model"
         )
-    return kwargs
+    return RunSpec(
+        model=model.config if is_neural else None,
+        guard=guard,
+        checkpoint=checkpoint,
+        resume_from=resume,
+    )
 
 
 def _build_and_maybe_load(args: argparse.Namespace, out):
@@ -136,16 +138,22 @@ def _build_and_maybe_load(args: argparse.Namespace, out):
         model.eval()
         print(f"loaded checkpoint {args.checkpoint}", file=out)
     else:
-        kwargs = _fit_kwargs(args, model)
-        if kwargs.get("resume_from"):
+        from repro.models.base import NeuralTopicModel
+        from repro.training.trainer import Trainer
+
+        spec = _run_spec(args, model)
+        if spec.resume_from:
             print(
                 f"resuming {args.model} on {args.dataset} "
-                f"from {kwargs['resume_from']}...",
+                f"from {spec.resume_from}...",
                 file=out,
             )
         else:
             print(f"training {args.model} on {args.dataset}...", file=out)
-        model.fit(context.dataset.train, **kwargs)
+        if isinstance(model, NeuralTopicModel):
+            Trainer(spec).fit(model, context.dataset.train)
+        else:
+            model.fit(context.dataset.train)
     return context, model
 
 
@@ -366,51 +374,50 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         write_report,
     )
 
+    from repro.training.trainer import CheckpointSpec, RunSpec, Trainer
+
     context = ExperimentContext(_settings_from_args(args))
     model = context.build(args.model, seed=args.seed)
     if not isinstance(model, NeuralTopicModel):
         raise SystemExit("bench requires a neural model (with an epoch loop)")
     registry = MetricsRegistry()
-    callbacks = []
-    if args.checkpoint_dir:
-        from repro.training.resilience import CheckpointCallback
-
-        callbacks.append(CheckpointCallback(args.checkpoint_dir))
     callback = TelemetryCallback(
         path=args.jsonl, registry=registry, run_name=args.model
     )
-    callbacks.append(callback)
 
-    fit_kwargs: dict = {}
-    injector_context = contextlib.nullcontext()
+    guard = None
     if args.guard:
         from repro.training.resilience import GuardPolicy
 
-        fit_kwargs["guard"] = GuardPolicy()
+        guard = GuardPolicy()
+    faults = None
     if args.inject_nan or args.inject_grad or args.inject_interrupts:
-        from repro.training.faults import (
-            FaultInjector,
-            FaultPlan,
-            interrupted_writes,
-        )
+        from repro.training.faults import FaultPlan
 
         if args.inject_interrupts and not args.checkpoint_dir:
             raise SystemExit("--inject-interrupts requires --checkpoint-dir")
-        injector = FaultInjector(
-            FaultPlan(
-                nan_loss_rate=args.inject_nan,
-                exploding_grad_rate=args.inject_grad,
-                interrupt_saves=tuple(range(args.inject_interrupts)),
-                seed=args.faults_seed,
-            )
+        faults = FaultPlan(
+            nan_loss_rate=args.inject_nan,
+            exploding_grad_rate=args.inject_grad,
+            interrupt_saves=tuple(range(args.inject_interrupts)),
+            seed=args.faults_seed,
         )
-        fit_kwargs["faults"] = injector
-        if args.inject_interrupts:
-            injector_context = interrupted_writes(injector)
+    # The whole benchmarked run travels as one declarative spec: the
+    # trainer materializes the checkpoint callback and fault injector
+    # (and owns the interrupted-writes context) from it, so the perf
+    # guard measures the same Trainer path production runs use.
+    spec = RunSpec(
+        model=model.config,
+        guard=guard,
+        checkpoint=(
+            CheckpointSpec(args.checkpoint_dir) if args.checkpoint_dir else None
+        ),
+        faults=faults,
+    )
     print(f"benchmarking {args.model} on {args.dataset}...", file=out)
     profiler = profile_ops(registry) if args.profile_ops else contextlib.nullcontext()
-    with injector_context, profiler, registry.timer("bench/fit"):
-        model.fit(context.dataset.train, callbacks=callbacks, **fit_kwargs)
+    with profiler, registry.timer("bench/fit"):
+        Trainer(spec, callbacks=[callback]).fit(model, context.dataset.train)
     report = build_report(
         args.name or f"{args.model}_{args.dataset}",
         registry=registry,

@@ -84,6 +84,7 @@ class Corpus:
             self.labels = None
         self.label_names = list(label_names) if label_names is not None else None
         self._bow_cache: np.ndarray | None = None
+        self._bow_cast: tuple[np.dtype, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -114,14 +115,25 @@ class Corpus:
 
     # ------------------------------------------------------------------
     def bow_matrix(self, dtype=np.float64) -> np.ndarray:
-        """Dense ``(docs, vocab)`` bag-of-words count matrix (cached)."""
+        """Dense ``(docs, vocab)`` bag-of-words count matrix (cached).
+
+        The master cache is float64 (counts are exact in either
+        precision); requesting another dtype — e.g. the active policy
+        dtype from :func:`repro.tensor.dtypes.get_default_dtype`, as the
+        trainer and ``transform`` do — returns a cast copy, itself cached
+        one dtype at a time so repeated same-dtype requests (one per
+        ``fit``/``transform``) cost no new cast.
+        """
         if self._bow_cache is None:
             self._bow_cache = np.asarray(
                 self.bow_sparse().todense(), dtype=np.float64
             )
         if dtype == np.float64:
             return self._bow_cache
-        return self._bow_cache.astype(dtype)
+        resolved = np.dtype(dtype)
+        if self._bow_cast is None or self._bow_cast[0] != resolved:
+            self._bow_cast = (resolved, self._bow_cache.astype(resolved))
+        return self._bow_cast[1]
 
     def bow_sparse(self) -> sparse.csr_matrix:
         """Sparse CSR bag-of-words count matrix."""

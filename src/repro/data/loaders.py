@@ -15,8 +15,12 @@ class BatchIterator:
 
     Each epoch re-shuffles with the supplied generator, so training is a
     deterministic function of (corpus, seed).  Batches are dense
-    ``(batch, vocab)`` float64 count matrices, matching what the VAE models
-    consume.
+    ``(batch, vocab)`` count matrices in ``dtype`` — by default float64,
+    but the trainer passes the active dtype policy
+    (:func:`repro.tensor.dtypes.get_default_dtype`) so the matrix is
+    materialized once in the precision the models consume and each batch
+    is a zero-copy fancy-indexed view of it, instead of being re-cast by
+    ``encode_theta`` on every step.
     """
 
     def __init__(
@@ -25,6 +29,7 @@ class BatchIterator:
         batch_size: int,
         rng: np.random.Generator,
         drop_last: bool = False,
+        dtype: np.dtype | type | None = None,
     ):
         if batch_size < 1:
             raise ConfigError("batch_size must be >= 1")
@@ -32,7 +37,9 @@ class BatchIterator:
         self.batch_size = batch_size
         self.drop_last = drop_last
         self._rng = rng
-        self._bow = corpus.bow_matrix()
+        self._bow = (
+            corpus.bow_matrix() if dtype is None else corpus.bow_matrix(dtype=dtype)
+        )
 
     def __len__(self) -> int:
         n = len(self.corpus)

@@ -21,6 +21,7 @@ from repro.errors import ConfigError
 from repro.metrics.npmi import NpmiMatrix, compute_npmi_matrix
 from repro.models.base import NTMConfig, TopicModel
 from repro.models.registry import build_model
+from repro.training.trainer import RunSpec, Trainer
 
 # λ per dataset — the paper's grid-searched values (§V.D: 40 / 40 / 300),
 # which transfer directly once the kernel temperature is applied.
@@ -46,6 +47,11 @@ class ExperimentSettings:
     kernel_temperature: float = 0.25    # sharpening of exp(K(·)) in Eq. 2
     negative_weight: float = 3.0        # §IV.B optional negative-pair balance
     seeds: tuple[int, ...] = (0,)
+    #: Declarative training configuration every experiment's fits run
+    #: under (``None`` = plain unguarded runs).  The runner's ``--guard``
+    #: flag sets it to ``RunSpec.guarded()`` so a whole reproduction pass
+    #: trains under the resilience runtime.
+    run_spec: RunSpec | None = None
 
     def resolved_lambda(self) -> float:
         if self.lambda_weight is not None:
@@ -136,3 +142,18 @@ class ExperimentContext:
     def factory(self, name: str, **kwargs):
         """A ``seed -> model`` callable for the multi-seed protocol."""
         return lambda seed: self.build(name, seed=seed, **kwargs)
+
+    def fit(self, model: TopicModel) -> TopicModel:
+        """Train ``model`` on this context's training corpus.
+
+        Neural models train through the engine under the settings'
+        ``run_spec``; non-neural models (no epoch loop to drive) fit
+        directly.
+        """
+        from repro.models.base import NeuralTopicModel
+
+        if isinstance(model, NeuralTopicModel):
+            Trainer(self.settings.run_spec).fit(model, self.dataset.train)
+        else:
+            model.fit(self.dataset.train)
+        return model

@@ -57,6 +57,7 @@ def run_fig2(
             seeds=settings.seeds,
             model_name=name,
             cluster_counts=(),  # clustering belongs to Figure 3
+            run_spec=settings.run_spec,
         )
         result.coherence[name] = evaluation.coherence
         result.diversity[name] = evaluation.diversity

@@ -49,6 +49,7 @@ def run_fig3(
             seeds=settings.seeds,
             model_name=name,
             cluster_counts=cluster_counts,
+            run_spec=settings.run_spec,
         )
         result.km_purity[name] = evaluation.km_purity
         result.km_nmi[name] = evaluation.km_nmi

@@ -77,6 +77,7 @@ def run_lambda_sensitivity(
             seeds=settings.seeds,
             model_name=f"lambda={lam}",
             cluster_counts=(20, 100) if labeled else (),
+            run_spec=settings.run_spec,
         )
         _record(result, float(lam), evaluation)
     return result
@@ -99,6 +100,7 @@ def run_v_sensitivity(
             seeds=settings.seeds,
             model_name=f"v={v}",
             cluster_counts=(20, 100) if labeled else (),
+            run_spec=settings.run_spec,
         )
         _record(result, float(v), evaluation)
     return result

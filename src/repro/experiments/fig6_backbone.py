@@ -55,6 +55,7 @@ def run_fig6(
             seeds=settings.seeds,
             model_name=backbone,
             cluster_counts=clusters,
+            run_spec=settings.run_spec,
         )
         lambda_weight = settings.resolved_lambda() * BACKBONE_LAMBDA_SCALE.get(
             backbone, 1.0
@@ -69,6 +70,7 @@ def run_fig6(
             seeds=settings.seeds,
             model_name=f"{backbone}+L_con",
             cluster_counts=clusters,
+            run_spec=settings.run_spec,
         )
         rows.append(
             BackboneRow(

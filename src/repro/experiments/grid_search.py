@@ -23,6 +23,7 @@ from repro.metrics.coherence import topic_coherence
 from repro.metrics.diversity import topic_diversity
 from repro.metrics.npmi import compute_npmi_matrix
 from repro.models.base import NeuralTopicModel
+from repro.training.trainer import RunSpec, Trainer
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,7 @@ def grid_search_contratopic(
     seed: int = 0,
     workers: int | None = 1,
     registry=None,
+    run_spec: RunSpec | None = None,
 ) -> tuple[GridSearchResult, ContraTopic]:
     """Sweep (λ, v) on a validation split, then refit the winner.
 
@@ -91,6 +93,14 @@ def grid_search_contratopic(
         comparison across grid points).
     train_corpus:
         Full training corpus; a validation split is carved out internally.
+    run_spec:
+        Declarative training configuration applied to every grid point
+        and the final refit.  Defaults to :meth:`RunSpec.guarded`: the
+        sweep deliberately visits aggressive regularizer settings, so a
+        point that diverges recovers through the guard's escalation
+        ladder instead of burning the whole (λ, v) cell.  The guard only
+        intervenes on non-finite batches, so scores on healthy points
+        are unchanged.
     workers:
         The grid points are independent train-and-score jobs, so they fan
         out over :class:`repro.parallel.ParallelMap`.  ``1`` (default) is
@@ -110,6 +120,7 @@ def grid_search_contratopic(
 
     if not lambda_grid or not v_grid:
         raise ConfigError("lambda_grid and v_grid must be non-empty")
+    trainer = Trainer(run_spec if run_spec is not None else RunSpec.guarded())
     rng = np.random.default_rng(seed)
     train, valid = train_valid_split(train_corpus, valid_fraction, rng)
     train_npmi = compute_npmi_matrix(train)
@@ -131,7 +142,7 @@ def grid_search_contratopic(
                 negative_weight=negative_weight,
             ),
         )
-        model.fit(train)
+        trainer.fit(model, train)
         beta = model.topic_word_matrix()
         coherence = topic_coherence(beta, valid_npmi)
         diversity = topic_diversity(beta)
@@ -166,5 +177,5 @@ def grid_search_contratopic(
             negative_weight=negative_weight,
         ),
     )
-    final.fit(train_corpus)
+    trainer.fit(final, train_corpus)
     return result, final

@@ -35,16 +35,22 @@ from repro.experiments.table3_intrusion import format_table3, run_table3
 from repro.experiments.tables456_casestudy import format_casestudy, run_casestudy
 
 
-def build_sections(fast: bool = False) -> list[tuple[str, Callable[[], str]]]:
+def build_sections(
+    fast: bool = False, run_spec=None
+) -> list[tuple[str, Callable[[], str]]]:
     """The full artefact list as independent ``(title, thunk)`` tasks.
 
     Each thunk computes and formats one paper artefact and returns the
     text block; nothing is shared between thunks, which is what makes the
-    fan-out in :func:`run_all` safe.
+    fan-out in :func:`run_all` safe.  ``run_spec`` (a
+    :class:`~repro.training.trainer.RunSpec`) is the declarative training
+    configuration every section's fits run under — e.g.
+    ``RunSpec.guarded()`` puts the whole reproduction pass behind the
+    resilience guard.
     """
 
     def settings(dataset: str) -> ExperimentSettings:
-        s = ExperimentSettings(dataset=dataset)
+        s = ExperimentSettings(dataset=dataset, run_spec=run_spec)
         return s.fast() if fast else s
 
     sections: list[tuple[str, Callable[[], str]]] = [
@@ -116,7 +122,11 @@ def build_sections(fast: bool = False) -> list[tuple[str, Callable[[], str]]]:
 
 
 def run_all(
-    fast: bool = False, out=sys.stdout, workers: int | None = 1, registry=None
+    fast: bool = False,
+    out=sys.stdout,
+    workers: int | None = 1,
+    registry=None,
+    run_spec=None,
 ) -> None:
     """Execute every experiment; ``fast`` shrinks corpora and epochs.
 
@@ -124,10 +134,12 @@ def run_all(
     the exact serial path.  Higher counts fan the sections out across
     processes; the printed output is identical because each section's
     text is computed independently and printed in the fixed order.
+    ``run_spec`` forwards to :func:`build_sections` (it is plain data, so
+    it pickles across the fan-out).
     """
     from repro.parallel import ParallelMap, require_any_success
 
-    sections = build_sections(fast=fast)
+    sections = build_sections(fast=fast, run_spec=run_spec)
 
     start = time.time()
     outcomes = ParallelMap(workers=workers, registry=registry).map(
@@ -156,8 +168,19 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the section fan-out "
         "(default: REPRO_WORKERS or the CPU count; 1 = serial)",
     )
+    parser.add_argument(
+        "--guard",
+        action="store_true",
+        help="train every section under the resilience guard "
+        "(skip/backoff/restore/degrade escalation)",
+    )
     args = parser.parse_args(argv)
-    run_all(fast=args.fast, workers=args.workers)
+    run_spec = None
+    if args.guard:
+        from repro.training.trainer import RunSpec
+
+        run_spec = RunSpec.guarded()
+    run_all(fast=args.fast, workers=args.workers, run_spec=run_spec)
     return 0
 
 

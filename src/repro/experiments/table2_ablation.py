@@ -83,6 +83,7 @@ def run_table2(
             seeds=settings.seeds,
             model_name=f"ContraTopic-{variant}" if variant != "full" else "ContraTopic",
             cluster_counts=PURITY_CLUSTERS if context.dataset.test.labels is not None else (),
+            run_spec=settings.run_spec,
         )
         rows.append(
             AblationRow(

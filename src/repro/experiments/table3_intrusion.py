@@ -52,7 +52,7 @@ def run_table3(
     rows: list[IntrusionRow] = []
     for name in models:
         model = context.build(name, seed=settings.seeds[0])
-        model.fit(context.dataset.train)
+        context.fit(model)
         wis = word_intrusion_score(
             model.topic_word_matrix(),
             context.npmi_test,

@@ -40,7 +40,7 @@ def run_casestudy(
     listings: list[TopicListing] = []
     for name in models:
         model = context.build(name, seed=settings.seeds[0])
-        model.fit(context.dataset.train)
+        context.fit(model)
         topic_word = model.topic_word_matrix()
         scores = topic_npmi_scores(topic_word, context.npmi_test)
         order = np.argsort(-scores)[:num_topics_shown]

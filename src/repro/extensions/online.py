@@ -31,6 +31,7 @@ from repro.data.theme_banks import THEME_BANKS
 from repro.errors import ConfigError, NotFittedError
 from repro.metrics.npmi import NpmiMatrix, compute_npmi_matrix
 from repro.models.base import NeuralTopicModel
+from repro.training.trainer import RunSpec, Trainer
 
 
 @dataclass
@@ -76,6 +77,13 @@ class OnlineContraTopic:
         ContraTopic regularizer settings shared by every slice.
     online_config:
         Streaming-specific settings.
+    run_spec:
+        Declarative training configuration
+        (:class:`~repro.training.trainer.RunSpec`) every slice's
+        fine-tuning runs under; ``None`` is a plain unguarded run.  A
+        guarded spec is a natural fit for streaming — a pathological
+        slice recovers through the escalation ladder instead of killing
+        the whole stream.
     """
 
     def __init__(
@@ -83,10 +91,12 @@ class OnlineContraTopic:
         backbone_factory: Callable[[], NeuralTopicModel],
         regularizer_config: ContraTopicConfig | None = None,
         online_config: OnlineConfig | None = None,
+        run_spec: RunSpec | None = None,
     ):
         self._factory = backbone_factory
         self.regularizer_config = regularizer_config or ContraTopicConfig()
         self.online_config = online_config or OnlineConfig()
+        self._trainer = Trainer(run_spec)
         self.model: ContraTopic | None = None
         self.kernel_matrix: np.ndarray | None = None
         self.history: list[SliceResult] = []
@@ -123,7 +133,7 @@ class OnlineContraTopic:
         model = ContraTopic(backbone, kernel, self.regularizer_config)
         if previous_state is not None:
             model.load_state_dict(previous_state)
-        model.fit(corpus)
+        self._trainer.fit(model, corpus)
         self.model = model
 
         beta = model.topic_word_matrix()

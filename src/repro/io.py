@@ -115,9 +115,11 @@ def save_checkpoint(
     (useful for hyper-parameters or training provenance).  Passing
     ``optimizer`` embeds its :meth:`~repro.nn.optim.Optimizer.state_dict`;
     ``trainer_state`` (a JSON dict, usually from
-    :meth:`repro.models.base.NeuralTopicModel.training_state`) is what
-    makes ``fit(resume_from=...)`` bitwise-consistent.  The archive is
-    written atomically (tmp + fsync + rename).
+    :func:`repro.training.trainer.capture_training_state` /
+    ``model.training_state()``) is what makes resuming — a
+    :class:`~repro.training.trainer.Trainer` with ``resume_from=`` set,
+    or the ``fit(resume_from=...)`` facade — bitwise-consistent.  The
+    archive is written atomically (tmp + fsync + rename).
     """
     path = Path(path)
     meta = {

@@ -13,7 +13,6 @@ topic-word matrix β is parameterized and which extra loss terms they add.
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
@@ -21,11 +20,9 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.data.corpus import Corpus
-from repro.data.loaders import BatchIterator
 from repro.data.vocabulary import Vocabulary
 from repro.errors import ConfigError, NotFittedError
 from repro.nn import BatchNorm1d, Linear, MLP, Module
-from repro.nn.optim import Adam, Optimizer, clip_grad_norm
 from repro.tensor import functional as F
 from repro.tensor import fused
 from repro.tensor.dtypes import get_default_dtype
@@ -34,7 +31,8 @@ from repro.tensor.tensor import Tensor, no_grad
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.training.callbacks import Callback
     from repro.training.faults import FaultInjector
-    from repro.training.resilience import GuardPolicy, TrainingGuard
+    from repro.training.resilience import GuardPolicy
+    from repro.training.trainer import TrainState
 
 
 @dataclass
@@ -127,22 +125,6 @@ class VaeEncoder(Module):
         return mu, logvar
 
 
-@dataclass
-class TrainerContext:
-    """The per-``fit`` training state that is not model parameters.
-
-    Callbacks reach it through ``model._trainer`` (e.g. the checkpoint
-    callback needs the optimizer and RNG streams to write a resumable
-    format-v2 checkpoint); it stays attached after ``fit`` returns so a
-    post-training save can still capture the full state.
-    """
-
-    optimizer: Optimizer
-    batch_rng: np.random.Generator
-    guard: "TrainingGuard | None" = None
-    epoch: int = -1
-
-
 class NeuralTopicModel(TopicModel, Module):
     """Common machinery: encoder, reparameterization, ELBO, training loop.
 
@@ -158,7 +140,7 @@ class NeuralTopicModel(TopicModel, Module):
     #: ``extra_loss_enabled`` is the graceful-degradation switch: the
     #: guard flips it off when the contrastive term repeatedly diverges.
     extra_loss_enabled: bool = True
-    _trainer: "TrainerContext | None" = None
+    _trainer: "TrainState | None" = None
 
     def __init__(self, vocab_size: int, config: NTMConfig):
         Module.__init__(self)
@@ -228,7 +210,13 @@ class NeuralTopicModel(TopicModel, Module):
         faults: "FaultInjector | None" = None,
         resume_from: str | Path | None = None,
     ) -> "NeuralTopicModel":
-        """Algorithm-1 style epoch/mini-batch training with Adam.
+        """Train on ``corpus`` — a facade over :class:`repro.training.trainer.Trainer`.
+
+        The epoch/mini-batch loop itself lives in
+        :mod:`repro.training.trainer`; this method packages the arguments
+        into a :class:`~repro.training.trainer.RunSpec` and delegates, so
+        the long-standing ``model.fit(...)`` surface keeps working
+        unchanged (and bitwise-identically).
 
         Parameters
         ----------
@@ -252,96 +240,18 @@ class NeuralTopicModel(TopicModel, Module):
             training continues from the epoch after the checkpoint and is
             bitwise-identical to an uninterrupted run.
         """
-        if corpus.vocab_size != self.vocab_size:
-            raise ConfigError(
-                f"corpus vocab {corpus.vocab_size} != model vocab {self.vocab_size}"
-            )
-        self.train()
-        self.on_fit_start(corpus)
-        optimizer = Adam(self.parameters(), lr=self.config.learning_rate)
-        batch_rng = np.random.default_rng(self.config.seed + 1)
-        start_epoch = 0
-        if resume_from is not None:
-            start_epoch = self._restore_training_state(
-                resume_from, optimizer, batch_rng
-            )
-        guard_runtime: "TrainingGuard | None" = None
-        if guard is not None:
-            from repro.training.resilience import TrainingGuard
+        # Imported lazily: repro.training.__init__ imports the protocol
+        # module, which imports this module — a module-level import here
+        # would be circular.
+        from repro.training.trainer import RunSpec, Trainer
 
-            guard_runtime = TrainingGuard(guard, model=self, optimizer=optimizer)
-        self._trainer = TrainerContext(
-            optimizer=optimizer,
-            batch_rng=batch_rng,
-            guard=guard_runtime,
-            epoch=start_epoch - 1,
+        Trainer(RunSpec(guard=guard)).fit(
+            self,
+            corpus,
+            callbacks=callbacks,
+            faults=faults,
+            resume_from=resume_from,
         )
-        for callback in callbacks:
-            callback.on_fit_start(self)
-        batches = BatchIterator(
-            corpus, batch_size=self.config.batch_size, rng=batch_rng
-        )
-        for epoch in range(start_epoch, self.config.epochs):
-            epoch_start = time.perf_counter()
-            epoch_parts: dict[str, float] = {}
-            n_batches = 0
-            docs_seen = 0
-            grad_norm_total = 0.0
-            for bow in batches:
-                optimizer.zero_grad()
-                loss, parts = self.loss_on_batch(bow)
-                if faults is not None:
-                    faults.corrupt_loss(loss)
-                if guard_runtime is not None and not guard_runtime.check_loss(
-                    loss.item()
-                ):
-                    guard_runtime.handle_fault("loss")
-                    continue
-                loss.backward()
-                if faults is not None:
-                    faults.corrupt_gradients(self.parameters())
-                grad_norm = clip_grad_norm(self.parameters(), self.config.grad_clip)
-                if guard_runtime is not None and not guard_runtime.check_gradients(
-                    grad_norm
-                ):
-                    guard_runtime.handle_fault("gradient")
-                    continue
-                optimizer.step()
-                if guard_runtime is not None:
-                    guard_runtime.on_batch_ok()
-                grad_norm_total += grad_norm
-                for key, value in parts.items():
-                    epoch_parts[key] = epoch_parts.get(key, 0.0) + value
-                n_batches += 1
-                docs_seen += len(bow)
-            logs = {k: v / max(n_batches, 1) for k, v in epoch_parts.items()}
-            # Telemetry: wall time on the monotonic clock, throughput and
-            # the mean pre-clip gradient norm travel with the loss parts so
-            # callbacks (e.g. TelemetryCallback) see them per epoch.
-            epoch_seconds = time.perf_counter() - epoch_start
-            logs["epoch_seconds"] = epoch_seconds
-            logs["docs_per_sec"] = (
-                docs_seen / epoch_seconds if epoch_seconds > 0 else 0.0
-            )
-            logs["grad_norm"] = grad_norm_total / max(n_batches, 1)
-            if guard_runtime is not None:
-                logs.update(guard_runtime.epoch_logs())
-                guard_runtime.on_epoch_end()
-            # The history entry IS the logs dict callbacks receive, so a
-            # callback annotating the logs (e.g. CheckpointCallback's
-            # guard_interrupted_saves delta) annotates the history too.
-            logs["epoch"] = float(epoch)
-            self.history.append(logs)
-            self._trainer.epoch = epoch
-            stop = False
-            for callback in callbacks:
-                stop = callback.on_epoch_end(self, epoch, logs) or stop
-            if stop:
-                break
-        for callback in callbacks:
-            callback.on_fit_end(self)
-        self.eval()
-        self._fitted = True
         return self
 
     def on_fit_start(self, corpus: Corpus) -> None:
@@ -363,55 +273,16 @@ class NeuralTopicModel(TopicModel, Module):
         """JSON-serializable snapshot of the non-parameter training state.
 
         Travels as ``trainer_state`` in format-v2 checkpoints
-        (:func:`repro.io.save_checkpoint`); :meth:`fit` with
-        ``resume_from=`` restores it via :meth:`_restore_training_state`.
+        (:func:`repro.io.save_checkpoint`); a :class:`Trainer` given
+        ``resume_from=`` restores it via
+        :func:`repro.training.trainer.restore_training_state`.  Delegates
+        to :func:`repro.training.trainer.capture_training_state`, which
+        reads the :class:`~repro.training.trainer.TrainState` the engine
+        attaches as ``self._trainer``.
         """
-        context = self._trainer
-        if context is None:
-            raise ConfigError("training_state requires an active fit()")
-        return {
-            "epoch": int(context.epoch),
-            "rng": {
-                name: rng.bit_generator.state
-                for name, rng in self.rng_streams().items()
-            },
-            "batch_rng": context.batch_rng.bit_generator.state,
-            "history": [dict(entry) for entry in self.history],
-            "extra_loss_enabled": bool(self.extra_loss_enabled),
-        }
+        from repro.training.trainer import capture_training_state
 
-    def _restore_training_state(
-        self,
-        path: str | Path,
-        optimizer: Optimizer,
-        batch_rng: np.random.Generator,
-    ) -> int:
-        """Load a v2 checkpoint into (self, optimizer, RNG streams).
-
-        Returns the epoch index training should continue from.
-        """
-        from repro.io import CheckpointError, restore_checkpoint
-
-        meta = restore_checkpoint(self, path, optimizer=optimizer)
-        state = meta.get("trainer_state")
-        if not state:
-            raise CheckpointError(
-                f"{path} carries no trainer state; resumable checkpoints "
-                "are written by CheckpointCallback or "
-                "save_training_checkpoint()"
-            )
-        streams = self.rng_streams()
-        for name, rng_state in state["rng"].items():
-            if name not in streams:
-                raise CheckpointError(
-                    f"{path} has RNG stream {name!r} unknown to "
-                    f"{type(self).__name__} (streams: {sorted(streams)})"
-                )
-            streams[name].bit_generator.state = rng_state
-        batch_rng.bit_generator.state = state["batch_rng"]
-        self.history = [dict(entry) for entry in state["history"]]
-        self.extra_loss_enabled = bool(state.get("extra_loss_enabled", True))
-        return int(state["epoch"]) + 1
+        return capture_training_state(self)
 
     # ------------------------------------------------------------------
     # TopicModel interface
@@ -423,16 +294,24 @@ class NeuralTopicModel(TopicModel, Module):
 
     def transform(self, corpus: Corpus) -> np.ndarray:
         self._require_fitted()
+        # Inference must not leave a side effect on training: a validation
+        # callback calling transform() mid-fit would otherwise flip the
+        # model into eval mode (disabling dropout / freezing batch-norm
+        # statistics) for the rest of the epoch.
+        was_training = self.training
         self.eval()
-        bow = corpus.bow_matrix()
-        thetas: list[np.ndarray] = []
-        with no_grad():
-            for start in range(0, bow.shape[0], self.config.batch_size):
-                theta, _, _ = self.encode_theta(
-                    bow[start : start + self.config.batch_size], sample=False
-                )
-                thetas.append(theta.data)
-        return np.concatenate(thetas, axis=0)
+        try:
+            bow = corpus.bow_matrix(dtype=get_default_dtype())
+            thetas: list[np.ndarray] = []
+            with no_grad():
+                for start in range(0, bow.shape[0], self.config.batch_size):
+                    theta, _, _ = self.encode_theta(
+                        bow[start : start + self.config.batch_size], sample=False
+                    )
+                    thetas.append(theta.data)
+            return np.concatenate(thetas, axis=0)
+        finally:
+            self.train(was_training)
 
     def _require_fitted(self) -> None:
         if not self._fitted:

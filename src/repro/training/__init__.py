@@ -39,6 +39,14 @@ from repro.training.resilience import (
     TrainingGuard,
     save_training_checkpoint,
 )
+from repro.training.trainer import (
+    CheckpointSpec,
+    RunSpec,
+    Trainer,
+    TrainState,
+    capture_training_state,
+    restore_training_state,
+)
 
 
 def __getattr__(name: str):
@@ -62,6 +70,7 @@ __all__ = [
     "CLUSTER_COUNTS",
     "Callback",
     "CheckpointCallback",
+    "CheckpointSpec",
     "EarlyStopping",
     "FaultInjector",
     "FaultPlan",
@@ -69,9 +78,14 @@ __all__ = [
     "HistoryLogger",
     "InjectedFault",
     "LambdaCallback",
+    "RunSpec",
     "TelemetryCallback",
+    "Trainer",
     "TrainingGuard",
+    "TrainState",
     "ValidationEvaluator",
+    "capture_training_state",
     "interrupted_writes",
+    "restore_training_state",
     "save_training_checkpoint",
 ]

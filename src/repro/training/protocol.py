@@ -21,8 +21,9 @@ from repro.metrics.clustering_metrics import normalized_mutual_information, puri
 from repro.metrics.coherence import DEFAULT_PERCENTAGES, coherence_by_percentage
 from repro.metrics.diversity import diversity_by_percentage
 from repro.metrics.npmi import NpmiMatrix
-from repro.models.base import TopicModel
+from repro.models.base import NeuralTopicModel, TopicModel
 from repro.tensor import no_grad
+from repro.training.trainer import RunSpec, Trainer
 
 CLUSTER_COUNTS = (20, 40, 60, 80, 100)
 
@@ -155,10 +156,21 @@ def train_and_evaluate(
     seed: int = 0,
     model_name: str | None = None,
     cluster_counts: Sequence[int] = CLUSTER_COUNTS,
+    run_spec: RunSpec | None = None,
 ) -> EvaluationResult:
-    """Build (with ``seed``), fit on train, and evaluate on test."""
+    """Build (with ``seed``), fit on train, and evaluate on test.
+
+    ``run_spec`` is the declarative training configuration
+    (:class:`~repro.training.trainer.RunSpec`) applied to neural models —
+    e.g. ``RunSpec.guarded()`` trains every seed under the resilience
+    guard.  ``None`` is a plain unguarded run.  Non-neural models (which
+    have no epoch loop for the engine to drive) fit directly.
+    """
     model = model_factory(seed)
-    model.fit(train_corpus)
+    if isinstance(model, NeuralTopicModel):
+        Trainer(run_spec).fit(model, train_corpus)
+    else:
+        model.fit(train_corpus)
     return evaluate_model(
         model,
         test_corpus,
@@ -180,6 +192,7 @@ def multi_seed_evaluation(
     workers: int | None = 1,
     registry=None,
     profile: bool = False,
+    run_spec: RunSpec | None = None,
 ) -> EvaluationResult:
     """§V.F protocol: average the evaluation over several random seeds.
 
@@ -202,7 +215,10 @@ def multi_seed_evaluation(
     runs; only when no seed produced a result at all does this raise
     :class:`~repro.errors.ParallelExecutionError`.  ``registry`` /
     ``profile`` forward to :class:`~repro.parallel.ParallelMap` so worker
-    telemetry is merged back for ``BENCH_*.json`` reports.
+    telemetry is merged back for ``BENCH_*.json`` reports.  ``run_spec``
+    (a plain-data :class:`~repro.training.trainer.RunSpec`, picklable for
+    the fan-out) applies the same declarative training configuration to
+    every seed's run — see :func:`train_and_evaluate`.
     """
     from repro.parallel import ParallelMap
 
@@ -215,6 +231,7 @@ def multi_seed_evaluation(
             seed=seed,
             model_name=model_name,
             cluster_counts=cluster_counts,
+            run_spec=run_spec,
         )
 
     outcomes = ParallelMap(workers=workers, registry=registry, profile=profile).map(

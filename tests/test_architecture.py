@@ -1,0 +1,76 @@
+"""Architecture conformance: the models layer stays free of the engine.
+
+The training loop lives in :mod:`repro.training.trainer`; models describe
+losses.  These tests pin that boundary so it cannot silently erode:
+
+* no :class:`~repro.models.base.NeuralTopicModel` subclass re-implements
+  ``fit`` (every model trains through the one engine, so guards, faults,
+  checkpoints and telemetry hold everywhere);
+* no module under ``repro.models`` holds objects from the optimizer /
+  guard / fault / trainer machinery at import time (annotation-only
+  ``TYPE_CHECKING`` imports remain legal — the check inspects the runtime
+  namespaces, not the source text).
+"""
+
+import importlib
+import pkgutil
+import types
+
+# Import the packages that define NeuralTopicModel subclasses so the
+# __subclasses__ walk below sees all of them.
+import repro.core  # noqa: F401
+import repro.extensions  # noqa: F401
+import repro.models
+from repro.models.base import NeuralTopicModel
+
+#: Modules whose machinery must not leak into the models layer.
+FORBIDDEN_MODULES = {
+    "repro.nn.optim",
+    "repro.training.faults",
+    "repro.training.resilience",
+    "repro.training.trainer",
+}
+
+
+def _all_subclasses(cls) -> set[type]:
+    found = set()
+    for sub in cls.__subclasses__():
+        found.add(sub)
+        found |= _all_subclasses(sub)
+    return found
+
+
+def _models_modules() -> list[types.ModuleType]:
+    modules = [repro.models]
+    for _, name, _ in pkgutil.iter_modules(
+        repro.models.__path__, "repro.models."
+    ):
+        modules.append(importlib.import_module(name))
+    return modules
+
+
+def test_no_neural_model_overrides_fit():
+    subclasses = _all_subclasses(NeuralTopicModel)
+    assert subclasses, "subclass walk found no models — import wiring broken?"
+    offenders = [cls.__name__ for cls in subclasses if "fit" in vars(cls)]
+    assert not offenders, (
+        f"{offenders} override NeuralTopicModel.fit; training belongs to "
+        "repro.training.trainer.Trainer — implement loss_on_batch / "
+        "on_fit_start / rng_streams instead"
+    )
+
+
+def test_models_layer_does_not_import_training_machinery():
+    offenders = []
+    for module in _models_modules():
+        for attr, obj in vars(module).items():
+            if isinstance(obj, types.ModuleType):
+                if obj.__name__ in FORBIDDEN_MODULES:
+                    offenders.append(f"{module.__name__}.{attr}")
+                continue
+            if getattr(obj, "__module__", None) in FORBIDDEN_MODULES:
+                offenders.append(f"{module.__name__}.{attr}")
+    assert not offenders, (
+        f"models-layer namespaces hold training machinery: {offenders}; "
+        "use lazy (in-function) or TYPE_CHECKING imports"
+    )

@@ -87,6 +87,7 @@ class TestDocstringCoverage:
             "repro.core.subset_sampling",
             "repro.models.base",
             "repro.training.protocol",
+            "repro.training.trainer",
             "repro.extensions.online",
         ],
     )
