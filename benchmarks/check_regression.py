@@ -14,10 +14,12 @@ the scalar totals (op/epoch second sums, mean epoch time, docs/sec
 throughput).
 
 The guard works on any pair of ``BENCH_*.json`` reports.  CI runs it
-three times: on the end-to-end training report (defaults below), on the
-fused-kernel microbenchmark, and on the multi-seed parallel-vs-serial
-wall-clock (``benchmarks/bench_parallel_multiseed.py``), whose
-``multiseed_serial_seconds`` / ``multiseed_parallel_seconds`` /
+four times: on the end-to-end training report (defaults below), on the
+fused-kernel microbenchmark, on the sparse fast-path comparison
+(``benchmarks/bench_sparse_ops.py``, gating ``sparse_speedup`` /
+``sparse_docs_per_sec`` / the leg wall-clocks), and on the multi-seed
+parallel-vs-serial wall-clock (``benchmarks/bench_parallel_multiseed.py``),
+whose ``multiseed_serial_seconds`` / ``multiseed_parallel_seconds`` /
 ``multiseed_speedup`` totals this guard gates automatically because they
 are listed in :data:`repro.telemetry.report.TIME_TOTALS` /
 ``RATE_TOTALS``::
@@ -51,7 +53,7 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.io import atomic_write  # noqa: E402
-from repro.telemetry import compare_reports, load_report  # noqa: E402
+from repro.telemetry import compare_reports, load_report, summarize_report  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_computational_analysis.json"
 DEFAULT_CURRENT = Path("BENCH_computational_analysis.json")
@@ -117,6 +119,11 @@ def main(argv: list[str] | None = None) -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
+    # On pass, still surface what was measured: a compact per-suite
+    # summary of the current report, so the CI log records the numbers
+    # the guard accepted (not only the ones it rejected).
+    print()
+    print(summarize_report(current))
     print()
     print("perf-guard OK: no compared total regressed past the threshold")
     return 0

@@ -16,7 +16,10 @@ Commands
               ``--no-profile-ops`` — per-epoch throughput,
               ELBO-vs-contrastive loss split).  ``--suite ops`` skips
               training and instead microbenchmarks every fused autodiff
-              kernel on fixed seeded shapes.  ``--suite multiseed`` runs
+              kernel on fixed seeded shapes.  ``--suite sparse`` times
+              the training hot path dense vs CSR on the same synthetic
+              ≥99%-sparse bow and records the speedup for the CI
+              perf-guard.  ``--suite multiseed`` runs
               the §V.F multi-seed evaluation twice — serial and across
               ``--workers`` processes — asserts the metrics are
               identical, and records both wall-clocks (and the speedup)
@@ -42,6 +45,7 @@ Examples
     python -m repro bench --dataset 20ng --model contratopic --epochs 5 \
         --dtype float32 --telemetry out.json
     python -m repro bench --suite ops --telemetry BENCH_ops.json
+    python -m repro bench --suite sparse --telemetry BENCH_sparse.json
     python -m repro bench --suite multiseed --dataset 20ng --scale 0.1 \
         --epochs 5 --num-seeds 5 --workers 4 --telemetry BENCH_suite.json
     python -m repro bench --dataset 20ng --model contratopic --epochs 3 \
@@ -246,6 +250,46 @@ def _cmd_bench_ops(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_bench_sparse(args: argparse.Namespace, out) -> int:
+    """``bench --suite sparse``: dense-vs-CSR fast-path comparison.
+
+    Runs the training hot path twice on the same synthetic ≥99%-sparse
+    bow — once dense (the reference oracle), once through the CSR fused
+    kernels — and writes a report whose totals carry both wall-clocks,
+    the ``sparse_speedup`` ratio, and docs/sec for the CI perf-guard.
+    """
+    from repro.telemetry import build_report, format_report, write_report
+    from repro.telemetry.microbench import (
+        SPARSE_BATCH,
+        SPARSE_PROFILE_DENSITY,
+        SPARSE_VOCAB,
+        run_sparse_microbench,
+    )
+    from repro.tensor import get_default_dtype
+
+    print("benchmarking sparse fast path vs dense reference...", file=out)
+    registry = run_sparse_microbench(
+        repeats=args.repeats, dtype=args.dtype, seed=args.seed
+    )
+    report = build_report(
+        args.name or "sparse_fast_path",
+        registry=registry,
+        meta={
+            "suite": "sparse",
+            "dtype": args.dtype or str(get_default_dtype()),
+            "repeats": args.repeats,
+            "seed": args.seed,
+            "batch": SPARSE_BATCH,
+            "vocab": SPARSE_VOCAB,
+            "density": SPARSE_PROFILE_DENSITY,
+        },
+    )
+    path = write_report(report, args.telemetry)
+    print(format_report(report), file=out)
+    print(f"wrote telemetry report to {path}", file=out)
+    return 0
+
+
 def _results_equal(a, b) -> bool:
     """Exact equality of two :class:`EvaluationResult`\\ s (NaN-tolerant).
 
@@ -361,6 +405,8 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
 
     if args.suite == "ops":
         return _cmd_bench_ops(args, out)
+    if args.suite == "sparse":
+        return _cmd_bench_sparse(args, out)
     if args.suite == "multiseed":
         return _cmd_bench_multiseed(args, out)
 
@@ -493,9 +539,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite",
         default="train",
-        choices=["train", "ops", "multiseed"],
+        choices=["train", "ops", "sparse", "multiseed"],
         help="'train': benchmark an end-to-end training run; "
         "'ops': microbenchmark every fused kernel on fixed shapes; "
+        "'sparse': dense-vs-CSR fast-path hot-path comparison; "
         "'multiseed': serial-vs-parallel §V.F multi-seed evaluation "
         "with a metric-equality assertion",
     )
@@ -528,7 +575,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats",
         type=int,
         default=20,
-        help="--suite ops: timed forward+backward repetitions per kernel",
+        help="--suite ops/sparse: timed forward+backward repetitions",
     )
     bench.add_argument("--name", default=None, help="report name (default: model_dataset)")
     bench.add_argument(

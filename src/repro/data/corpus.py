@@ -16,6 +16,7 @@ from scipy import sparse
 
 from repro.data.vocabulary import Vocabulary
 from repro.errors import CorpusError
+from repro.tensor.sparse import CSRBatch
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,9 @@ class Corpus:
         self.label_names = list(label_names) if label_names is not None else None
         self._bow_cache: np.ndarray | None = None
         self._bow_cast: tuple[np.dtype, np.ndarray] | None = None
+        self._csr_cache: sparse.csr_matrix | None = None
+        self._csr_master: CSRBatch | None = None
+        self._csr_cast: tuple[np.dtype, CSRBatch] | None = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -117,44 +121,79 @@ class Corpus:
     def bow_matrix(self, dtype=np.float64) -> np.ndarray:
         """Dense ``(docs, vocab)`` bag-of-words count matrix (cached).
 
-        The master cache is float64 (counts are exact in either
-        precision); requesting another dtype — e.g. the active policy
-        dtype from :func:`repro.tensor.dtypes.get_default_dtype`, as the
-        trainer and ``transform`` do — returns a cast copy, itself cached
-        one dtype at a time so repeated same-dtype requests (one per
-        ``fit``/``transform``) cost no new cast.
+        Each requested dtype is scattered **directly** from the cached CSR
+        nonzeros into a zeroed array of that dtype — a float32 request
+        never materialises a full-corpus float64 intermediate (counts are
+        exact in either precision).  float64 results keep their dedicated
+        cache slot; any other dtype — e.g. the active policy dtype from
+        :func:`repro.tensor.dtypes.get_default_dtype`, as the trainer and
+        ``transform`` do — occupies the one-slot cast cache, so repeated
+        same-dtype requests (one per ``fit``/``transform``) cost nothing
+        new.
         """
-        if self._bow_cache is None:
-            self._bow_cache = np.asarray(
-                self.bow_sparse().todense(), dtype=np.float64
-            )
-        if dtype == np.float64:
-            return self._bow_cache
         resolved = np.dtype(dtype)
+        if resolved == np.float64:
+            if self._bow_cache is None:
+                self._bow_cache = self.bow_csr(np.float64).toarray()
+            return self._bow_cache
         if self._bow_cast is None or self._bow_cast[0] != resolved:
-            self._bow_cast = (resolved, self._bow_cache.astype(resolved))
+            self._bow_cast = (resolved, self.bow_csr(resolved).toarray())
         return self._bow_cast[1]
 
     def bow_sparse(self) -> sparse.csr_matrix:
-        """Sparse CSR bag-of-words count matrix."""
-        indptr = [0]
-        indices: list[int] = []
-        data: list[int] = []
-        for doc in self.documents:
-            ids, counts = np.unique(doc, return_counts=True)
-            indices.extend(ids.tolist())
-            data.extend(counts.tolist())
-            indptr.append(len(indices))
-        return sparse.csr_matrix(
-            (np.array(data, dtype=np.float64), np.array(indices), np.array(indptr)),
-            shape=(len(self), self.vocab_size),
-        )
+        """Sparse CSR bag-of-words count matrix (cached; do not mutate)."""
+        if self._csr_cache is None:
+            indptr = [0]
+            indices: list[int] = []
+            data: list[int] = []
+            for doc in self.documents:
+                ids, counts = np.unique(doc, return_counts=True)
+                indices.extend(ids.tolist())
+                data.extend(counts.tolist())
+                indptr.append(len(indices))
+            self._csr_cache = sparse.csr_matrix(
+                (
+                    np.array(data, dtype=np.float64),
+                    np.array(indices),
+                    np.array(indptr),
+                ),
+                shape=(len(self), self.vocab_size),
+            )
+        return self._csr_cache
+
+    def bow_csr(self, dtype=np.float64) -> CSRBatch:
+        """The corpus counts as a :class:`~repro.tensor.sparse.CSRBatch`.
+
+        This is the batch format of the sparse fast path:
+        :class:`~repro.data.loaders.BatchIterator` gathers mini-batch row
+        views from it and the fused ``*_csr`` kernels consume them without
+        ever densifying.  Casts share the structure arrays
+        (``indices``/``indptr``) and touch only the nnz ``data`` values;
+        the one-slot cast cache mirrors :meth:`bow_matrix`'s at O(nnz)
+        cost instead of O(docs·vocab).
+        """
+        resolved = np.dtype(dtype)
+        if self._csr_master is None:
+            self._csr_master = CSRBatch.from_scipy(self.bow_sparse())
+        if resolved == self._csr_master.dtype:
+            return self._csr_master
+        if self._csr_cast is None or self._csr_cast[0] != resolved:
+            self._csr_cast = (resolved, self._csr_master.astype(resolved))
+        return self._csr_cast[1]
+
+    def bow_density(self) -> float:
+        """Nonzero fraction of the bag-of-words matrix (sparse dispatch)."""
+        return self.bow_csr(np.float64).density
 
     def binary_doc_word(self) -> sparse.csr_matrix:
         """Sparse boolean doc-word incidence (for NPMI co-occurrence)."""
         mat = self.bow_sparse()
-        mat.data = np.ones_like(mat.data)
-        return mat
+        # A fresh matrix sharing the structure arrays — the cached counts
+        # must not be overwritten.
+        return sparse.csr_matrix(
+            (np.ones_like(mat.data), mat.indices, mat.indptr),
+            shape=mat.shape,
+        )
 
     # ------------------------------------------------------------------
     def subset(self, indices: Iterable[int]) -> "Corpus":

@@ -25,7 +25,8 @@ from repro.errors import ConfigError, NotFittedError
 from repro.nn import BatchNorm1d, Linear, MLP, Module
 from repro.tensor import functional as F
 from repro.tensor import fused
-from repro.tensor.dtypes import get_default_dtype
+from repro.tensor.dtypes import get_default_dtype, get_sparse_policy
+from repro.tensor.sparse import CSRBatch
 from repro.tensor.tensor import Tensor, no_grad
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
@@ -115,11 +116,17 @@ class VaeEncoder(Module):
         self.mu_bn = BatchNorm1d(config.num_topics, affine=False)
         self.logvar_bn = BatchNorm1d(config.num_topics, affine=False)
 
-    def forward(self, bow: Tensor) -> tuple[Tensor, Tensor]:
+    def forward(self, bow: Tensor | CSRBatch) -> tuple[Tensor, Tensor]:
         # Normalizing counts keeps the encoder input scale stable across
         # documents of very different lengths.
-        total = Tensor(bow.data.sum(axis=1, keepdims=True).clip(min=1.0))
-        pi = self.trunk(bow / total)
+        if isinstance(bow, CSRBatch):
+            # Sparse fast path: the normalized CSR batch feeds the trunk's
+            # first Linear, whose fused.linear dispatches to linear_csr —
+            # O(nnz·hidden) instead of O(batch·vocab·hidden).
+            pi = self.trunk(bow.row_normalized())
+        else:
+            total = Tensor(bow.data.sum(axis=1, keepdims=True).clip(min=1.0))
+            pi = self.trunk(bow / total)
         mu = self.mu_bn(self.mu_head(pi))
         logvar = self.logvar_bn(self.logvar_head(pi))
         return mu, logvar
@@ -158,24 +165,43 @@ class NeuralTopicModel(TopicModel, Module):
     def beta(self) -> Tensor:
         """Differentiable ``(K, V)`` topic-word matrix (rows on simplex)."""
 
-    def reconstruction_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor:
-        """Default: mean categorical negative log-likelihood (ETM-style)."""
+    def reconstruction_loss(
+        self, theta: Tensor, beta: Tensor, bow: np.ndarray | CSRBatch
+    ) -> Tensor:
+        """Default: mean categorical negative log-likelihood (ETM-style).
+
+        ``bow`` may be dense or a :class:`~repro.tensor.sparse.CSRBatch`.
+        The sparse form fuses the whole mixture decode: it never builds
+        the ``(batch, vocab)`` matrix ``theta @ beta``, evaluating the
+        mixture probabilities only at nonzero count positions.
+        """
+        if isinstance(bow, CSRBatch):
+            return fused.nll_from_mixture_csr(theta, beta, bow)
         return fused.nll_from_probs(theta @ beta, bow)
 
     def kl_loss(self, mu: Tensor, logvar: Tensor, theta: Tensor) -> Tensor:
         """Default: closed-form KL to the standard-normal logistic prior."""
         return F.kl_normal_standard(mu, logvar)
 
-    def extra_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor | None:
+    def extra_loss(
+        self, theta: Tensor, beta: Tensor, bow: np.ndarray | CSRBatch
+    ) -> Tensor | None:
         """Optional regularizer; ContraTopic plugs its L_con in here."""
         return None
 
     # ------------------------------------------------------------------
     # shared machinery
     # ------------------------------------------------------------------
-    def encode_theta(self, bow: np.ndarray, sample: bool = True) -> tuple[Tensor, Tensor, Tensor]:
-        """Return (θ, μ, logvar) for a batch of counts."""
-        bow_t = Tensor(np.asarray(bow), dtype=get_default_dtype())
+    def encode_theta(
+        self, bow: np.ndarray | CSRBatch, sample: bool = True
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        """Return (θ, μ, logvar) for a batch of counts (dense or CSR)."""
+        if isinstance(bow, CSRBatch):
+            # O(nnz) cast sharing the structure arrays; stays sparse into
+            # the encoder.
+            bow_t: Tensor | CSRBatch = bow.astype(get_default_dtype())
+        else:
+            bow_t = Tensor(np.asarray(bow), dtype=get_default_dtype())
         mu, logvar = self.encoder(bow_t)
         if sample and self.training:
             eps = Tensor(self._rng.standard_normal(mu.shape), dtype=mu.data.dtype)
@@ -185,8 +211,16 @@ class NeuralTopicModel(TopicModel, Module):
         theta = F.softmax(z, axis=1)
         return theta, mu, logvar
 
-    def loss_on_batch(self, bow: np.ndarray) -> tuple[Tensor, dict[str, float]]:
-        """Total training loss for one bag-of-words batch, plus components."""
+    def loss_on_batch(
+        self, bow: np.ndarray | CSRBatch
+    ) -> tuple[Tensor, dict[str, float]]:
+        """Total training loss for one bag-of-words batch, plus components.
+
+        ``bow`` arrives in whichever format the
+        :class:`~repro.data.loaders.BatchIterator` chose — dense on the
+        reference path, :class:`~repro.tensor.sparse.CSRBatch` on the
+        sparse fast path.  Loss values agree to ≤1e-6 between the two.
+        """
         theta, mu, logvar = self.encode_theta(bow, sample=True)
         beta = self.beta()
         rec = self.reconstruction_loss(theta, beta, bow)
@@ -301,14 +335,29 @@ class NeuralTopicModel(TopicModel, Module):
         was_training = self.training
         self.eval()
         try:
-            bow = corpus.bow_matrix(dtype=get_default_dtype())
+            policy = get_sparse_policy()
+            batch_size = self.config.batch_size
             thetas: list[np.ndarray] = []
-            with no_grad():
-                for start in range(0, bow.shape[0], self.config.batch_size):
-                    theta, _, _ = self.encode_theta(
-                        bow[start : start + self.config.batch_size], sample=False
-                    )
-                    thetas.append(theta.data)
+            if policy.use_sparse(corpus.bow_density()):
+                # Sparse fast path: contiguous eval batches are zero-copy
+                # CSR row views; a batch denser than the threshold falls
+                # back to dense for that batch only.
+                csr = corpus.bow_csr(dtype=get_default_dtype())
+                with no_grad():
+                    for start in range(0, len(corpus), batch_size):
+                        batch = csr.slice_rows(start, start + batch_size)
+                        if batch.density >= policy.density_threshold:
+                            batch = batch.toarray()
+                        theta, _, _ = self.encode_theta(batch, sample=False)
+                        thetas.append(theta.data)
+            else:
+                bow = corpus.bow_matrix(dtype=get_default_dtype())
+                with no_grad():
+                    for start in range(0, bow.shape[0], batch_size):
+                        theta, _, _ = self.encode_theta(
+                            bow[start : start + batch_size], sample=False
+                        )
+                        thetas.append(theta.data)
             return np.concatenate(thetas, axis=0)
         finally:
             self.train(was_training)

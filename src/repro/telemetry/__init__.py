@@ -26,6 +26,7 @@ from repro.telemetry.report import (
     epoch_rows_from_history,
     format_report,
     load_report,
+    summarize_report,
     write_report,
 )
 
@@ -45,5 +46,6 @@ __all__ = [
     "epoch_rows_from_history",
     "format_report",
     "load_report",
+    "summarize_report",
     "write_report",
 ]

@@ -40,6 +40,17 @@ NOISE_FLOOR_SECONDS = 1e-3
 MULTISEED_SERIAL_KEY = "multiseed/serial"
 MULTISEED_PARALLEL_KEY = "multiseed/parallel"
 
+#: Registry keys the sparse-vs-dense benchmark records under
+#: (``python -m repro bench --suite sparse`` and
+#: ``benchmarks/bench_sparse_ops.py``): wall-clock of the dense reference
+#: leg, wall-clock of the CSR fast-path leg, and the number of documents
+#: each leg pushed through the hot path.  :func:`build_report` rolls them
+#: into ``totals`` (including the ``sparse_speedup`` ratio and the
+#: per-leg docs/sec) so the CI perf-guard can gate the fast path.
+SPARSE_DENSE_KEY = "sparse/dense"
+SPARSE_SPARSE_KEY = "sparse/sparse"
+SPARSE_DOCS_KEY = "sparse/docs"
+
 
 def _op_table(registry: MetricsRegistry) -> list[dict]:
     """Extract the per-op rows from a registry's ``op/*`` keys."""
@@ -138,6 +149,31 @@ def build_report(
             totals["multiseed_speedup"] = float(
                 serial.total_seconds / parallel.total_seconds
             )
+        dense_leg = registry.timers.get(SPARSE_DENSE_KEY)
+        sparse_leg = registry.timers.get(SPARSE_SPARSE_KEY)
+        docs = registry.counters.get(SPARSE_DOCS_KEY)
+        if dense_leg is not None and dense_leg.count:
+            totals["sparse_dense_seconds"] = float(dense_leg.total_seconds)
+        if sparse_leg is not None and sparse_leg.count:
+            totals["sparse_sparse_seconds"] = float(sparse_leg.total_seconds)
+        if (
+            dense_leg is not None
+            and sparse_leg is not None
+            and dense_leg.count
+            and sparse_leg.total_seconds > 0
+        ):
+            totals["sparse_speedup"] = float(
+                dense_leg.total_seconds / sparse_leg.total_seconds
+            )
+        if docs is not None and docs.value:
+            if sparse_leg is not None and sparse_leg.total_seconds > 0:
+                totals["sparse_docs_per_sec"] = float(
+                    docs.value / sparse_leg.total_seconds
+                )
+            if dense_leg is not None and dense_leg.total_seconds > 0:
+                totals["sparse_dense_docs_per_sec"] = float(
+                    docs.value / dense_leg.total_seconds
+                )
     report = {
         "schema": SCHEMA,
         "name": name,
@@ -252,6 +288,31 @@ def format_report(report: dict, max_ops: int = 12) -> str:
     return "\n\n".join(blocks)
 
 
+def summarize_report(report: dict) -> str:
+    """One compact per-suite summary table for CI job logs.
+
+    Unlike :func:`format_report` (the full dump), this is the short block
+    ``benchmarks/check_regression.py`` prints for every suite **on pass as
+    well as on failure**, so a green job still shows what was measured:
+    suite name, op/epoch row counts, and the gated totals.
+    """
+    totals = report.get("totals", {})
+    suite = report.get("meta", {}).get("suite", report.get("name", "?"))
+    rows: list[list[str]] = [
+        ["suite", str(suite)],
+        ["ops rows", str(len(report.get("ops", [])))],
+        ["epoch rows", str(len(report.get("epochs", [])))],
+    ]
+    for key in (*TIME_TOTALS, *RATE_TOTALS):
+        if key in totals:
+            rows.append([f"totals.{key}", f"{totals[key]:.6g}"])
+    return _format_table(
+        ["metric", "value"],
+        rows,
+        title=f"suite summary: {report.get('name', '?')}",
+    )
+
+
 # ----------------------------------------------------------------------
 # regression comparison (consumed by benchmarks/check_regression.py)
 # ----------------------------------------------------------------------
@@ -264,10 +325,16 @@ TIME_TOTALS = (
     "epoch_seconds_mean",
     "multiseed_serial_seconds",
     "multiseed_parallel_seconds",
+    "sparse_sparse_seconds",
 )
 
 #: totals keys where *smaller* current values mean a slowdown.
-RATE_TOTALS = ("docs_per_sec", "multiseed_speedup")
+RATE_TOTALS = (
+    "docs_per_sec",
+    "multiseed_speedup",
+    "sparse_speedup",
+    "sparse_docs_per_sec",
+)
 
 
 def compare_reports(

@@ -8,18 +8,27 @@ topic models in :mod:`repro.models`, together with functional helpers
 (softmax, log-softmax, KL terms), fused single-node kernels for the
 training hot path (:mod:`repro.tensor.fused`), a configurable default
 dtype (:mod:`repro.tensor.dtypes`: float64 by default, float32 opt-in via
-``REPRO_DTYPE`` / :func:`set_default_dtype`), and a finite-difference
+``REPRO_DTYPE`` / :func:`set_default_dtype`), a sparse bag-of-words fast
+path (:class:`~repro.tensor.sparse.CSRBatch` constants plus a
+:class:`~repro.tensor.dtypes.SparsePolicy` auto-dispatch controlled by
+``REPRO_SPARSE`` / ``REPRO_SPARSE_THRESHOLD``), and a finite-difference
 gradient checker used by the test-suite to certify every operator's
 gradient.
 """
 
 from repro.tensor.dtypes import (
+    DEFAULT_SPARSE_THRESHOLD,
     SUPPORTED_DTYPES,
+    SparsePolicy,
     default_dtype,
     get_default_dtype,
+    get_sparse_policy,
     resolve_dtype,
     set_default_dtype,
+    set_sparse_policy,
+    sparse_policy,
 )
+from repro.tensor.sparse import CSRBatch, as_dense, is_sparse_batch
 from repro.tensor.tensor import (
     PROFILED_MODULE_OPS,
     PROFILED_TENSOR_OPS,
@@ -47,18 +56,26 @@ from repro.tensor.functional import (
 from repro.tensor.gradcheck import gradcheck, numerical_gradient
 
 __all__ = [
+    "CSRBatch",
+    "DEFAULT_SPARSE_THRESHOLD",
     "PROFILED_FUSED_OPS",
     "PROFILED_MODULE_OPS",
     "PROFILED_TENSOR_OPS",
     "SUPPORTED_DTYPES",
+    "SparsePolicy",
     "Tensor",
     "no_grad",
     "is_grad_enabled",
     "as_tensor",
+    "as_dense",
+    "is_sparse_batch",
     "default_dtype",
     "get_default_dtype",
+    "get_sparse_policy",
     "resolve_dtype",
     "set_default_dtype",
+    "set_sparse_policy",
+    "sparse_policy",
     "fused",
     "functional",
     "softmax",

@@ -17,11 +17,21 @@ The policy is a process-wide default, settable three ways:
 Only the *default construction* dtype changes.  Gradients always adopt the
 dtype of the tensor they flow into, so a graph stays homogeneous in
 whatever precision its leaves were created with.
+
+This module also hosts the **sparse dispatch policy**
+(:class:`SparsePolicy`), the second axis of numeric configuration: whether
+bag-of-words batches travel through the pipeline as dense arrays or as
+:class:`~repro.tensor.sparse.CSRBatch` views feeding the sparse fused
+kernels.  Like the dtype policy it is thread-local with a process-wide
+seed, settable via ``REPRO_SPARSE`` / ``REPRO_SPARSE_THRESHOLD``
+environment variables, :func:`set_sparse_policy`, or the scoped
+:func:`sparse_policy` context manager.
 """
 
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import os
 import threading
 from typing import Iterator
@@ -107,3 +117,134 @@ def _init_from_env() -> None:
 
 
 _init_from_env()
+
+
+# ---------------------------------------------------------------------------
+# Sparse dispatch policy
+# ---------------------------------------------------------------------------
+
+_SPARSE_ENV_VAR = "REPRO_SPARSE"
+_SPARSE_THRESHOLD_ENV_VAR = "REPRO_SPARSE_THRESHOLD"
+
+#: Default density cutoff for auto-dispatch.  Below it the CSR kernels win
+#: (the encoder linear drops from O(B·V·H) to O(nnz·H)); above it the
+#: gather/scatter overhead erases the saving and dense BLAS is faster.
+#: Picked from the ``repro bench --suite sparse`` crossover measurements.
+DEFAULT_SPARSE_THRESHOLD = 0.25
+
+_TRUE_SPELLINGS = frozenset({"1", "true", "yes", "on"})
+_FALSE_SPELLINGS = frozenset({"0", "false", "no", "off"})
+
+
+@dataclasses.dataclass(frozen=True)
+class SparsePolicy:
+    """Whether (and when) batches take the CSR fast path.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  ``False`` forces the dense reference path
+        everywhere (the ``REPRO_SPARSE=0`` escape hatch).
+    density_threshold:
+        Auto-dispatch cutoff in ``[0, 1]``: a corpus or batch whose
+        nonzero fraction is *strictly below* this value goes sparse;
+        denser data stays on the dense path.
+    """
+
+    enabled: bool = True
+    density_threshold: float = DEFAULT_SPARSE_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.density_threshold <= 1.0:
+            raise ConfigError(
+                f"density_threshold must be in [0, 1], got "
+                f"{self.density_threshold!r}"
+            )
+
+    def use_sparse(self, density: float) -> bool:
+        """True when data of the given density should take the CSR path."""
+        return self.enabled and density < self.density_threshold
+
+
+_SPARSE_STATE = threading.local()
+_PROCESS_SPARSE_POLICY = SparsePolicy()
+
+
+def get_sparse_policy() -> SparsePolicy:
+    """The active sparse dispatch policy for this thread."""
+    return getattr(_SPARSE_STATE, "policy", _PROCESS_SPARSE_POLICY)
+
+
+def set_sparse_policy(policy: SparsePolicy) -> SparsePolicy:
+    """Set the process-wide sparse policy; returns it."""
+    global _PROCESS_SPARSE_POLICY
+    if not isinstance(policy, SparsePolicy):
+        raise ConfigError(
+            f"expected a SparsePolicy, got {type(policy).__name__}"
+        )
+    _PROCESS_SPARSE_POLICY = policy
+    _SPARSE_STATE.policy = policy
+    return policy
+
+
+@contextlib.contextmanager
+def sparse_policy(
+    enabled: bool | None = None,
+    density_threshold: float | None = None,
+) -> Iterator[SparsePolicy]:
+    """Scoped override of the sparse policy (restores the previous one).
+
+    Unspecified fields inherit from the currently active policy, so
+    ``with sparse_policy(enabled=False):`` flips only the master switch.
+    """
+    previous = get_sparse_policy()
+    _SPARSE_STATE.policy = SparsePolicy(
+        enabled=previous.enabled if enabled is None else bool(enabled),
+        density_threshold=(
+            previous.density_threshold
+            if density_threshold is None
+            else float(density_threshold)
+        ),
+    )
+    try:
+        yield _SPARSE_STATE.policy
+    finally:
+        _SPARSE_STATE.policy = previous
+
+
+def _parse_bool_env(name: str, raw: str) -> bool:
+    value = raw.strip().lower()
+    if value in _TRUE_SPELLINGS:
+        return True
+    if value in _FALSE_SPELLINGS:
+        return False
+    raise ConfigError(
+        f"{name}={raw!r} is not a recognised boolean "
+        f"(use one of {sorted(_TRUE_SPELLINGS | _FALSE_SPELLINGS)})"
+    )
+
+
+def _init_sparse_from_env() -> None:
+    # Always start from the built-in defaults, not the current policy:
+    # re-initialising after an env var was *removed* must fall back to
+    # the default, exactly as a fresh import would.
+    defaults = SparsePolicy()
+    enabled = defaults.enabled
+    threshold = defaults.density_threshold
+    raw_enabled = os.environ.get(_SPARSE_ENV_VAR)
+    if raw_enabled is not None and raw_enabled.strip():
+        enabled = _parse_bool_env(_SPARSE_ENV_VAR, raw_enabled)
+    raw_threshold = os.environ.get(_SPARSE_THRESHOLD_ENV_VAR)
+    if raw_threshold is not None and raw_threshold.strip():
+        try:
+            threshold = float(raw_threshold)
+        except ValueError as exc:
+            raise ConfigError(
+                f"{_SPARSE_THRESHOLD_ENV_VAR}={raw_threshold!r} is not a float"
+            ) from exc
+    set_sparse_policy(
+        SparsePolicy(enabled=enabled, density_threshold=threshold)
+    )
+
+
+_init_sparse_from_env()

@@ -18,6 +18,17 @@ running statistics) are cast to match so float32 graphs stay float32.
 Scalar hyper-parameters are kept as Python floats, which numpy's promotion
 rules treat as weak — they never upcast a float32 array.
 
+Sparse fast path: the bag-of-words-facing kernels (``linear``,
+``nll_from_probs``, ``log_softmax_nll``) each have a ``*_csr`` twin that
+accepts a :class:`~repro.tensor.sparse.CSRBatch` operand and touches only
+its nonzeros — O(nnz·H) instead of O(B·V·H) for the encoder affine,
+O(nnz) instead of O(B·V) for the NLL log/scatter.  The dense-named
+entrypoints auto-dispatch on operand type, so call sites (``nn.Linear``,
+the models' reconstruction losses) pick the sparse path for free whenever
+the data layer hands them a CSR batch.  The CSR operand is always a
+*constant* (counts are inputs, never parameters); only the dense tensor
+operands are differentiated.
+
 Profiling: :data:`PROFILED_FUSED_OPS` names the kernels that
 :func:`repro.telemetry.ophooks.profile_ops` wraps while active, so fused
 calls appear as single rows of the per-op report.
@@ -28,6 +39,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.tensor.sparse import CSRBatch, transpose_contiguous
 from repro.tensor.tensor import Tensor, as_tensor
 
 #: Fused kernels eligible for op-level profiling (see
@@ -36,13 +48,17 @@ from repro.tensor.tensor import Tensor, as_tensor
 #: over 4-10 primitive rows.
 PROFILED_FUSED_OPS: tuple[str, ...] = (
     "linear",
+    "linear_csr",
     "softmax",
     "log_softmax",
     "logsumexp",
     "sigmoid",
     "softplus",
     "nll_from_probs",
+    "nll_from_probs_csr",
+    "nll_from_mixture_csr",
     "log_softmax_nll",
+    "log_softmax_nll_csr",
     "kl_normal_standard",
     "batch_norm",
 )
@@ -63,7 +79,12 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     Replaces the ``transpose`` / ``matmul`` / ``add`` triple built by the
     composed path.  ``x`` may have any number of leading batch dimensions;
     ``weight`` is ``(out_features, in_features)``.
+
+    A :class:`~repro.tensor.sparse.CSRBatch` input dispatches to
+    :func:`linear_csr` (the sparse fast path; ``x`` becomes a constant).
     """
+    if isinstance(x, CSRBatch):
+        return linear_csr(x, weight, bias)
     x = as_tensor(x)
     weight = as_tensor(weight)
     if x.ndim < 2 or weight.ndim != 2:
@@ -91,6 +112,52 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
                 weight._accumulate(g2.T @ x2)
             if bias is not None and bias.requires_grad:
                 bias._accumulate(g2.sum(axis=0))
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def linear_csr(
+    x: CSRBatch, weight: Tensor, bias: Tensor | None = None
+) -> Tensor:
+    """Sparse×dense fused affine map ``x @ weight.T + bias``, one node.
+
+    ``x`` is a constant :class:`~repro.tensor.sparse.CSRBatch` of
+    bag-of-words counts; only ``weight``/``bias`` are differentiated.  The
+    forward runs scipy's C CSR·dense kernel — O(nnz·out_features) instead
+    of the dense O(batch·in_features·out_features) — and the backward
+    computes ``dW = (x.T @ g).T`` through the same sparse kernel, again
+    touching only nonzeros.
+    """
+    if not isinstance(x, CSRBatch):
+        raise ShapeError(
+            f"linear_csr expects a CSRBatch input, got {type(x).__name__}"
+        )
+    weight = as_tensor(weight)
+    if weight.ndim != 2:
+        raise ShapeError(
+            f"linear_csr expects a 2-D weight, got {weight.shape}"
+        )
+    if x.shape[1] != weight.shape[1]:
+        raise ShapeError(
+            f"linear_csr shape mismatch: x {x.shape} vs weight {weight.shape}"
+        )
+    counts = x.astype(weight.data.dtype)
+    out_data = counts.matmul_dense(weight.data.T)
+    if bias is not None:
+        out_data += bias.data  # fresh array: safe to add in place
+
+    parents = (weight,) if bias is None else (weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            # ``X.T @ g`` comes out (in, out); the blocked transpose copy
+            # delivers the (out, in) layout the parameter expects without
+            # the cache-hostile strided accumulate.
+            weight._accumulate(
+                transpose_contiguous(counts.t_matmul_dense(grad))
+            )
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=0))
 
     return Tensor._make(out_data, parents, backward)
 
@@ -195,7 +262,13 @@ def nll_from_probs(
     by the mixture-form models (ETM-style ``theta @ beta`` decoders) — with
     a single analytic backward ``dp = -(g/B) * bow / (p + eps)``.
     ``bow`` is a constant (not differentiated).
+
+    A :class:`~repro.tensor.sparse.CSRBatch` ``bow`` dispatches to
+    :func:`nll_from_probs_csr`, which reads/logs/scatters only at the
+    nonzero count positions.
     """
+    if isinstance(bow, CSRBatch):
+        return nll_from_probs_csr(word_probs, bow, eps=eps)
     word_probs = as_tensor(word_probs)
     if word_probs.ndim != 2:
         raise ShapeError(
@@ -216,6 +289,133 @@ def nll_from_probs(
     return Tensor._make(out_data, (word_probs,), backward)
 
 
+def nll_from_probs_csr(
+    word_probs: Tensor, bow: CSRBatch, eps: float = 1e-12
+) -> Tensor:
+    """Sparse-counts reconstruction NLL: log/scatter only at nonzeros.
+
+    Mathematically identical to :func:`nll_from_probs` — every zero count
+    contributes exactly ``0 * log(p + eps) = 0`` to the dense sum — but the
+    forward gathers and logs only the ``nnz`` probabilities actually paired
+    with a count, and the backward scatters ``-(g/B) * bow / (p + eps)``
+    into a zero gradient at those positions.  O(nnz) work where the dense
+    kernel pays O(batch·vocab).
+    """
+    if not isinstance(bow, CSRBatch):
+        raise ShapeError(
+            f"nll_from_probs_csr expects a CSRBatch bow, got "
+            f"{type(bow).__name__}"
+        )
+    word_probs = as_tensor(word_probs)
+    if word_probs.ndim != 2:
+        raise ShapeError(
+            f"nll_from_probs_csr expects (batch, vocab) probabilities, got "
+            f"{word_probs.shape}"
+        )
+    if bow.shape != word_probs.shape:
+        raise ShapeError(
+            f"nll_from_probs_csr shape mismatch: probs {word_probs.shape} "
+            f"vs bow {bow.shape}"
+        )
+    dtype = word_probs.data.dtype
+    counts = bow.data.astype(dtype, copy=False)
+    rows = bow.row_ids()
+    cols = bow.indices
+    denom_nz = word_probs.data[rows, cols] + eps
+    batch = word_probs.shape[0]
+    total = -float(counts @ np.log(denom_nz)) if bow.nnz else 0.0
+    out_data = np.asarray(total / max(batch, 1), dtype=dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        if word_probs.requires_grad:
+            scale = -float(grad) / batch
+            gp = np.zeros_like(word_probs.data)
+            # Canonical CSR: (row, col) pairs are unique, plain assignment.
+            gp[rows, cols] = scale * counts / denom_nz
+            word_probs._accumulate(gp)
+
+    return Tensor._make(out_data, (word_probs,), backward)
+
+
+def nll_from_mixture_csr(
+    theta: Tensor, beta: Tensor, bow: CSRBatch, eps: float = 1e-12
+) -> Tensor:
+    """Fused mixture-decode NLL: ``nll_from_probs(theta @ beta, bow)``
+    without ever materializing the ``(batch, vocab)`` probability matrix.
+
+    The mixture models (ETM-style decoders) only consume ``p = theta @
+    beta`` inside the count-weighted NLL, and the counts are ≥95% zeros —
+    so only the ``nnz`` probabilities paired with a nonzero count matter.
+    The forward computes ``p[d, v] = theta[d] · beta[:, v]`` at exactly
+    those positions (O(nnz·K) instead of O(batch·vocab·K) BLAS), and the
+    backward pushes the sparse coefficient matrix ``C[d, v] = -(g/B) *
+    bow[d, v] / (p[d, v] + eps)`` through the product rule with two
+    sparse×dense products::
+
+        dtheta = C @ beta.T          # (batch, topics)
+        dbeta  = (C.T @ theta).T     # (topics, vocab)
+
+    Numerically this matches the dense chain to float associativity: the
+    dense kernel reduces each dot product through BLAS, this one through
+    ``einsum`` — both sum the same K terms.  ``bow`` is a constant.
+    """
+    theta = as_tensor(theta)
+    beta = as_tensor(beta)
+    if not isinstance(bow, CSRBatch):
+        raise ShapeError(
+            f"nll_from_mixture_csr expects a CSRBatch bow, got "
+            f"{type(bow).__name__}"
+        )
+    if theta.ndim != 2 or beta.ndim != 2 or theta.shape[1] != beta.shape[0]:
+        raise ShapeError(
+            f"nll_from_mixture_csr expects (batch, topics) @ (topics, vocab), "
+            f"got {theta.shape} @ {beta.shape}"
+        )
+    if bow.shape != (theta.shape[0], beta.shape[1]):
+        raise ShapeError(
+            f"nll_from_mixture_csr shape mismatch: theta @ beta is "
+            f"{(theta.shape[0], beta.shape[1])} but bow is {bow.shape}"
+        )
+    dtype = np.result_type(theta.data.dtype, beta.data.dtype)
+    counts = bow.data.astype(dtype, copy=False)
+    rows = bow.row_ids()
+    cols = bow.indices
+    batch = bow.shape[0]
+    if bow.nnz:
+        # p at nonzero positions only: gather the participating document
+        # rows of theta and word columns of beta, reduce over topics.
+        denom_nz = (
+            np.einsum("nk,kn->n", theta.data[rows], beta.data[:, cols]) + eps
+        )
+        total = -float(counts @ np.log(denom_nz))
+    else:
+        denom_nz = np.zeros(0, dtype=dtype)
+        total = 0.0
+    out_data = np.asarray(total / max(batch, 1), dtype=dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        scale = -float(grad) / batch
+        if not bow.nnz:
+            if theta.requires_grad:
+                theta._accumulate(np.zeros_like(theta.data))
+            if beta.requires_grad:
+                beta._accumulate(np.zeros_like(beta.data))
+            return
+        coeff = CSRBatch(
+            scale * counts / denom_nz, bow.indices, bow.indptr, bow.shape
+        ).to_scipy()
+        if theta.requires_grad:
+            theta._accumulate(
+                np.asarray(coeff @ transpose_contiguous(beta.data), dtype=dtype)
+            )
+        if beta.requires_grad:
+            beta._accumulate(
+                transpose_contiguous(np.asarray(coeff.T @ theta.data, dtype=dtype))
+            )
+
+    return Tensor._make(out_data, (theta, beta), backward)
+
+
 def log_softmax_nll(logits: Tensor, bow) -> Tensor:
     """Fused ``cross_entropy_with_probs(log_softmax(logits), bow)``.
 
@@ -224,7 +424,12 @@ def log_softmax_nll(logits: Tensor, bow) -> Tensor:
     into one node.  The backward is the classic softmax cross-entropy
     form ``dlogits = (g/B) * (softmax * total_counts - counts)`` — no
     ``(batch, vocab)`` log-prob gradient temporary chain at all.
+
+    A :class:`~repro.tensor.sparse.CSRBatch` ``bow`` dispatches to
+    :func:`log_softmax_nll_csr`.
     """
+    if isinstance(bow, CSRBatch):
+        return log_softmax_nll_csr(logits, bow)
     logits = as_tensor(logits)
     if logits.ndim != 2:
         raise ShapeError(
@@ -246,6 +451,62 @@ def log_softmax_nll(logits: Tensor, bow) -> Tensor:
         if logits.requires_grad:
             scale = float(grad) / batch
             logits._accumulate(scale * (probs * totals - counts))
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+def log_softmax_nll_csr(logits: Tensor, bow: CSRBatch) -> Tensor:
+    """Sparse-counts softmax cross-entropy: count terms only at nonzeros.
+
+    The softmax normaliser is inherently dense (every logit feeds every
+    row's partition function), so the shift/exp/sum run dense as in
+    :func:`log_softmax_nll`; but the count-weighted log-probability sum and
+    the ``- counts`` correction in the backward touch only the ``nnz``
+    stored positions, skipping the O(batch·vocab) einsum over zeros.
+    """
+    if not isinstance(bow, CSRBatch):
+        raise ShapeError(
+            f"log_softmax_nll_csr expects a CSRBatch bow, got "
+            f"{type(bow).__name__}"
+        )
+    logits = as_tensor(logits)
+    if logits.ndim != 2:
+        raise ShapeError(
+            f"log_softmax_nll_csr expects (batch, vocab) logits, got "
+            f"{logits.shape}"
+        )
+    if bow.shape != logits.shape:
+        raise ShapeError(
+            f"log_softmax_nll_csr shape mismatch: logits {logits.shape} "
+            f"vs bow {bow.shape}"
+        )
+    dtype = logits.data.dtype
+    counts = bow.data.astype(dtype, copy=False)
+    rows = bow.row_ids()
+    cols = bow.indices
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    sums = exps.sum(axis=1)
+    log_sums = np.log(sums)
+    batch = logits.shape[0]
+    if bow.nnz:
+        log_probs_nz = shifted[rows, cols] - log_sums[rows]
+        total = -float(counts @ log_probs_nz)
+    else:
+        total = 0.0
+    out_data = np.asarray(total / max(batch, 1), dtype=dtype)
+    probs = exps
+    probs /= sums[:, None]
+    row_totals = bow.row_sums().astype(dtype, copy=False)
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            scale = float(grad) / batch
+            glogits = probs * (scale * row_totals)[:, None]
+            if bow.nnz:
+                # Canonical CSR: unique (row, col) pairs.
+                glogits[rows, cols] -= scale * counts
+            logits._accumulate(glogits)
 
     return Tensor._make(out_data, (logits,), backward)
 

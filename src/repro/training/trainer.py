@@ -58,7 +58,7 @@ from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from repro.data.loaders import BatchIterator
+from repro.data.loaders import Batch, BatchIterator
 from repro.errors import ConfigError
 from repro.nn.optim import Adam, Optimizer, clip_grad_norm
 from repro.tensor.dtypes import get_default_dtype
@@ -89,8 +89,15 @@ class Trainable(Protocol):
     through the same loop, guards, faults and checkpoints.
     """
 
-    def loss_on_batch(self, bow: np.ndarray) -> "tuple[Tensor, dict[str, float]]":
-        """Total differentiable loss for one batch, plus scalar parts."""
+    def loss_on_batch(self, bow: Batch) -> "tuple[Tensor, dict[str, float]]":
+        """Total differentiable loss for one batch, plus scalar parts.
+
+        ``bow`` is whatever the :class:`~repro.data.loaders.BatchIterator`
+        yields: a dense ``(batch, vocab)`` array, or a
+        :class:`~repro.tensor.sparse.CSRBatch` on the sparse fast path
+        (``np.asarray(bow)`` densifies it for models without a sparse
+        kernel).
+        """
         ...
 
     def parameters(self):
@@ -441,7 +448,7 @@ class Trainer:
         """Clear accumulated gradients before the batch's forward pass."""
         state.optimizer.zero_grad()
 
-    def compute_loss(self, model, bow: np.ndarray):
+    def compute_loss(self, model, bow: Batch):
         """Forward pass: the model's total loss and its scalar parts."""
         return model.loss_on_batch(bow)
 
@@ -486,7 +493,7 @@ class Trainer:
             state.guard.on_batch_ok()
 
     def train_batch(
-        self, model, state: TrainState, bow: np.ndarray
+        self, model, state: TrainState, bow: Batch
     ) -> tuple[dict[str, float], float] | None:
         """Run one batch through the pipeline.
 
