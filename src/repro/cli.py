@@ -11,6 +11,17 @@ Commands
 ``evaluate``  Reload a checkpoint and re-score it on the test split.
 ``topics``    Train (or reload) and print the top topics with NPMI.
 ``datasets``  Print the Table-I statistics of the bundled profiles.
+``serve``     Train (or reload) a model and drive the resilient online
+              inference service (:mod:`repro.serving`) with the
+              deterministic load generator: micro-batched
+              transform/top-words/coherence traffic with deadlines, load
+              shedding, retries, circuit breaking and checkpoint
+              hot-reload with last-good rollback.  ``--chaos-*`` flags
+              inject latency spikes, NaN outputs, worker death and
+              corrupt checkpoint loads; the run fails unless **every**
+              request received a well-formed response.  Writes a
+              ``BENCH_serving``-style report (p50/p95/p99 latency,
+              throughput) for the CI perf-guard.
 ``bench``     Train with telemetry enabled and write a ``BENCH_*.json``
               report (per-op timings — on by default, disable with
               ``--no-profile-ops`` — per-epoch throughput,
@@ -50,6 +61,12 @@ Examples
         --epochs 5 --num-seeds 5 --workers 4 --telemetry BENCH_suite.json
     python -m repro bench --dataset 20ng --model contratopic --epochs 3 \
         --guard --inject-nan 0.25 --inject-grad 0.1 --telemetry smoke.json
+    python -m repro serve --dataset 20ng --scale 0.12 --epochs 3 \
+        --requests 200 --telemetry BENCH_serving.json
+    python -m repro serve --dataset 20ng --scale 0.12 --epochs 3 \
+        --requests 300 --reload-every 50 --chaos-nan 0.1 \
+        --chaos-death 0.05 --chaos-corrupt-reloads 2 \
+        --telemetry BENCH_serving_chaos.json
 """
 
 from __future__ import annotations
@@ -400,6 +417,175 @@ def _cmd_bench_multiseed(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    """``serve``: drive the resilient inference service under load.
+
+    Trains (or reloads) a model, wraps it in a hot-loadable registry
+    behind the micro-batching front door, replays a deterministic mixed
+    request stream — optionally under injected chaos and checkpoint
+    hot-reloads — and writes a perf-guard-compatible report.  Exits
+    non-zero if any request went unanswered: under every fault the
+    harness can inject, 100% of requests must receive a well-formed
+    response (ok / degraded / timeout / shed / error).
+    """
+    from pathlib import Path
+
+    from repro.models.base import NeuralTopicModel
+    from repro.serving import (
+        InferenceService,
+        LoadProfile,
+        ModelRegistry,
+        build_requests,
+        run_load,
+        serving_config,
+    )
+    from repro.telemetry import MetricsRegistry, build_report, write_report
+
+    context = ExperimentContext(_settings_from_args(args))
+    model = context.build(args.model, seed=args.seed)
+    if not isinstance(model, NeuralTopicModel):
+        raise SystemExit("serve requires a neural model (checkpointable)")
+    if args.checkpoint:
+        load_checkpoint(model, args.checkpoint)
+        model._fitted = True
+        model.eval()
+        print(f"loaded checkpoint {args.checkpoint}", file=out)
+    else:
+        print(f"training {args.model} on {args.dataset}...", file=out)
+        model.fit(context.dataset.train)
+        model.eval()
+
+    faults = None
+    if (
+        args.chaos_latency
+        or args.chaos_nan
+        or args.chaos_death
+        or args.chaos_corrupt_reloads
+    ):
+        from repro.training.faults import FaultInjector, FaultPlan
+
+        faults = FaultInjector(
+            FaultPlan(
+                serve_latency_rate=args.chaos_latency,
+                serve_latency_seconds=args.chaos_latency_ms / 1000.0,
+                serve_nan_rate=args.chaos_nan,
+                serve_death_rate=args.chaos_death,
+                corrupt_checkpoint_loads=tuple(
+                    range(args.chaos_corrupt_reloads)
+                ),
+                seed=args.faults_seed,
+            )
+        )
+
+    corpus = context.dataset.train
+    build = context.factory(args.model)
+    registry = ModelRegistry(
+        model,
+        factory=lambda: build(args.seed),
+        probe_corpus=_probe_corpus(corpus, 4),
+        faults=faults,
+    )
+    metrics = MetricsRegistry()
+    overrides = {
+        key: value
+        for key, value in (
+            ("max_batch_size", args.max_batch_size),
+            ("max_wait_ms", args.max_wait_ms),
+            ("queue_capacity", args.queue_capacity),
+            ("deadline_ms", args.deadline_ms),
+            ("breaker_threshold", args.breaker_threshold),
+        )
+        if value is not None
+    }
+    with serving_config(**overrides) as config:
+        service = InferenceService(
+            registry,
+            corpus.vocabulary,
+            config=config,
+            metrics=metrics,
+            faults=faults,
+            npmi_matrix=context.npmi_test,
+        )
+        profile = LoadProfile(
+            num_requests=args.requests,
+            concurrency=args.concurrency,
+            seed=args.seed,
+        )
+        requests = build_requests(corpus, profile)
+
+        reload_hook = None
+        ckpt_path = None
+        if args.reload_every:
+            # Live publication loop: each cycle re-saves a fresh (good)
+            # checkpoint and hot-loads it, so a corrupt-load chaos plan
+            # rolls back and a later clean cycle recovers.
+            ckpt_path = Path(args.telemetry).with_suffix(".ckpt.npz")
+            save_checkpoint(model, ckpt_path)
+
+            def reload_hook() -> None:
+                save_checkpoint(model, ckpt_path)
+                registry.load(ckpt_path)
+
+        print(
+            f"serving {args.requests} requests "
+            f"(concurrency {args.concurrency}, "
+            f"batch<= {config.max_batch_size}, wait {config.max_wait_ms}ms, "
+            f"chaos={'on' if faults else 'off'})...",
+            file=out,
+        )
+        report = run_load(
+            service,
+            requests,
+            concurrency=args.concurrency,
+            reload_every=args.reload_every,
+            reload_hook=reload_hook,
+        )
+    if ckpt_path is not None and ckpt_path.exists():
+        ckpt_path.unlink()
+
+    report.record_into(metrics)
+    summary = report.summary()
+    rows = [[key, f"{value}"] for key, value in summary.items()
+            if not isinstance(value, dict)]
+    rows += [[f"status.{k}", str(v)] for k, v in report.status_counts.items()]
+    print(format_table(["metric", "value"], rows), file=out)
+    bench = build_report(
+        args.name or "serving",
+        registry=metrics,
+        meta={
+            "suite": "serving",
+            "dataset": args.dataset,
+            "model": args.model,
+            "scale": args.scale,
+            "requests": args.requests,
+            "concurrency": args.concurrency,
+            "reload_every": args.reload_every,
+            "chaos": bool(faults),
+            "fault_counts": dict(faults.counts) if faults else {},
+            "summary": {
+                k: v for k, v in summary.items() if not isinstance(v, dict)
+            },
+            "status_counts": report.status_counts,
+        },
+    )
+    path = write_report(bench, args.telemetry)
+    print(f"wrote telemetry report to {path}", file=out)
+    if report.unanswered:
+        raise SystemExit(
+            f"{report.unanswered} request(s) received no response — the "
+            "serving layer must answer every admitted request"
+        )
+    print("all requests received well-formed responses", file=out)
+    return 0
+
+
+def _probe_corpus(corpus, n: int):
+    """First-``n``-document probe corpus for registry load validation."""
+    from repro.data.corpus import Corpus
+
+    return Corpus(corpus.documents[:n], corpus.vocabulary)
+
+
 def _cmd_bench(args: argparse.Namespace, out) -> int:
     import contextlib
 
@@ -532,6 +718,90 @@ def build_parser() -> argparse.ArgumentParser:
     datasets = sub.add_parser("datasets", help="print Table-I statistics")
     datasets.add_argument("--scale", type=float, default=0.3)
 
+    serve = sub.add_parser(
+        "serve",
+        help="drive the resilient online inference service under load",
+    )
+    _add_model_arguments(serve)
+    serve.add_argument(
+        "--checkpoint", default=None, help="serve this checkpoint instead of training"
+    )
+    serve.add_argument(
+        "--requests", type=int, default=200, help="load-generator request count"
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=32, help="in-flight request bound"
+    )
+    serve.add_argument(
+        "--telemetry", required=True, help="path for the BENCH_serving report"
+    )
+    serve.add_argument("--name", default=None, help="report name (default: serving)")
+    serve.add_argument(
+        "--reload-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="hot-reload a freshly published checkpoint every N requests",
+    )
+    serve.add_argument(
+        "--max-batch-size", type=int, default=None, help="micro-batch coalescing bound"
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=None, help="micro-batch coalescing window"
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=None, help="admission queue hard bound"
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None, help="per-request deadline"
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        help="consecutive model faults that trip the circuit breaker",
+    )
+    serve.add_argument(
+        "--chaos-latency",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="chaos: per-batch probability of an injected latency spike",
+    )
+    serve.add_argument(
+        "--chaos-latency-ms",
+        type=float,
+        default=50.0,
+        help="chaos: duration of each injected latency spike",
+    )
+    serve.add_argument(
+        "--chaos-nan",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="chaos: per-batch probability of NaN model outputs",
+    )
+    serve.add_argument(
+        "--chaos-death",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="chaos: per-batch probability of worker death mid-batch",
+    )
+    serve.add_argument(
+        "--chaos-corrupt-reloads",
+        type=int,
+        default=0,
+        metavar="N",
+        help="chaos: corrupt the first N checkpoint hot-loads on disk",
+    )
+    serve.add_argument(
+        "--faults-seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic chaos injector (default: 0)",
+    )
+
     bench = sub.add_parser(
         "bench", help="train with telemetry and write a BENCH_*.json report"
     )
@@ -633,6 +903,7 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         "evaluate": _cmd_evaluate,
         "topics": _cmd_topics,
         "datasets": _cmd_datasets,
+        "serve": _cmd_serve,
         "bench": _cmd_bench,
     }
     precision = contextlib.nullcontext()

@@ -53,3 +53,10 @@ class ParallelExecutionError(ReproError, RuntimeError):
 class TrainingDivergedError(ReproError, RuntimeError):
     """Training kept producing non-finite losses/gradients after every
     guard escalation (skip, LR backoff, restore, degradation) was spent."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """The online inference service was used illegally (submitting to a
+    stopped service, reloading without a registry, malformed request
+    payloads caught before admission...).  Per-request failures are
+    *responses*, not exceptions — this error is for caller mistakes."""

@@ -169,6 +169,34 @@ class OnlineContraTopic:
             raise NotFittedError("no slice has been consumed yet")
         return self.model.topic_word_matrix()
 
+    def export_checkpoint(self, path) -> "Path":
+        """Publish the current slice's model as a serving checkpoint.
+
+        The producer side of the hot-reload loop: after each
+        ``partial_fit`` the stream trainer can export, and a
+        :class:`repro.serving.ModelRegistry` pointed at the same path
+        picks the new slice up via ``load`` — validated (checksum,
+        finiteness, optional probe corpus) and rolled back to last-good
+        if this slice went bad.  Written atomically, so the registry
+        never observes a half-published file.
+        """
+        from pathlib import Path
+
+        from repro.io import save_checkpoint
+
+        if self.model is None:
+            raise NotFittedError("no slice has been consumed yet")
+        path = Path(path)
+        save_checkpoint(
+            self.model,
+            path,
+            extra={
+                "slice_index": len(self.history) - 1,
+                "mean_drift": self.history[-1].mean_drift,
+            },
+        )
+        return path
+
     def emerging_topics(self, threshold: float = 0.3) -> list[int]:
         """Topics whose latest drift exceeds ``threshold``.
 

@@ -13,7 +13,11 @@ bitwise-consistently — see :mod:`repro.training.resilience` and
 
 Every file this module writes goes through :func:`atomic_write`
 (tmp + fsync + rename), so a crash mid-write can never leave a truncated
-file at the final path.
+file at the final path.  Checkpoints additionally carry a content
+checksum (:func:`content_checksum`) over every stored array, verified at
+load time: a corrupt file fails with a clear :class:`CheckpointError`
+instead of loading garbage parameters — the property the serving layer's
+last-good rollback (:class:`repro.serving.ModelRegistry`) depends on.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import contextlib
 import json
 import os
 import zipfile
+import zlib
 from pathlib import Path
 from typing import IO, Callable, Iterator, TYPE_CHECKING
 
@@ -101,6 +106,26 @@ def atomic_write(
 # ----------------------------------------------------------------------
 # checkpoints
 # ----------------------------------------------------------------------
+def content_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """Deterministic CRC32 over every array's name, dtype, shape and bytes.
+
+    Stored in the checkpoint header at save time and re-verified at load
+    time, so corruption that survives the zip layer (bit flips introduced
+    after decompression, a partially-rewritten archive, the chaos
+    harness's :meth:`~repro.training.faults.FaultInjector.corrupt_checkpoint`)
+    fails with a clear :class:`CheckpointError` instead of loading garbage
+    parameters.  Keys are folded in sorted order, so the value is
+    independent of dict insertion order.
+    """
+    crc = 0
+    for key in sorted(arrays):
+        arr = np.ascontiguousarray(np.asarray(arrays[key]))
+        for piece in (key, str(arr.dtype), str(arr.shape)):
+            crc = zlib.crc32(piece.encode("utf-8"), crc)
+        crc = zlib.crc32(arr.tobytes(), crc)
+    return f"{crc & 0xFFFFFFFF:08x}"
+
+
 def save_checkpoint(
     model: Module,
     path: str | Path,
@@ -122,17 +147,20 @@ def save_checkpoint(
     archive is written atomically (tmp + fsync + rename).
     """
     path = Path(path)
+    arrays = dict(model.state_dict())
+    if optimizer is not None:
+        for key, value in optimizer.state_dict().items():
+            arrays[f"{_OPTIM_PREFIX}{key}"] = value
     meta = {
         "format_version": _FORMAT_VERSION,
         "model_class": type(model).__name__,
         "extra": extra or {},
         "optimizer_class": type(optimizer).__name__ if optimizer is not None else None,
         "trainer_state": trainer_state,
+        # Verified on load; computed before the meta blob joins the archive
+        # (the checksum obviously cannot cover itself).
+        "content_checksum": content_checksum(arrays),
     }
-    arrays = dict(model.state_dict())
-    if optimizer is not None:
-        for key, value in optimizer.state_dict().items():
-            arrays[f"{_OPTIM_PREFIX}{key}"] = value
     arrays[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
@@ -153,14 +181,25 @@ def _read_checkpoint(path: Path) -> tuple[dict, dict, dict]:
                     f"{meta.get('format_version')!r} "
                     f"(supported: {_SUPPORTED_VERSIONS})"
                 )
+            raw: dict[str, np.ndarray] = {
+                key: archive[key] for key in archive.files if key != _META_KEY
+            }
+            expected = meta.get("content_checksum")
+            if expected is not None:
+                actual = content_checksum(raw)
+                if actual != expected:
+                    raise CheckpointError(
+                        f"{path}: content checksum mismatch (stored "
+                        f"{expected}, recomputed {actual}) — the file is "
+                        "truncated or corrupt; restore it from a last-good "
+                        "checkpoint"
+                    )
             state, optim_state = {}, {}
-            for key in archive.files:
-                if key == _META_KEY:
-                    continue
+            for key, value in raw.items():
                 if key.startswith(_OPTIM_PREFIX):
-                    optim_state[key[len(_OPTIM_PREFIX):]] = archive[key]
+                    optim_state[key[len(_OPTIM_PREFIX):]] = value
                 else:
-                    state[key] = archive[key]
+                    state[key] = value
     except CheckpointError:
         raise
     except (OSError, ValueError, EOFError, KeyError, zipfile.BadZipFile) as exc:

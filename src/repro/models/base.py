@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.data.corpus import Corpus
 from repro.data.vocabulary import Vocabulary
-from repro.errors import ConfigError, NotFittedError
+from repro.errors import ConfigError, CorpusError, NotFittedError, ShapeError
 from repro.nn import BatchNorm1d, Linear, MLP, Module
 from repro.tensor import functional as F
 from repro.tensor import fused
@@ -328,6 +328,22 @@ class NeuralTopicModel(TopicModel, Module):
 
     def transform(self, corpus: Corpus) -> np.ndarray:
         self._require_fitted()
+        # Request validation: the serving front door (repro.serving) relies
+        # on these being precise errors rather than downstream shape
+        # explosions deep inside the encoder.
+        if len(corpus) == 0:
+            raise CorpusError(
+                "transform received an empty batch: the corpus contains "
+                "no documents"
+            )
+        if corpus.vocab_size != self.vocab_size:
+            raise ShapeError(
+                f"transform received documents indexed against a "
+                f"vocabulary of size {corpus.vocab_size}, but "
+                f"{type(self).__name__} was built for vocabulary size "
+                f"{self.vocab_size}; re-index the documents with the "
+                "model's own vocabulary"
+            )
         # Inference must not leave a side effect on training: a validation
         # callback calling transform() mid-fit would otherwise flip the
         # model into eval mode (disabling dropout / freezing batch-norm

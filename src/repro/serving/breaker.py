@@ -1,0 +1,136 @@
+"""Circuit breaker: stop asking a faulting model for answers.
+
+The breaker watches *model faults* — micro-batches whose outputs failed
+the finiteness predicate (:meth:`repro.training.resilience.TrainingGuard.
+check_array`).  Transient infrastructure failures (a worker dying
+mid-batch) are retried by the service and never reach the breaker; a
+model emitting NaN/Inf will keep emitting it no matter how often the
+batch is retried, so after ``threshold`` consecutive faults the breaker
+**opens** and the service switches to its degraded path instead of
+burning forward passes on garbage.
+
+States follow the classic three-state machine:
+
+``closed``
+    Healthy: batches run against the model; any success resets the
+    consecutive-fault counter.
+``open``
+    Tripped: every batch takes the degraded path until
+    ``cooldown_seconds`` have passed.
+``half_open``
+    Cooldown elapsed: exactly one probe batch is let through.  A clean
+    probe closes the breaker; a faulty one re-opens it (and restarts the
+    cooldown).
+
+The clock is injectable so tests (and the deterministic chaos suite) can
+drive state transitions without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import ConfigError
+
+#: State names (also the values of :attr:`CircuitBreaker.state`).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-fault circuit breaker with a cooldown-then-probe cycle.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive model faults that trip the breaker open.
+    cooldown_seconds:
+        How long the breaker stays open before allowing one probe.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_seconds: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ConfigError("breaker threshold must be >= 1")
+        if cooldown_seconds < 0:
+            raise ConfigError("breaker cooldown must be >= 0")
+        self.threshold = threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_faults = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.trips = 0
+        self.probes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open`` → ``half_open`` on cooldown."""
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._state = HALF_OPEN
+        return self._state
+
+    def allow_request(self) -> bool:
+        """Whether the next batch may run against the model.
+
+        ``closed`` always allows; ``half_open`` allows exactly one probe
+        (marking it as taken); ``open`` blocks.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN:
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            self.probes += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def record_fault(self) -> bool:
+        """Register one model fault; returns True when the breaker trips.
+
+        A fault during a half-open probe re-opens immediately (the model
+        is still broken — no need to accumulate ``threshold`` failures
+        again).
+        """
+        if self._state == HALF_OPEN:
+            self._probe_in_flight = False
+            self._trip()
+            return True
+        self._consecutive_faults += 1
+        if self._state == CLOSED and self._consecutive_faults >= self.threshold:
+            self._trip()
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """Register one clean batch: closes a probe, resets the counter."""
+        self._consecutive_faults = 0
+        self._probe_in_flight = False
+        self._state = CLOSED
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._consecutive_faults = 0
+        self.trips += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"CircuitBreaker(state={self.state!r}, trips={self.trips}, "
+            f"threshold={self.threshold})"
+        )

@@ -1,0 +1,202 @@
+"""Serving configuration: coalescing windows, deadlines, resilience knobs.
+
+One frozen :class:`ServingConfig` travels through the whole serving
+stack — the micro-batching front door, admission control, the retry
+policy and the circuit breaker all read their limits from it.  Like the
+dtype and sparse policies (:mod:`repro.tensor.dtypes`) it is a
+process-wide default with a thread-local override, settable four ways:
+
+- ``REPRO_SERVE_*`` environment variables, read at import time and
+  **re-read on every** :func:`reinit_serving_from_env` call — the knobs
+  never latch stale values (the same contract the PR-6 fix gave
+  ``REPRO_SPARSE``: re-initialising after a variable was *removed* falls
+  back to the built-in default, exactly as a fresh import would);
+- :func:`set_serving_config` for a persistent switch;
+- the scoped :func:`serving_config` context manager;
+- explicit ``ServingConfig(...)`` instances passed straight to the
+  service (tests do this).
+
+Environment variables (all optional)::
+
+    REPRO_SERVE_MAX_BATCH_SIZE      coalesce at most this many requests
+    REPRO_SERVE_MAX_WAIT_MS         coalescing window per micro-batch
+    REPRO_SERVE_QUEUE_CAPACITY      bounded queue size (hard limit)
+    REPRO_SERVE_SHED_WATERMARK      shed above this fraction of capacity
+    REPRO_SERVE_DEADLINE_MS         default per-request deadline
+    REPRO_SERVE_MAX_RETRIES         transient batch-failure retries
+    REPRO_SERVE_RETRY_BACKOFF_MS    first retry backoff
+    REPRO_SERVE_RETRY_BACKOFF_FACTOR exponential backoff multiplier
+    REPRO_SERVE_BREAKER_THRESHOLD   consecutive model faults to trip
+    REPRO_SERVE_BREAKER_COOLDOWN_MS open duration before a half-open probe
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+import threading
+from typing import Iterator
+
+from repro.errors import ConfigError
+
+#: Prefix shared by every serving environment variable.
+SERVE_ENV_PREFIX = "REPRO_SERVE_"
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingConfig:
+    """Limits and windows of the online inference service.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Upper bound on how many requests one micro-batch coalesces.
+    max_wait_ms:
+        How long the batcher waits for more requests after the first one
+        arrives before dispatching a partial batch.
+    queue_capacity:
+        Hard bound of the admission queue; a full queue sheds outright.
+    shed_watermark:
+        Fraction of ``queue_capacity`` above which new requests are shed
+        immediately (admission control fires *before* the hard bound).
+    deadline_ms:
+        Default per-request deadline; a request whose deadline passes
+        before its result is ready receives a ``timeout`` response.
+    max_retries:
+        How many times a failed micro-batch is retried (exponential
+        backoff) before its requests get degraded responses.
+    retry_backoff_ms / retry_backoff_factor:
+        First backoff sleep and its per-attempt multiplier.
+    breaker_threshold:
+        Consecutive model faults (NaN/Inf outputs) that trip the circuit
+        breaker open.
+    breaker_cooldown_ms:
+        How long the breaker stays open before letting one probe batch
+        through (half-open).
+    """
+
+    max_batch_size: int = 64
+    max_wait_ms: float = 5.0
+    queue_capacity: int = 256
+    shed_watermark: float = 0.75
+    deadline_ms: float = 1000.0
+    max_retries: int = 2
+    retry_backoff_ms: float = 10.0
+    retry_backoff_factor: float = 2.0
+    breaker_threshold: int = 3
+    breaker_cooldown_ms: float = 250.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ConfigError("max_wait_ms must be >= 0")
+        if self.queue_capacity < 1:
+            raise ConfigError("queue_capacity must be >= 1")
+        if not 0.0 < self.shed_watermark <= 1.0:
+            raise ConfigError("shed_watermark must lie in (0, 1]")
+        if self.deadline_ms <= 0:
+            raise ConfigError("deadline_ms must be positive")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.retry_backoff_ms < 0:
+            raise ConfigError("retry_backoff_ms must be >= 0")
+        if self.retry_backoff_factor < 1.0:
+            raise ConfigError("retry_backoff_factor must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ConfigError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_ms < 0:
+            raise ConfigError("breaker_cooldown_ms must be >= 0")
+
+    @property
+    def shed_depth(self) -> int:
+        """Queue depth (absolute) at which admission control sheds."""
+        return max(1, int(self.queue_capacity * self.shed_watermark))
+
+
+#: (env suffix, field name, parser) — one row per ``REPRO_SERVE_*`` knob.
+_ENV_FIELDS: tuple[tuple[str, str, type], ...] = (
+    ("MAX_BATCH_SIZE", "max_batch_size", int),
+    ("MAX_WAIT_MS", "max_wait_ms", float),
+    ("QUEUE_CAPACITY", "queue_capacity", int),
+    ("SHED_WATERMARK", "shed_watermark", float),
+    ("DEADLINE_MS", "deadline_ms", float),
+    ("MAX_RETRIES", "max_retries", int),
+    ("RETRY_BACKOFF_MS", "retry_backoff_ms", float),
+    ("RETRY_BACKOFF_FACTOR", "retry_backoff_factor", float),
+    ("BREAKER_THRESHOLD", "breaker_threshold", int),
+    ("BREAKER_COOLDOWN_MS", "breaker_cooldown_ms", float),
+)
+
+_STATE = threading.local()
+_PROCESS_CONFIG = ServingConfig()
+
+
+def get_serving_config() -> ServingConfig:
+    """The active serving configuration for this thread."""
+    return getattr(_STATE, "config", _PROCESS_CONFIG)
+
+
+def set_serving_config(config: ServingConfig) -> ServingConfig:
+    """Set the process-wide serving configuration; returns it."""
+    global _PROCESS_CONFIG
+    if not isinstance(config, ServingConfig):
+        raise ConfigError(
+            f"expected a ServingConfig, got {type(config).__name__}"
+        )
+    _PROCESS_CONFIG = config
+    _STATE.config = config
+    return config
+
+
+@contextlib.contextmanager
+def serving_config(**overrides) -> Iterator[ServingConfig]:
+    """Scoped override of the serving config (restores the previous one).
+
+    Unspecified fields inherit from the currently active config, so
+    ``with serving_config(max_batch_size=4):`` changes only that knob.
+    """
+    previous = get_serving_config()
+    _STATE.config = dataclasses.replace(previous, **overrides)
+    try:
+        yield _STATE.config
+    finally:
+        _STATE.config = previous
+
+
+def serving_config_from_env() -> ServingConfig:
+    """Build a config from built-in defaults plus current ``REPRO_SERVE_*``.
+
+    Reads the environment **now**, every call — never a value latched at
+    import time.  A variable that is unset (or was removed since the last
+    read) contributes the built-in default; a malformed value raises
+    :class:`~repro.errors.ConfigError` so a typo fails loudly instead of
+    silently serving with the wrong limits.
+    """
+    overrides: dict[str, int | float] = {}
+    for suffix, field, parser in _ENV_FIELDS:
+        name = f"{SERVE_ENV_PREFIX}{suffix}"
+        raw = os.environ.get(name)
+        if raw is None or not raw.strip():
+            continue
+        try:
+            overrides[field] = parser(raw)
+        except ValueError as exc:
+            raise ConfigError(
+                f"{name}={raw!r} is not a valid {parser.__name__}"
+            ) from exc
+    return ServingConfig(**overrides)
+
+
+def reinit_serving_from_env() -> ServingConfig:
+    """Re-read ``REPRO_SERVE_*`` and install the result process-wide.
+
+    Mirrors the ``REPRO_SPARSE`` re-init contract: always starts from the
+    built-in defaults, so re-initialising after a variable was *removed*
+    falls back to the default, exactly as a fresh import would.
+    """
+    return set_serving_config(serving_config_from_env())
+
+
+reinit_serving_from_env()

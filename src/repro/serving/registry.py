@@ -1,0 +1,158 @@
+"""Hot-loadable model registry with last-good rollback.
+
+The serving layer never trains; it *swaps* models that training produced.
+:class:`ModelRegistry` owns the model currently answering requests and
+hot-loads format-v2 checkpoints behind the service's back:
+
+1. the candidate file is read through :func:`repro.io.load_checkpoint`,
+   whose content-checksum validation rejects truncated/corrupt archives
+   with a :class:`~repro.io.CheckpointError` (never garbage parameters);
+2. the candidate's parameters are checked for finiteness with the PR-2
+   guard predicate (:meth:`~repro.training.resilience.TrainingGuard.
+   check_array`) — a checkpoint full of NaN passes the checksum (it is
+   exactly what was saved) but must never reach traffic;
+3. optionally, a *probe corpus* is transformed and the resulting θ rows
+   are checked the same way, catching weights that are finite but
+   explode through the forward pass.
+
+Only after every validation passes is the model reference swapped (under
+a lock, atomically from the service's point of view).  Any failure
+leaves the previous model serving — that **is** the rollback: the
+last-good model never stops answering, and ``last_good_path`` still
+names a file that is known to load.  The chaos harness exercises the
+whole path by corrupting checkpoint files just before a load
+(:meth:`repro.training.faults.FaultInjector.corrupt_checkpoint`).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ReproError, ServingError
+from repro.io import load_checkpoint
+from repro.training.resilience import TrainingGuard
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.data.corpus import Corpus
+    from repro.models.base import NeuralTopicModel
+    from repro.training.faults import FaultInjector
+
+
+class ModelRegistry:
+    """The model currently serving traffic, plus hot-reload with rollback.
+
+    Parameters
+    ----------
+    model:
+        The initial (fitted) model.  It becomes version 1.
+    factory:
+        Zero-argument callable building a *fresh, architecture-compatible*
+        model for checkpoint loads.  Without it :meth:`load` raises
+        :class:`~repro.errors.ServingError` — there is nothing to load
+        parameters into.
+    probe_corpus:
+        Optional tiny corpus transformed as a validation probe after each
+        load; non-finite θ rows reject the candidate.
+    faults:
+        Optional chaos injector; its
+        :meth:`~repro.training.faults.FaultInjector.corrupt_checkpoint`
+        hook runs against the file just before every load.
+    """
+
+    def __init__(
+        self,
+        model: "NeuralTopicModel",
+        *,
+        factory: "Callable[[], NeuralTopicModel] | None" = None,
+        probe_corpus: "Corpus | None" = None,
+        faults: "FaultInjector | None" = None,
+    ):
+        self._lock = threading.Lock()
+        self._model = model
+        self._factory = factory
+        self._probe_corpus = probe_corpus
+        self._faults = faults
+        self.version = 1
+        self.last_good_path: Path | None = None
+        self.reloads = 0
+        self.rollbacks = 0
+        self.last_error: str | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> "NeuralTopicModel":
+        """The model currently answering requests (always usable)."""
+        with self._lock:
+            return self._model
+
+    def load(self, path: str | Path) -> bool:
+        """Hot-load a checkpoint; returns True when it went live.
+
+        On any load or validation failure the candidate is discarded, the
+        previous model keeps serving (``rollbacks`` is incremented and
+        ``last_error`` records why), and False is returned — a bad
+        checkpoint must never take the service down, let alone fail a
+        request.
+        """
+        if self._factory is None:
+            raise ServingError(
+                "this registry has no model factory; construct it with "
+                "factory=... to enable checkpoint hot-loading"
+            )
+        path = Path(path)
+        if self._faults is not None:
+            self._faults.corrupt_checkpoint(path)
+        candidate = self._factory()
+        try:
+            load_checkpoint(candidate, path)
+            self._validate(candidate, path)
+        except ReproError as exc:
+            with self._lock:
+                self.rollbacks += 1
+                self.last_error = f"{type(exc).__name__}: {exc}"
+            return False
+        candidate._fitted = True
+        candidate.eval()
+        with self._lock:
+            self._model = candidate
+            self.version += 1
+            self.last_good_path = path
+            self.reloads += 1
+            self.last_error = None
+        return True
+
+    def reload_last_good(self) -> bool:
+        """Re-load the last checkpoint that passed validation.
+
+        Returns False when no checkpoint has ever gone live (the initial
+        in-memory model keeps serving either way).
+        """
+        if self.last_good_path is None:
+            return False
+        return self.load(self.last_good_path)
+
+    # ------------------------------------------------------------------
+    def _validate(self, candidate: "NeuralTopicModel", path: Path) -> None:
+        """Reject candidates whose parameters or probe outputs are not finite."""
+        for name, value in candidate.state_dict().items():
+            if not TrainingGuard.check_array(value):
+                raise ServingError(
+                    f"{path}: parameter {name!r} contains non-finite values; "
+                    "refusing to serve from this checkpoint"
+                )
+        if self._probe_corpus is not None:
+            candidate._fitted = True
+            theta = candidate.transform(self._probe_corpus)
+            if not TrainingGuard.check_array(theta):
+                raise ServingError(
+                    f"{path}: validation probe produced non-finite θ; "
+                    "refusing to serve from this checkpoint"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"ModelRegistry(version={self.version}, reloads={self.reloads}, "
+            f"rollbacks={self.rollbacks})"
+        )

@@ -51,6 +51,20 @@ SPARSE_DENSE_KEY = "sparse/dense"
 SPARSE_SPARSE_KEY = "sparse/sparse"
 SPARSE_DOCS_KEY = "sparse/docs"
 
+#: Registry keys the serving load generator records under
+#: (``python -m repro serve`` and ``benchmarks/bench_serving.py``):
+#: end-to-end wall-clock of the load run, per-request latency
+#: percentiles, and the number of requests submitted.
+#: :func:`build_report` rolls them into ``totals``
+#: (``serving_p50_seconds``/``p95``/``p99``, ``serving_wall_seconds``
+#: and the ``serving_requests_per_sec`` throughput) so the CI perf-guard
+#: can gate the online inference service.
+SERVING_WALL_KEY = "serving/wall"
+SERVING_P50_KEY = "serving/p50"
+SERVING_P95_KEY = "serving/p95"
+SERVING_P99_KEY = "serving/p99"
+SERVING_REQUESTS_KEY = "serving/requests_total"
+
 
 def _op_table(registry: MetricsRegistry) -> list[dict]:
     """Extract the per-op rows from a registry's ``op/*`` keys."""
@@ -173,6 +187,23 @@ def build_report(
             if dense_leg is not None and dense_leg.total_seconds > 0:
                 totals["sparse_dense_docs_per_sec"] = float(
                     docs.value / dense_leg.total_seconds
+                )
+        for key, total in (
+            (SERVING_WALL_KEY, "serving_wall_seconds"),
+            (SERVING_P50_KEY, "serving_p50_seconds"),
+            (SERVING_P95_KEY, "serving_p95_seconds"),
+            (SERVING_P99_KEY, "serving_p99_seconds"),
+        ):
+            stat = registry.timers.get(key)
+            if stat is not None and stat.count:
+                totals[total] = float(stat.total_seconds)
+        wall = registry.timers.get(SERVING_WALL_KEY)
+        served = registry.counters.get(SERVING_REQUESTS_KEY)
+        if served is not None and served.value:
+            totals["serving_requests"] = int(served.value)
+            if wall is not None and wall.total_seconds > 0:
+                totals["serving_requests_per_sec"] = float(
+                    served.value / wall.total_seconds
                 )
     report = {
         "schema": SCHEMA,
@@ -326,6 +357,10 @@ TIME_TOTALS = (
     "multiseed_serial_seconds",
     "multiseed_parallel_seconds",
     "sparse_sparse_seconds",
+    "serving_wall_seconds",
+    "serving_p50_seconds",
+    "serving_p95_seconds",
+    "serving_p99_seconds",
 )
 
 #: totals keys where *smaller* current values mean a slowdown.
@@ -334,6 +369,7 @@ RATE_TOTALS = (
     "multiseed_speedup",
     "sparse_speedup",
     "sparse_docs_per_sec",
+    "serving_requests_per_sec",
 )
 
 

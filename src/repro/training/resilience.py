@@ -133,6 +133,18 @@ class TrainingGuard:
         """True when the pre-clip global gradient norm is finite."""
         return bool(np.isfinite(grad_norm))
 
+    @staticmethod
+    def check_array(values) -> bool:
+        """True when *every* element of an output array is finite.
+
+        The serving-side guard predicate: :mod:`repro.serving` runs it
+        over each micro-batch's θ rows (and the registry over candidate
+        checkpoint parameters), so a model that starts emitting NaN/Inf
+        trips the circuit breaker through the same machinery that guards
+        training.
+        """
+        return bool(np.isfinite(np.asarray(values)).all())
+
     # ------------------------------------------------------------------
     # recovery ladder
     # ------------------------------------------------------------------

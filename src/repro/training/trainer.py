@@ -235,7 +235,17 @@ class CheckpointSpec:
 #: tuples (dataclass defaults and ``__post_init__`` validation expect
 #: tuples, and frozen specs should not carry mutable members).
 _TUPLE_FIELDS = frozenset(
-    {"hidden_sizes", "nan_loss_steps", "exploding_grad_steps", "interrupt_saves"}
+    {
+        "hidden_sizes",
+        "nan_loss_steps",
+        "exploding_grad_steps",
+        "interrupt_saves",
+        "interrupt_categories",
+        "serve_latency_steps",
+        "serve_nan_steps",
+        "serve_death_steps",
+        "corrupt_checkpoint_loads",
+    }
 )
 
 

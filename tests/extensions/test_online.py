@@ -155,3 +155,44 @@ class TestOnlineTraining:
             )
 
         assert distance(online.model.state_dict()) < distance(fresh.model.state_dict())
+
+
+class TestExportCheckpoint:
+    """The producer side of the serving hot-reload loop."""
+
+    def test_export_requires_a_consumed_slice(self, stream, tmp_path):
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        with pytest.raises(NotFittedError):
+            online.export_checkpoint(tmp_path / "slice.npz")
+
+    def test_exported_slice_hot_loads_into_a_registry(self, stream, tmp_path):
+        from repro.io import load_checkpoint
+        from repro.serving import ModelRegistry
+
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        online.partial_fit(slices[0])
+        path = online.export_checkpoint(tmp_path / "slice.npz")
+
+        from repro.core.contratopic import ContraTopic
+        from repro.core.similarity import npmi_kernel
+        from repro.metrics.npmi import NpmiMatrix
+
+        kernel = npmi_kernel(NpmiMatrix(online.kernel_matrix))
+
+        def factory():
+            return ContraTopic(
+                online._factory(), kernel, online.regularizer_config
+            )
+
+        # The archive carries slice provenance...
+        extra = load_checkpoint(factory(), path)
+        assert extra["slice_index"] == 0
+        assert "mean_drift" in extra
+
+        # ...and a registry can publish it live, consumer-side validated.
+        registry = ModelRegistry(online.model, factory=factory)
+        assert registry.load(path)
+        assert registry.version == 2
+        assert registry.last_good_path == path

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigError, NotFittedError
+from repro.data.corpus import Corpus
+from repro.errors import ConfigError, CorpusError, NotFittedError, ShapeError
 from repro.models import NTMConfig, ProdLDA
 from repro.models.base import VaeEncoder
 from repro.tensor import Tensor
@@ -87,6 +88,22 @@ class TestFitAndTransform:
         model = ProdLDA(tiny_corpus.vocab_size + 5, fast_config)
         with pytest.raises(ConfigError):
             model.fit(tiny_corpus)
+
+    def test_transform_rejects_empty_batch(self, tiny_corpus, fast_config):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)
+        empty = Corpus(tiny_corpus.documents[:1], tiny_corpus.vocabulary)
+        empty.documents = []  # Corpus() itself rejects empty input
+        with pytest.raises(CorpusError, match="empty batch"):
+            model.transform(empty)
+
+    def test_transform_rejects_foreign_vocabulary(
+        self, tiny_corpus, fast_config, toy_corpus
+    ):
+        """Documents indexed against another vocabulary fail precisely,
+        not as a shape explosion deep inside the encoder."""
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)
+        with pytest.raises(ShapeError, match="re-index"):
+            model.transform(toy_corpus)
 
     def test_top_words_strings(self, tiny_corpus, fast_config):
         model = ProdLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)

@@ -44,6 +44,16 @@ class TestResolveWorkers:
         monkeypatch.setenv(WORKERS_ENV, "  ")
         assert resolve_workers(None) == (os.cpu_count() or 1)
 
+    def test_env_never_latches(self, monkeypatch):
+        """Each call re-reads the environment: removing the variable
+        removes its effect (same contract as REPRO_SPARSE/REPRO_SERVE_*)."""
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers(None) == 5
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        assert resolve_workers(None) == 2
+        monkeypatch.delenv(WORKERS_ENV)
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
     def test_invalid_env_rejected(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "many")
         with pytest.raises(ConfigError):

@@ -1,0 +1,40 @@
+"""Shared serving fixtures: one fitted model, factories, fast configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import ProdLDA
+from repro.serving import ModelRegistry, ServingConfig
+
+
+@pytest.fixture(scope="session")
+def served_model(tiny_corpus, fast_config):
+    """One fitted model shared by the serving suite (training is slow)."""
+    model = ProdLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)
+    model.eval()
+    return model
+
+
+@pytest.fixture()
+def model_factory(tiny_corpus, fast_config):
+    """Fresh architecture-compatible models for registry hot-loads."""
+    return lambda: ProdLDA(tiny_corpus.vocab_size, fast_config)
+
+
+@pytest.fixture()
+def registry(served_model):
+    return ModelRegistry(served_model)
+
+
+@pytest.fixture()
+def fast_serving_config():
+    """Small batches and short windows so tests run in milliseconds."""
+    return ServingConfig(
+        max_batch_size=8,
+        max_wait_ms=1.0,
+        queue_capacity=64,
+        deadline_ms=2000.0,
+        retry_backoff_ms=1.0,
+        breaker_cooldown_ms=30.0,
+    )

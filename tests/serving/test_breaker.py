@@ -1,0 +1,132 @@
+"""CircuitBreaker: the three-state machine, driven by a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(threshold=3, cooldown_seconds=1.0, clock=clock)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow_request()
+
+    def test_trips_after_threshold_consecutive_faults(self, breaker):
+        assert not breaker.record_fault()
+        assert not breaker.record_fault()
+        assert breaker.record_fault()  # third consecutive → trip
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow_request()
+
+    def test_success_resets_the_consecutive_counter(self, breaker):
+        breaker.record_fault()
+        breaker.record_fault()
+        breaker.record_success()
+        # The run of faults was broken; two more do not trip.
+        assert not breaker.record_fault()
+        assert not breaker.record_fault()
+        assert breaker.state == CLOSED
+        assert breaker.trips == 0
+
+
+class TestCooldownAndProbe:
+    def test_half_open_after_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_fault()
+        assert breaker.state == OPEN
+        clock.advance(0.99)
+        assert breaker.state == OPEN
+        clock.advance(0.02)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_allows_exactly_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_fault()
+        clock.advance(1.5)
+        assert breaker.allow_request()
+        assert breaker.probes == 1
+        # Until the probe resolves, no further traffic.
+        assert not breaker.allow_request()
+
+    def test_clean_probe_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_fault()
+        clock.advance(1.5)
+        assert breaker.allow_request()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow_request()
+
+    def test_faulty_probe_reopens_immediately(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_fault()
+        clock.advance(1.5)
+        assert breaker.allow_request()
+        # One fault re-trips straight away — no need for `threshold` again.
+        assert breaker.record_fault()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow_request()
+
+    def test_reopen_restarts_the_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_fault()
+        clock.advance(1.5)
+        breaker.allow_request()
+        breaker.record_fault()  # re-trip at t=1.5
+        clock.advance(0.6)
+        assert breaker.state == OPEN  # only 0.6s into the new cooldown
+        clock.advance(0.5)
+        assert breaker.state == HALF_OPEN
+
+    def test_deterministic_trip_recover_cycle(self, clock):
+        """The full cycle is a pure function of faults and the clock."""
+        breaker = CircuitBreaker(threshold=1, cooldown_seconds=0.5, clock=clock)
+        transcript = []
+        for step, faulty in enumerate([True, False, False]):
+            clock.advance(0.6)
+            allowed = breaker.allow_request()
+            transcript.append((step, breaker.state, allowed))
+            if allowed:
+                (breaker.record_fault if faulty else breaker.record_success)()
+        assert transcript == [
+            (0, CLOSED, True),     # runs, faults, trips
+            (1, HALF_OPEN, True),  # cooldown elapsed → probe
+            (2, CLOSED, True),     # clean probe closed it
+        ]
+        assert breaker.trips == 1
+        assert breaker.probes == 1
+
+
+class TestValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(threshold=0)
+
+    def test_rejects_negative_cooldown(self):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(cooldown_seconds=-0.1)

@@ -1,0 +1,151 @@
+"""ModelRegistry: hot-loads that validate, rollbacks that never fail."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.errors import ServingError
+from repro.io import save_checkpoint
+from repro.models import ProdLDA
+from repro.serving import ModelRegistry
+from repro.training.faults import FaultInjector, FaultPlan
+
+
+@pytest.fixture()
+def checkpoint(served_model, tmp_path):
+    path = tmp_path / "published.npz"
+    save_checkpoint(served_model, path)
+    return path
+
+
+class TestLoad:
+    def test_successful_load_goes_live(
+        self, served_model, model_factory, checkpoint, tiny_corpus
+    ):
+        registry = ModelRegistry(served_model, factory=model_factory)
+        assert registry.version == 1
+        assert registry.load(checkpoint)
+        assert registry.version == 2
+        assert registry.reloads == 1
+        assert registry.rollbacks == 0
+        assert registry.last_good_path == checkpoint
+        assert registry.last_error is None
+        # The swapped-in candidate answers identically to the original.
+        np.testing.assert_allclose(
+            registry.model.transform(tiny_corpus),
+            served_model.transform(tiny_corpus),
+        )
+
+    def test_load_without_factory_raises(self, served_model, checkpoint):
+        registry = ModelRegistry(served_model)
+        with pytest.raises(ServingError, match="factory"):
+            registry.load(checkpoint)
+
+    def test_corrupt_file_rolls_back(
+        self, served_model, model_factory, checkpoint, tiny_corpus
+    ):
+        registry = ModelRegistry(served_model, factory=model_factory)
+        data = checkpoint.read_bytes()
+        checkpoint.write_bytes(data[: len(data) // 2])
+
+        before = registry.model
+        assert not registry.load(checkpoint)
+        # Rollback = the previous model never stopped serving.
+        assert registry.model is before
+        assert registry.version == 1
+        assert registry.rollbacks == 1
+        assert registry.reloads == 0
+        assert "CheckpointError" in registry.last_error
+        registry.model.transform(tiny_corpus)  # still answers
+
+    def test_nonfinite_parameters_roll_back(
+        self, served_model, model_factory, tmp_path
+    ):
+        poisoned = model_factory()
+        next(iter(poisoned.parameters())).data[...] = np.nan
+        path = tmp_path / "poisoned.npz"
+        save_checkpoint(poisoned, path)
+
+        registry = ModelRegistry(served_model, factory=model_factory)
+        assert not registry.load(path)
+        assert registry.rollbacks == 1
+        assert "non-finite" in registry.last_error
+        assert registry.model is served_model
+
+    def test_probe_corpus_rejects_nonfinite_theta(
+        self, served_model, tiny_corpus, fast_config, checkpoint
+    ):
+        class NaNForward(ProdLDA):
+            def transform(self, corpus):
+                return np.full(
+                    (len(corpus), self.config.num_topics), np.nan
+                )
+
+        probe = Corpus(tiny_corpus.documents[:3], tiny_corpus.vocabulary)
+        registry = ModelRegistry(
+            served_model,
+            factory=lambda: NaNForward(tiny_corpus.vocab_size, fast_config),
+            probe_corpus=probe,
+        )
+        assert not registry.load(checkpoint)
+        assert registry.rollbacks == 1
+        assert "probe" in registry.last_error
+        assert registry.model is served_model
+
+    def test_probe_corpus_passes_on_healthy_candidate(
+        self, served_model, model_factory, tiny_corpus, checkpoint
+    ):
+        probe = Corpus(tiny_corpus.documents[:3], tiny_corpus.vocabulary)
+        registry = ModelRegistry(
+            served_model, factory=model_factory, probe_corpus=probe
+        )
+        assert registry.load(checkpoint)
+        assert registry.version == 2
+
+
+class TestLastGood:
+    def test_reload_last_good_without_history(self, served_model, model_factory):
+        registry = ModelRegistry(served_model, factory=model_factory)
+        assert not registry.reload_last_good()
+        assert registry.version == 1
+
+    def test_reload_last_good_reloads_the_validated_path(
+        self, served_model, model_factory, checkpoint
+    ):
+        registry = ModelRegistry(served_model, factory=model_factory)
+        assert registry.load(checkpoint)
+        assert registry.reload_last_good()
+        assert registry.version == 3
+        assert registry.last_good_path == checkpoint
+
+    def test_failed_load_keeps_last_good_path(
+        self, served_model, model_factory, checkpoint, tmp_path
+    ):
+        registry = ModelRegistry(served_model, factory=model_factory)
+        assert registry.load(checkpoint)
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not a checkpoint at all")
+        assert not registry.load(bad)
+        assert registry.last_good_path == checkpoint
+        assert registry.version == 2
+
+
+class TestChaosHook:
+    def test_planned_corruption_rolls_back_then_republish_recovers(
+        self, served_model, model_factory, checkpoint
+    ):
+        faults = FaultInjector(FaultPlan(corrupt_checkpoint_loads=(0,)))
+        registry = ModelRegistry(
+            served_model, factory=model_factory, faults=faults
+        )
+        # Load 0: the injector truncates the file on disk → rollback.
+        assert not registry.load(checkpoint)
+        assert faults.counts["corrupted_loads"] == 1
+        assert registry.rollbacks == 1
+        assert registry.model is served_model
+        # The publisher re-publishes a good file; load 1 goes live.
+        save_checkpoint(served_model, checkpoint)
+        assert registry.load(checkpoint)
+        assert registry.version == 2

@@ -350,3 +350,60 @@ class TestResilienceFlags:
                 ],
                 out=io.StringIO(),
             )
+
+
+class TestServeCommand:
+    def test_serve_clean_run_writes_report(self, tmp_path):
+        from repro.telemetry import load_report
+
+        telemetry = tmp_path / "BENCH_serving.json"
+        output = _run(
+            [
+                "serve",
+                "--dataset", "20ng",
+                "--scale", "0.08",
+                "--num-topics", "6",
+                "--epochs", "2",
+                "--requests", "40",
+                "--concurrency", "8",
+                "--max-batch-size", "8",
+                "--max-wait-ms", "1",
+                "--telemetry", str(telemetry),
+            ]
+        )
+        assert "all requests received well-formed responses" in output
+        report = load_report(telemetry)
+        totals = report["totals"]
+        assert totals["serving_requests"] == 40
+        assert totals["serving_p95_seconds"] >= totals["serving_p50_seconds"]
+        assert report["meta"]["status_counts"]["ok"] == 40
+
+    def test_serve_chaos_answers_every_request(self, tmp_path):
+        telemetry = tmp_path / "BENCH_serving_chaos.json"
+        output = _run(
+            [
+                "serve",
+                "--dataset", "20ng",
+                "--scale", "0.08",
+                "--num-topics", "6",
+                "--epochs", "2",
+                "--requests", "60",
+                "--concurrency", "8",
+                "--max-batch-size", "8",
+                "--max-wait-ms", "1",
+                "--reload-every", "20",
+                "--chaos-nan", "0.2",
+                "--chaos-death", "0.1",
+                "--chaos-corrupt-reloads", "1",
+                "--faults-seed", "0",
+                "--telemetry", str(telemetry),
+            ]
+        )
+        assert "all requests received well-formed responses" in output
+        from repro.telemetry import load_report
+
+        meta = load_report(telemetry)["meta"]
+        assert meta["chaos"] is True
+        assert sum(meta["status_counts"].values()) == 60
+        # The transient publication checkpoint is cleaned up afterwards.
+        assert not list(tmp_path.glob("*.ckpt.npz"))

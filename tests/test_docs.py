@@ -89,6 +89,11 @@ class TestDocstringCoverage:
             "repro.training.protocol",
             "repro.training.trainer",
             "repro.extensions.online",
+            "repro.serving.service",
+            "repro.serving.breaker",
+            "repro.serving.registry",
+            "repro.serving.config",
+            "repro.serving.loadgen",
         ],
     )
     def test_public_items_documented(self, module_name):

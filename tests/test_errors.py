@@ -15,6 +15,10 @@ class TestHierarchy:
             "ConfigError",
             "ConvergenceError",
             "NotFittedError",
+            "TelemetryError",
+            "ParallelExecutionError",
+            "TrainingDivergedError",
+            "ServingError",
         ):
             assert issubclass(getattr(errors, name), errors.ReproError), name
 
@@ -26,6 +30,7 @@ class TestHierarchy:
         assert issubclass(errors.VocabularyError, KeyError)
         assert issubclass(errors.GradientError, RuntimeError)
         assert issubclass(errors.NotFittedError, RuntimeError)
+        assert issubclass(errors.ServingError, RuntimeError)
 
     def test_checkpoint_error_in_hierarchy(self):
         from repro.io import CheckpointError

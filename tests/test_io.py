@@ -181,3 +181,80 @@ class TestCorpusSerialization:
         path = tmp_path / "corpus.npz"
         save_corpus(toy_corpus, path)
         assert load_corpus(path).vocabulary.frozen
+
+
+class TestContentChecksum:
+    """Checkpoint content checksums: deterministic, order-free, tamper-proof."""
+
+    def _arrays(self):
+        return {
+            "w": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "b": np.zeros(4, dtype=np.float32),
+        }
+
+    def test_deterministic_and_order_independent(self):
+        from repro.io import content_checksum
+
+        arrays = self._arrays()
+        reversed_order = dict(reversed(list(arrays.items())))
+        assert content_checksum(arrays) == content_checksum(reversed_order)
+        assert len(content_checksum(arrays)) == 8
+
+    def test_sensitive_to_values_names_and_dtype(self):
+        from repro.io import content_checksum
+
+        base = content_checksum(self._arrays())
+
+        tweaked = self._arrays()
+        tweaked["w"][0, 0] += 1.0
+        assert content_checksum(tweaked) != base
+
+        renamed = {("w2" if k == "w" else k): v for k, v in self._arrays().items()}
+        assert content_checksum(renamed) != base
+
+        retyped = self._arrays()
+        retyped["b"] = retyped["b"].astype(np.float64)
+        assert content_checksum(retyped) != base
+
+    def test_tampered_checkpoint_rejected_with_clear_error(
+        self, tiny_corpus, fast_config, tmp_path
+    ):
+        """Corruption that survives the zip layer still fails loudly."""
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+
+        # Rewrite the archive with one parameter perturbed but the
+        # original meta blob (and its stored checksum) intact: a valid
+        # zip, a valid header, silently-wrong weights.
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        tampered = next(k for k in arrays if not k.startswith("__"))
+        arrays[tampered] = arrays[tampered] + 1.0
+        np.savez(path, **arrays)
+
+        fresh = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(fresh, path)
+
+    def test_legacy_checkpoint_without_checksum_still_loads(
+        self, tiny_corpus, fast_config, tmp_path
+    ):
+        """Pre-checksum archives (no stored digest) load unverified."""
+        import json as _json
+
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config).fit(tiny_corpus)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path, extra={"generation": 9})
+
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        meta = _json.loads(arrays["__repro_meta__"].tobytes().decode("utf-8"))
+        del meta["content_checksum"]
+        arrays["__repro_meta__"] = np.frombuffer(
+            _json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+
+        fresh = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        assert load_checkpoint(fresh, path) == {"generation": 9}

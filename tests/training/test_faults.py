@@ -6,6 +6,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.io import atomic_write, load_checkpoint, save_checkpoint
 from repro.models import ProdLDA
+from repro.models.base import NTMConfig
 from repro.tensor import Tensor
 from repro.training.faults import (
     FaultInjector,
@@ -123,3 +124,87 @@ class TestInterruptedWrites:
             fp.write("fine\n")
         assert (tmp_path / "out.txt").read_text() == "fine\n"
         assert injector.counts["interrupted_saves"] == 0
+
+
+class TestInterruptCategories:
+    """Interrupted writes reach every atomic_write call site by category."""
+
+    def _report(self):
+        from repro.telemetry.report import build_report
+
+        return build_report("faults-test", epochs=[{"duration_seconds": 0.5}])
+
+    def test_default_plan_leaves_reports_alone(self, tmp_path):
+        from repro.telemetry.report import load_report, write_report
+
+        injector = FaultInjector(interrupt_saves=(0,))
+        with interrupted_writes(injector):
+            path = write_report(self._report(), tmp_path / "BENCH_x.json")
+        assert load_report(path)["name"] == "faults-test"
+        # Commits outside the planned categories never advance the counter.
+        assert injector.counts["interrupted_saves"] == 0
+
+    def test_report_category_interrupts_write_report(self, tmp_path):
+        from repro.telemetry.report import load_report, write_report
+
+        path = tmp_path / "BENCH_x.json"
+        write_report(self._report(), path)
+        before = path.read_text()
+
+        plan = FaultPlan(interrupt_saves=(0,), interrupt_categories=("report",))
+        injector = FaultInjector(plan)
+        with interrupted_writes(injector):
+            with pytest.raises(InjectedFault):
+                write_report(self._report(), path)
+            # The crash hit before the rename: the old report survives.
+            assert path.read_text() == before
+            # ... and a checkpoint commit is untouched by this plan.
+            save_checkpoint(ProdLDA(12, NTMConfig(num_topics=2)), tmp_path / "m.npz")
+        assert injector.counts["interrupted_saves"] == 1
+        assert load_report(path)["name"] == "faults-test"
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_corpus_category_interrupts_save_corpus(self, toy_corpus, tmp_path):
+        from repro.io import load_corpus, save_corpus
+
+        path = tmp_path / "corpus.npz"
+        save_corpus(toy_corpus, path)
+
+        plan = FaultPlan(interrupt_saves=(0,), interrupt_categories=("corpus",))
+        with interrupted_writes(FaultInjector(plan)):
+            with pytest.raises(InjectedFault):
+                save_corpus(toy_corpus, path)
+        restored = load_corpus(path)  # previous publication intact
+        assert len(restored) == len(toy_corpus)
+
+    def test_report_category_interrupts_baseline_update(self, tmp_path):
+        import importlib.util
+        from pathlib import Path as _P
+
+        from repro.telemetry.report import load_report, write_report
+
+        script = _P(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+        spec = importlib.util.spec_from_file_location("check_regression", script)
+        check_regression = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(check_regression)
+
+        baseline = tmp_path / "baseline.json"
+        write_report(self._report(), baseline)
+        before = baseline.read_text()
+        current = tmp_path / "current.json"
+        report = self._report()
+        report["name"] = "fresher"
+        write_report(report, current)
+
+        plan = FaultPlan(interrupt_saves=(0,), interrupt_categories=("report",))
+        argv = [
+            "--update-baseline",
+            "--baseline", str(baseline),
+            "--current", str(current),
+        ]
+        with interrupted_writes(FaultInjector(plan)):
+            with pytest.raises(InjectedFault):
+                check_regression.main(argv)
+            assert baseline.read_text() == before  # old baseline survives
+            assert check_regression.main(argv) == 0  # next commit publishes
+        assert load_report(baseline)["name"] == "fresher"
