@@ -117,6 +117,17 @@ class CircuitBreaker:
             return True
         return False
 
+    def abort_probe(self) -> None:
+        """Release a claimed half-open probe without rendering a verdict.
+
+        Used when the probe batch never produced model output to judge —
+        e.g. it exhausted its retries on an infrastructure failure.  That
+        says nothing about model health, so the breaker stays half-open
+        and the next batch may claim a fresh probe instead of the slot
+        leaking forever.
+        """
+        self._probe_in_flight = False
+
     def record_success(self) -> None:
         """Register one clean batch: closes a probe, resets the counter."""
         self._consecutive_faults = 0

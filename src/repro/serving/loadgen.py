@@ -208,6 +208,7 @@ def run_load(
     async def _main() -> list[Response]:
         await service.start()
         limit = asyncio.Semaphore(concurrency)
+        reload_lock = asyncio.Lock()
         completed = 0
 
         async def one(request: Request) -> Response:
@@ -216,10 +217,19 @@ def run_load(
                 response = await service.submit_request(request)
             completed += 1
             if reload_every > 0 and completed % reload_every == 0:
-                if reload_hook is not None:
-                    reload_hook()
-                elif reload_path is not None:
-                    service.registry.load(reload_path)
+                # The reload reads, checksums and probe-validates a
+                # checkpoint — blocking work that must not freeze the
+                # batching worker (and burn in-flight deadlines), so it
+                # runs in a thread while serving continues.  Reloads
+                # still serialize with each other: concurrent publishes
+                # of the same checkpoint path would race.
+                async with reload_lock:
+                    if reload_hook is not None:
+                        await asyncio.to_thread(reload_hook)
+                    elif reload_path is not None:
+                        await asyncio.to_thread(
+                            service.registry.load, reload_path
+                        )
             return response
 
         try:

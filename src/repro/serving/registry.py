@@ -87,6 +87,16 @@ class ModelRegistry:
         with self._lock:
             return self._model
 
+    def snapshot(self) -> "tuple[NeuralTopicModel, int]":
+        """The ``(model, version)`` pair under one lock acquisition.
+
+        Reading :attr:`model` and :attr:`version` separately can straddle
+        a concurrent hot-load and mislabel which model actually answered;
+        callers that report a version alongside an answer use this.
+        """
+        with self._lock:
+            return self._model, self.version
+
     def load(self, path: str | Path) -> bool:
         """Hot-load a checkpoint; returns True when it went live.
 

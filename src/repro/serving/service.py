@@ -55,7 +55,7 @@ import numpy as np
 
 from repro.data.corpus import Corpus
 from repro.errors import ServingError
-from repro.serving.breaker import CircuitBreaker
+from repro.serving.breaker import CLOSED, CircuitBreaker
 from repro.serving.config import ServingConfig, get_serving_config
 from repro.serving.registry import ModelRegistry
 from repro.training.resilience import TrainingGuard
@@ -336,7 +336,25 @@ class InferenceService:
             for pending in batch:
                 groups.setdefault(pending.request.kind, []).append(pending)
             for kind, group in groups.items():
-                await self._execute(kind, group)
+                try:
+                    await self._execute(kind, group)
+                except Exception as exc:
+                    # Catch-all so nothing escaping the resilience envelope
+                    # (a degraded-path model call, a metrics sink) can kill
+                    # the worker and strand every queued future unresolved.
+                    message = (
+                        f"unexpected serving failure: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    for pending in group:
+                        failure = Response(
+                            status=ERROR, error=message, batch_size=len(group)
+                        )
+                        try:
+                            self._finish(pending, failure)
+                        except Exception:
+                            if not pending.future.done():
+                                pending.future.set_result(failure)
             if stopping and self._running:
                 # A stray sentinel (stop() raced a restart) — keep serving.
                 stopping = False
@@ -357,7 +375,16 @@ class InferenceService:
         if not live:
             return
         size = len(live)
-        if not self.breaker.allow_request():
+        if kind == TRANSFORM:
+            allowed = self.breaker.allow_request()
+        else:
+            # Parameter reads never exercise the forward pass, so they
+            # must never claim (and potentially leak) the half-open
+            # probe — they just follow the breaker state, degrading
+            # whenever it is not closed and leaving the probe slot for a
+            # TRANSFORM batch that can actually render a verdict.
+            allowed = self.breaker.state == CLOSED
+        if not allowed:
             for pending in live:
                 self._finish(pending, self._degraded(kind, pending, size))
             return
@@ -379,6 +406,11 @@ class InferenceService:
                 self._count("batch_failures")
                 attempt += 1
                 if attempt > self.config.max_retries:
+                    if kind == TRANSFORM:
+                        # An infrastructure failure renders no verdict on
+                        # model health: release any half-open probe this
+                        # batch claimed so the slot cannot leak.
+                        self.breaker.abort_probe()
                     message = f"{type(exc).__name__}: {exc}"
                     for pending in live:
                         self._finish(
@@ -426,8 +458,7 @@ class InferenceService:
     # ------------------------------------------------------------------
     def _compute(self, kind: str, payloads: list) -> tuple[list, int]:
         """One model call answering a whole same-kind micro-batch."""
-        model = self.registry.model
-        version = self.registry.version
+        model, version = self.registry.snapshot()
         if kind == TRANSFORM:
             corpus = Corpus(payloads, self._vocabulary)
             theta = model.transform(corpus)
@@ -452,7 +483,7 @@ class InferenceService:
         pure parameter reads and degrade to a best-effort read of the
         current (last-good) parameters.
         """
-        model = self.registry.model
+        model, version = self.registry.snapshot()
         num_topics = model.config.num_topics
         if kind == TRANSFORM:
             value: Any = np.full(num_topics, 1.0 / num_topics)
@@ -465,7 +496,7 @@ class InferenceService:
             value=value,
             error="circuit breaker open: serving degraded answers",
             batch_size=size,
-            model_version=self.registry.version,
+            model_version=version,
         )
 
     # ------------------------------------------------------------------

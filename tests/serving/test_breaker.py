@@ -81,6 +81,23 @@ class TestCooldownAndProbe:
         assert breaker.state == CLOSED
         assert breaker.allow_request()
 
+    def test_abort_probe_releases_the_slot(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_fault()
+        clock.advance(1.5)
+        assert breaker.allow_request()
+        # The probe never rendered a verdict (infrastructure failure):
+        # aborting keeps the breaker half-open and frees the slot.
+        breaker.abort_probe()
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow_request()
+        assert breaker.probes == 2
+
+    def test_abort_probe_is_a_noop_when_closed(self, breaker):
+        breaker.abort_probe()
+        assert breaker.state == CLOSED
+        assert breaker.allow_request()
+
     def test_faulty_probe_reopens_immediately(self, breaker, clock):
         for _ in range(3):
             breaker.record_fault()

@@ -254,6 +254,34 @@ class TestRetries:
         assert service.counts["retries"] == service.counts["batches"]
 
 
+class TestWorkerResilience:
+    def test_unexpected_exception_outside_retry_envelope_yields_errors(
+        self, registry, tiny_corpus, fast_serving_config, monkeypatch
+    ):
+        """An exception escaping _execute must not kill the worker.
+
+        Regression test: without the worker's catch-all, a failure on the
+        degraded path (outside the retry try-block) killed the batching
+        task and left every queued future unresolved — submit() hung
+        forever instead of returning a well-formed response.
+        """
+        service = make_service(registry, tiny_corpus, fast_serving_config)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("degraded path exploded")
+
+        monkeypatch.setattr(service, "_degraded", boom)
+        # Trip the breaker (long cooldown) so batches take the broken path.
+        for _ in range(service.breaker.threshold):
+            service.breaker.record_fault()
+        service.breaker.cooldown_seconds = 60.0
+        responses = service.serve(transform_requests(tiny_corpus, 4))
+        assert_all_answered(responses, 4)
+        assert all(r.status == "error" for r in responses)
+        assert all("degraded path exploded" in r.error for r in responses)
+        assert service.stats()["unanswered"] == 0
+
+
 class TestCircuitBreaker:
     def _sequential_service(self, registry, corpus, faults, **config_kwargs):
         config = ServingConfig(
@@ -339,6 +367,71 @@ class TestCircuitBreaker:
         assert np.asarray(coherence.value).shape == (num_topics,)
         # NaN is a model fault: it is never retried.
         assert service.counts["retries"] == 0
+
+    def test_parameter_reads_never_consume_the_half_open_probe(
+        self, registry, tiny_corpus
+    ):
+        """A top_words batch arriving half-open must not leak the probe.
+
+        Regression test: parameter reads never call record_success/
+        record_fault, so one claiming the probe would leave the breaker
+        half-open forever and every later request degraded.
+        """
+        faults = FaultInjector(FaultPlan(serve_nan_steps=(0, 1)))
+        service = self._sequential_service(registry, tiny_corpus, faults)
+        doc = [int(t) for t in tiny_corpus.documents[0]]
+
+        async def main():
+            await service.start()
+            try:
+                for _ in range(2):  # NaN faults → trip
+                    await service.submit(TRANSFORM, doc)
+                await asyncio.sleep(0.05)  # past the cooldown → half-open
+                reads = [await service.submit(TOP_WORDS, 5) for _ in range(3)]
+                probe = await service.submit(TRANSFORM, doc)
+                after = await service.submit(TRANSFORM, doc)
+                return reads, probe, after
+            finally:
+                await service.stop()
+
+        reads, probe, after = asyncio.run(main())
+        # The reads follow the breaker state (degraded) without claiming
+        # the probe, which stays available for the forward-pass batch.
+        assert all(r.status == "degraded" for r in reads)
+        assert probe.status == "ok"
+        assert after.status == "ok"
+        assert service.breaker.state == "closed"
+
+    def test_failed_probe_batch_releases_the_probe_slot(
+        self, registry, tiny_corpus
+    ):
+        """A probe that exhausts retries must not leak the half-open slot."""
+        faults = FaultInjector(
+            FaultPlan(serve_nan_steps=(0, 1), serve_death_steps=(2, 3))
+        )
+        service = self._sequential_service(
+            registry, tiny_corpus, faults, max_retries=1, retry_backoff_ms=1.0
+        )
+        doc = [int(t) for t in tiny_corpus.documents[0]]
+
+        async def main():
+            await service.start()
+            try:
+                for _ in range(2):  # NaN faults → trip
+                    await service.submit(TRANSFORM, doc)
+                await asyncio.sleep(0.05)  # → half-open
+                # This probe dies on both attempts → error response; the
+                # slot must be released, not leaked.
+                failed_probe = await service.submit(TRANSFORM, doc)
+                recovery = await service.submit(TRANSFORM, doc)
+                return failed_probe, recovery
+            finally:
+                await service.stop()
+
+        failed_probe, recovery = asyncio.run(main())
+        assert failed_probe.status == "error"
+        assert recovery.status == "ok"
+        assert service.breaker.state == "closed"
 
     def test_faulty_probe_reopens(self, registry, tiny_corpus):
         faults = FaultInjector(FaultPlan(serve_nan_steps=(0, 1, 2)))
