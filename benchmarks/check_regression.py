@@ -40,6 +40,11 @@ Refreshing a baseline after an intentional perf change::
     python benchmarks/check_regression.py --update-baseline
     python benchmarks/check_regression.py --update-baseline \
         --baseline benchmarks/baselines/BENCH_ops.json --current BENCH_ops.json
+
+Diffing two arbitrary reports (no gate, exit 0 unless inputs are bad) —
+used by the ddp scaling report and handy for local before/after runs::
+
+    python benchmarks/check_regression.py --compare BENCH_before.json BENCH_after.json
 """
 
 from __future__ import annotations
@@ -57,6 +62,46 @@ from repro.telemetry import compare_reports, load_report, summarize_report  # no
 
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_computational_analysis.json"
 DEFAULT_CURRENT = Path("BENCH_computational_analysis.json")
+
+
+def compare_mode(path_a: Path, path_b: Path) -> int:
+    """Print per-total deltas between two reports; no regression gate.
+
+    Every ``totals`` key present in either report gets a row (A, B,
+    delta, ratio); keys missing on one side show as ``-``.  Exit 0
+    unless a report cannot be loaded (2).
+    """
+    for path in (path_a, path_b):
+        if not path.exists():
+            print(f"error: report {path} does not exist", file=sys.stderr)
+            return 2
+    try:
+        report_a = load_report(path_a)
+        report_b = load_report(path_b)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    totals_a = report_a.get("totals", {})
+    totals_b = report_b.get("totals", {})
+    print(f"compare: A={path_a} ({report_a.get('name')})")
+    print(f"         B={path_b} ({report_b.get('name')})")
+    header = f"{'metric':<32} {'A':>14} {'B':>14} {'delta':>14} {'ratio':>8}"
+    print(header)
+    print("-" * len(header))
+    for key in sorted(set(totals_a) | set(totals_b)):
+        a, b = totals_a.get(key), totals_b.get(key)
+        if a is None or b is None:
+            a_text = f"{a:.6g}" if a is not None else "-"
+            b_text = f"{b:.6g}" if b is not None else "-"
+            print(f"{key:<32} {a_text:>14} {b_text:>14} {'-':>14} {'-':>8}")
+            continue
+        delta = b - a
+        ratio = f"{b / a:.3f}x" if a else "inf"
+        print(
+            f"{key:<32} {a:>14.6g} {b:>14.6g} {delta:>+14.6g} {ratio:>8}"
+        )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -84,7 +129,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="copy --current over --baseline instead of comparing",
     )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        type=Path,
+        metavar=("A", "B"),
+        help=(
+            "diff two bench reports (per-total deltas, no pass/fail gate) "
+            "instead of guarding --current against --baseline"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.compare is not None:
+        return compare_mode(*args.compare)
 
     if not args.current.exists():
         print(f"error: current report {args.current} does not exist", file=sys.stderr)

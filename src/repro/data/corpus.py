@@ -85,10 +85,21 @@ class Corpus:
             self.labels = None
         self.label_names = list(label_names) if label_names is not None else None
         self._bow_cache: np.ndarray | None = None
-        self._bow_cast: tuple[np.dtype, np.ndarray] | None = None
+        self._bow_casts: dict[np.dtype, np.ndarray] = {}
         self._csr_cache: sparse.csr_matrix | None = None
         self._csr_master: CSRBatch | None = None
-        self._csr_cast: tuple[np.dtype, CSRBatch] | None = None
+        self._csr_casts: dict[np.dtype, CSRBatch] = {}
+        # Cache-effectiveness counters (see record_cast_stats): a "rebuild"
+        # is a from-scratch materialization for a dtype, a "hit" a cached
+        # return.  With the per-dtype dict caches each dtype rebuilds at
+        # most once per corpus lifetime — alternating float32 training with
+        # float64 NPMI evaluation no longer thrashes.
+        self.cast_stats: dict[str, int] = {
+            "bow_rebuilds": 0,
+            "bow_hits": 0,
+            "csr_rebuilds": 0,
+            "csr_hits": 0,
+        }
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -125,20 +136,27 @@ class Corpus:
         nonzeros into a zeroed array of that dtype — a float32 request
         never materialises a full-corpus float64 intermediate (counts are
         exact in either precision).  float64 results keep their dedicated
-        cache slot; any other dtype — e.g. the active policy dtype from
+        cache slot; every other dtype — e.g. the active policy dtype from
         :func:`repro.tensor.dtypes.get_default_dtype`, as the trainer and
-        ``transform`` do — occupies the one-slot cast cache, so repeated
-        same-dtype requests (one per ``fit``/``transform``) cost nothing
-        new.
+        ``transform`` do — gets its own entry in a per-dtype cast dict, so
+        each dtype is built at most once per corpus lifetime even when
+        requests alternate (float32 training interleaved with float64
+        evaluation used to rebuild on every switch).
         """
         resolved = np.dtype(dtype)
         if resolved == np.float64:
             if self._bow_cache is None:
+                self.cast_stats["bow_rebuilds"] += 1
                 self._bow_cache = self.bow_csr(np.float64).toarray()
+            else:
+                self.cast_stats["bow_hits"] += 1
             return self._bow_cache
-        if self._bow_cast is None or self._bow_cast[0] != resolved:
-            self._bow_cast = (resolved, self.bow_csr(resolved).toarray())
-        return self._bow_cast[1]
+        if resolved not in self._bow_casts:
+            self.cast_stats["bow_rebuilds"] += 1
+            self._bow_casts[resolved] = self.bow_csr(resolved).toarray()
+        else:
+            self.cast_stats["bow_hits"] += 1
+        return self._bow_casts[resolved]
 
     def bow_sparse(self) -> sparse.csr_matrix:
         """Sparse CSR bag-of-words count matrix (cached; do not mutate)."""
@@ -169,21 +187,78 @@ class Corpus:
         views from it and the fused ``*_csr`` kernels consume them without
         ever densifying.  Casts share the structure arrays
         (``indices``/``indptr``) and touch only the nnz ``data`` values;
-        the one-slot cast cache mirrors :meth:`bow_matrix`'s at O(nnz)
+        the per-dtype cast dict mirrors :meth:`bow_matrix`'s at O(nnz)
         cost instead of O(docs·vocab).
         """
         resolved = np.dtype(dtype)
-        if self._csr_master is None:
+        built_master = self._csr_master is None
+        if built_master:
             self._csr_master = CSRBatch.from_scipy(self.bow_sparse())
         if resolved == self._csr_master.dtype:
+            key = "csr_rebuilds" if built_master else "csr_hits"
+            self.cast_stats[key] += 1
             return self._csr_master
-        if self._csr_cast is None or self._csr_cast[0] != resolved:
-            self._csr_cast = (resolved, self._csr_master.astype(resolved))
-        return self._csr_cast[1]
+        if resolved not in self._csr_casts:
+            self.cast_stats["csr_rebuilds"] += 1
+            self._csr_casts[resolved] = self._csr_master.astype(resolved)
+        else:
+            self.cast_stats["csr_hits"] += 1
+        return self._csr_casts[resolved]
 
     def bow_density(self) -> float:
         """Nonzero fraction of the bag-of-words matrix (sparse dispatch)."""
         return self.bow_csr(np.float64).density
+
+    # ------------------------------------------------------------------
+    def adopt_bow_matrix(self, dtype, array: np.ndarray) -> None:
+        """Install ``array`` as the cached dense BOW for ``dtype``.
+
+        The DDP exchange (:mod:`repro.parallel.shm`) uses this to swap a
+        cache entry's backing storage for a shared-memory copy before
+        forking workers, so every rank maps one physical BOW.  The adopted
+        array must match the cached entry's shape and dtype exactly.
+        """
+        resolved = np.dtype(dtype)
+        expected = (len(self), self.vocab_size)
+        if array.shape != expected or array.dtype != resolved:
+            raise CorpusError(
+                f"adopted bow has shape {array.shape} dtype {array.dtype}, "
+                f"expected {expected} {resolved}"
+            )
+        if resolved == np.float64:
+            self._bow_cache = array
+        else:
+            self._bow_casts[resolved] = array
+
+    def adopt_bow_csr(self, dtype, csr: CSRBatch) -> None:
+        """Install ``csr`` as the cached :class:`CSRBatch` for ``dtype``.
+
+        Shared-memory counterpart of :meth:`adopt_bow_matrix` for the
+        sparse fast path; replaces the float64 master or the per-dtype
+        cast entry.
+        """
+        resolved = np.dtype(dtype)
+        expected = (len(self), self.vocab_size)
+        if tuple(csr.shape) != expected or csr.dtype != resolved:
+            raise CorpusError(
+                f"adopted csr has shape {tuple(csr.shape)} dtype {csr.dtype}, "
+                f"expected {expected} {resolved}"
+            )
+        if resolved == np.float64:
+            self._csr_master = csr
+        else:
+            self._csr_casts[resolved] = csr
+
+    def record_cast_stats(self, metrics, prefix: str = "data") -> None:
+        """Publish the cast-cache counters into a ``MetricsRegistry``.
+
+        Keys are absolute (``<prefix>/bow_cast_rebuilds`` etc.) so callers
+        in nested timer scopes record the same names.
+        """
+        for name, value in self.cast_stats.items():
+            kind, event = name.split("_", 1)
+            key = f"{prefix}/{kind}_cast_{event}"
+            metrics.counter(key, absolute=True).add(value)
 
     def binary_doc_word(self) -> sparse.csr_matrix:
         """Sparse boolean doc-word incidence (for NPMI co-occurrence)."""

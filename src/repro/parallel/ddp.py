@@ -1,0 +1,537 @@
+"""Data-parallel training: gradient-averaged batch sharding.
+
+One training step of Algorithm 1 is a pure function of (parameters,
+batch): the loss is a mean over documents, so the full-batch gradient
+equals the document-count-weighted average of per-shard gradients.  This
+module exploits that to parallelize a *single* run — the step the
+ROADMAP's north star still needed after PR 4 parallelized whole
+experiments and PRs 3/5/6 made the serial hot path fast:
+
+:class:`GradientExchange`
+    The strategy object the :class:`~repro.training.trainer.Trainer`
+    consults inside its batch-step pipeline.  The base class is the
+    **identity** (serial) strategy: ``dispatch`` returns the batch
+    untouched and ``reduce`` returns the loss parts untouched, so a run
+    with ``workers=1`` is bitwise-identical to the pre-DDP trainer.
+
+:class:`DDPGradientExchange`
+    Splits every batch into per-worker shards (``np.array_split`` over
+    the batch's document indices; the parent is rank 0 and keeps shard
+    0), has forked persistent workers compute ``loss_on_batch`` +
+    backward on their shard, and all-reduces the gradients as a
+    size-weighted average into the parent's ``p.grad`` before the
+    existing faults → clip → guard → step stages run *in the parent* on
+    the averaged values — the PR-2 resilience envelope and PR-5
+    checkpoint/resume semantics survive unchanged.
+
+Zero-copy data plane (:mod:`repro.parallel.shm`):
+
+* the **corpus BOW** is re-homed into shared memory before the fork
+  (:func:`~repro.parallel.shm.share_corpus_bow`), so N workers map one
+  physical bag-of-words instead of holding N copies;
+* **parameters** broadcast through one flat shared buffer the parent
+  rewrites per batch and workers read through views bound once at
+  startup (:func:`repro.tensor.flat.bind_params_to` — read-only, since
+  only the parent ever steps the optimizer);
+* **gradients** return through one persistent flat shared buffer per
+  worker — nothing per-batch is pickled except the small shard index
+  array and the scalar loss parts.
+
+Determinism: every rank's model RNG streams are reseeded at each epoch
+start from ``spawn_task_seed(seed, rank, stream=DDP_RNG_STREAM)`` +
+``(epoch, stream)`` spawn keys, so a run is a deterministic function of
+(corpus, seed, worker count) and a mid-training resume at the same
+worker count is bitwise — worker RNG state never needs checkpointing.
+The batch-shuffling RNG stays the parent's checkpointed stream.
+
+Exactness caveats (documented in docs/PARALLELISM.md): batch-dependent
+randomness (dropout, reparameterization noise, contrastive sampling) and
+BatchNorm *batch* statistics see per-shard batches rather than the full
+batch, so a ``workers=N`` run is statistically — not bitwise — equivalent
+to serial.  With those disabled (eval-mode ETM), the averaged gradient
+matches the serial full-batch gradient to float rounding.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import ConfigError, ParallelExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.parallel.shm import SharedArray, SharedCorpusBow
+    from repro.telemetry.core import MetricsRegistry
+
+# NOTE on imports: this module must stay importable with only numpy and
+# repro.errors loaded.  The Trainer imports it at module level (for the
+# GradientExchange strategy types), and repro.telemetry's package init
+# transitively imports the Trainer — so a top-level import of
+# repro.telemetry / repro.tensor / repro.parallel.pool here would make
+# ``import repro.parallel`` order-dependent.  Everything heavier is
+# imported inside the methods that use it (a sys.modules lookup per
+# batch — negligible next to a forward/backward pass).
+
+#: SeedSequence stream index of the per-rank model-RNG reseeds.  Far from
+#: stream 0 (the default every :func:`~repro.training.seed.spawn_task_seed`
+#: fan-out site uses), so worker-rank seeds are disjoint from per-seed
+#: task seeds and from the trainer's ``seed + 1`` batch-shuffling stream.
+DDP_RNG_STREAM = 0xDD
+
+#: How often the parent re-checks worker liveness while awaiting a reply.
+_POLL_INTERVAL = 0.05
+
+#: Hard ceiling on one shard's compute time before the parent gives up.
+_REPLY_TIMEOUT = 300.0
+
+
+# ----------------------------------------------------------------------
+# the strategy interface (identity == serial)
+# ----------------------------------------------------------------------
+class GradientExchange:
+    """How gradients are produced for one batch: serially, by default.
+
+    The Trainer calls, in pipeline order::
+
+        bind(model, corpus, dtype)      # once per fit, before batching
+        start_epoch(epoch)              # once per epoch
+        shard = dispatch(bow, idx, extra_loss_enabled)   # per batch
+        ... parent computes loss+backward on ``shard`` ...
+        parts = reduce(model, parts, shard_docs, total_docs)
+        abort()                         # instead of reduce, on guard skip
+        close()                         # once per fit, always
+
+    The base implementation is the identity strategy: the "shard" is the
+    whole batch and ``reduce`` is a no-op, which *is* the serial trainer.
+    """
+
+    workers = 1
+
+    def bind(self, model, corpus, dtype) -> None:
+        """Attach to a run before the fork/batching begins (no-op)."""
+
+    def start_epoch(self, epoch: int) -> None:
+        """Epoch boundary hook (no-op serially)."""
+
+    def dispatch(self, bow, idx, extra_loss_enabled: bool):
+        """The parent's shard of ``bow`` (serially: the whole batch)."""
+        return bow
+
+    def reduce(self, model, parts: dict, shard_docs: int, total_docs: int) -> dict:
+        """All-reduce gradients/parts (serially: the identity)."""
+        return parts
+
+    def abort(self) -> None:
+        """Discard the in-flight dispatch (guard skipped the batch)."""
+
+    def close(self) -> None:
+        """Release every resource the exchange holds (no-op serially)."""
+
+
+class SerialExchange(GradientExchange):
+    """The explicit name for the identity strategy (``workers=1``)."""
+
+
+# ----------------------------------------------------------------------
+# deterministic per-(rank, epoch) model reseeding
+# ----------------------------------------------------------------------
+def reseed_model_streams(model, seed: int, rank: int, epoch: int) -> None:
+    """Reseed every model RNG stream deterministically for (rank, epoch).
+
+    The per-rank base seed comes from ``spawn_task_seed(seed, rank,
+    stream=DDP_RNG_STREAM)``; each named stream then gets its own
+    ``(epoch, stream-index)`` spawn key.  Reseeding at every epoch start
+    (parent included) makes a DDP run's randomness a function of the
+    epoch number alone, which is what lets a resumed run replay worker
+    streams bitwise without ever checkpointing them.
+    """
+    from repro.training.seed import spawn_task_seed  # lazy: import cycle
+
+    base = spawn_task_seed(seed, rank, stream=DDP_RNG_STREAM)
+    streams = model.rng_streams()
+    for index, name in enumerate(sorted(streams)):
+        fresh = np.random.default_rng(
+            np.random.SeedSequence(entropy=base, spawn_key=(int(epoch), index))
+        )
+        streams[name].bit_generator.state = fresh.bit_generator.state
+
+
+# ----------------------------------------------------------------------
+# the forked worker
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkerContext:
+    """Everything a forked worker needs, passed by reference (no pickle)."""
+
+    model: Any
+    corpus: Any
+    dtype: np.dtype
+    sparse: bool
+    density_threshold: float
+    seed: int
+    param_flat: np.ndarray
+    grad_flats: list
+
+
+def _materialize_shard(ctx: _WorkerContext, idx: np.ndarray):
+    """Gather one shard from the shared BOW, mirroring
+    :meth:`repro.data.loaders.BatchIterator._materialize` (including the
+    per-batch density fallback, evaluated on the shard)."""
+    if not ctx.sparse:
+        return ctx.corpus.bow_matrix(ctx.dtype)[idx]
+    shard = ctx.corpus.bow_csr(ctx.dtype).take_rows(idx)
+    if shard.density >= ctx.density_threshold:
+        return shard.toarray()
+    return shard
+
+
+def _memory_probe() -> dict:
+    """Self-reported memory of the calling process (Linux; best effort).
+
+    ``private_dirty`` is the figure the zero-copy test asserts on: pages
+    this process actually owns, excluding everything fork-shared or
+    mapped from the shm segments.
+    """
+    info: dict = {"pid": os.getpid()}
+    try:
+        with open("/proc/self/smaps_rollup") as fh:
+            for line in fh:
+                for label, key in (
+                    ("Rss:", "rss"),
+                    ("Private_Dirty:", "private_dirty"),
+                    ("Shared_Clean:", "shared_clean"),
+                    ("Shared_Dirty:", "shared_dirty"),
+                ):
+                    if line.startswith(label):
+                        info[key] = int(line.split(":", 1)[1].strip().split()[0]) * 1024
+    except OSError:  # pragma: no cover - /proc layout dependent
+        pass
+    return info
+
+
+def _worker_main(ctx: _WorkerContext, rank: int, conn) -> None:
+    """Forked worker loop: materialize shard → loss → backward → shm.
+
+    Parameters are bound once to read-only views of the shared broadcast
+    buffer — the parent rewrites it before every dispatch, so the views
+    always show the post-step values without any per-batch copy.
+    """
+    from repro.tensor.flat import bind_params_to, write_grads
+
+    params = list(ctx.model.parameters())
+    bind_params_to(params, ctx.param_flat)
+    grad_flat = ctx.grad_flats[rank - 1]
+    last_epoch: int | None = None
+    while True:
+        msg = conn.recv()
+        tag = msg[0]
+        if tag == "stop":
+            conn.close()
+            return
+        if tag == "probe":
+            conn.send(("probe_ok", msg[1], rank, _memory_probe()))
+            continue
+        _, seq, epoch, shard_idx, extra_enabled = msg
+        try:
+            if epoch != last_epoch:
+                reseed_model_streams(ctx.model, ctx.seed, rank, epoch)
+                last_epoch = epoch
+            ctx.model.extra_loss_enabled = extra_enabled
+            for p in params:
+                p.grad = None
+            bow = _materialize_shard(ctx, shard_idx)
+            loss, parts = ctx.model.loss_on_batch(bow)
+            loss.backward()
+            write_grads(params, grad_flat)
+            conn.send(
+                ("ok", seq, int(shard_idx.size), {k: float(v) for k, v in parts.items()})
+            )
+        except Exception:  # noqa: BLE001 - shipped to the parent verbatim
+            conn.send(("err", seq, traceback.format_exc()))
+
+
+# ----------------------------------------------------------------------
+# the data-parallel strategy
+# ----------------------------------------------------------------------
+class DDPGradientExchange(GradientExchange):
+    """Size-weighted gradient all-reduce over forked shard workers.
+
+    Parameters
+    ----------
+    workers:
+        Total ranks, parent included — ``workers=4`` forks 3 children.
+    seed:
+        The model seed; per-rank RNG derives from it (see
+        :func:`reseed_model_streams`).
+    metrics:
+        Registry the ``ddp/*`` timers and counters are recorded into
+        (``ddp/shard``, ``ddp/reduce``, ``ddp/step`` timers;
+        ``ddp/bytes_params``, ``ddp/bytes_grads``, ``ddp/batches``,
+        ``ddp/bow_bytes_shared`` counters).  A private registry is
+        created when omitted; benches merge it into their report.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        seed: int,
+        metrics: MetricsRegistry | None = None,
+    ):
+        from repro.parallel.pool import fork_available
+        from repro.telemetry.core import MetricsRegistry
+
+        if workers < 2:
+            raise ConfigError(f"DDP needs >= 2 workers, got {workers}")
+        if not fork_available():  # pragma: no cover - platform dependent
+            raise ConfigError(
+                "data-parallel training requires the fork start method"
+            )
+        self.workers = int(workers)
+        self.seed = int(seed)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._model = None
+        self._corpus = None
+        self._params: list | None = None
+        self._param_buf: SharedArray | None = None
+        self._grad_bufs: list[SharedArray] = []
+        self._acc: np.ndarray | None = None
+        self._bow: SharedCorpusBow | None = None
+        self._procs: list = []
+        self._conns: list = []
+        self._seq = 0
+        self._epoch = 0
+        self._outstanding: list[int] = []
+        self._step_start: float | None = None
+
+    # ------------------------------------------------------------------
+    def bind(self, model, corpus, dtype) -> None:
+        """Share the BOW, allocate the flat buffers, fork the workers.
+
+        Must run before the trainer builds its
+        :class:`~repro.data.loaders.BatchIterator`: the iterator caches
+        the corpus BOW reference, and it has to cache the shared one.
+        """
+        from repro.parallel.shm import SharedArray, share_corpus_bow
+        from repro.tensor.dtypes import get_sparse_policy
+        from repro.tensor.flat import flat_size
+
+        policy = get_sparse_policy()
+        sparse = policy.use_sparse(corpus.bow_density())
+        self._bow = share_corpus_bow(corpus, dtype, sparse)
+        self.metrics.counter("ddp/bow_bytes_shared", absolute=True).value = float(
+            self._bow.bytes_shared
+        )
+        self._model = model
+        self._corpus = corpus
+        self._params = list(model.parameters())
+        size = flat_size(self._params)
+        param_dtype = self._params[0].data.dtype if self._params else np.float64
+        self._param_buf = SharedArray((size,), param_dtype)
+        self._grad_bufs = [
+            SharedArray((size,), param_dtype) for _ in range(self.workers - 1)
+        ]
+        self._acc = np.zeros(size, dtype=param_dtype)
+        ctx = _WorkerContext(
+            model=model,
+            corpus=corpus,
+            dtype=np.dtype(dtype),
+            sparse=sparse,
+            density_threshold=policy.density_threshold,
+            seed=self.seed,
+            param_flat=self._param_buf.array,
+            grad_flats=[buf.array for buf in self._grad_bufs],
+        )
+        fork = multiprocessing.get_context("fork")
+        for rank in range(1, self.workers):
+            parent_conn, child_conn = fork.Pipe(duplex=True)
+            proc = fork.Process(
+                target=_worker_main, args=(ctx, rank, child_conn), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    def start_epoch(self, epoch: int) -> None:
+        """Reseed rank 0 for the epoch; workers reseed on first dispatch."""
+        self._epoch = int(epoch)
+        reseed_model_streams(self._model, self.seed, 0, self._epoch)
+
+    # ------------------------------------------------------------------
+    def dispatch(self, bow, idx, extra_loss_enabled: bool):
+        """Broadcast parameters, ship shard indices, return shard 0.
+
+        ``np.array_split`` places the larger shards first, so shard 0 is
+        never empty; a rank whose shard *is* empty (batch smaller than
+        the worker count) simply sits this batch out.
+        """
+        if idx is None:
+            raise ConfigError(
+                "DDP dispatch needs the batch's document indices; "
+                "iterate BatchIterator.batches_with_indices()"
+            )
+        from repro.tensor.flat import write_params
+
+        self._step_start = time.perf_counter()
+        with self.metrics.timer("ddp/shard"):
+            write_params(self._params, self._param_buf.array)
+            self.metrics.count(
+                "ddp/bytes_params", self._param_buf.nbytes, absolute=True
+            )
+            self.metrics.count("ddp/batches", absolute=True)
+            shards = np.array_split(np.asarray(idx), self.workers)
+            self._seq += 1
+            self._outstanding = []
+            for worker_index, conn in enumerate(self._conns):
+                shard = shards[worker_index + 1]
+                if shard.size == 0:
+                    continue
+                conn.send(
+                    ("step", self._seq, self._epoch, shard, bool(extra_loss_enabled))
+                )
+                self._outstanding.append(worker_index)
+            n0 = int(shards[0].size)
+            if isinstance(bow, np.ndarray):
+                return bow[:n0]
+            return bow.slice_rows(0, n0)
+
+    def reduce(self, model, parts: dict, shard_docs: int, total_docs: int) -> dict:
+        """Size-weighted average of gradients and loss parts, in place.
+
+        After this returns, every parent parameter's ``grad`` views the
+        averaged flat accumulator, so the downstream fault injection,
+        clipping, guard and optimizer step all act on the batch-level
+        average — exactly what the serial step would have seen, up to the
+        documented shard-randomness caveats.
+        """
+        from repro.tensor.flat import load_grads, write_grads
+
+        with self.metrics.timer("ddp/reduce"):
+            replies = self._collect()
+            acc = self._acc
+            write_grads(self._params, acc)
+            acc *= float(shard_docs)
+            parts_acc = {k: float(v) * shard_docs for k, v in parts.items()}
+            docs = int(shard_docs)
+            for worker_index, n_docs, worker_parts in replies:
+                buf = self._grad_bufs[worker_index].array
+                acc += np.multiply(buf, float(n_docs))
+                self.metrics.count("ddp/bytes_grads", buf.nbytes, absolute=True)
+                for key, value in worker_parts.items():
+                    parts_acc[key] = parts_acc.get(key, 0.0) + value * n_docs
+                docs += n_docs
+            if docs != total_docs:
+                raise ParallelExecutionError(
+                    f"ddp reduce saw {docs} docs for a {total_docs}-doc batch"
+                )
+            acc /= float(docs)
+            load_grads(self._params, acc)
+        if self._step_start is not None:
+            self.metrics.record_seconds(
+                "ddp/step", time.perf_counter() - self._step_start, absolute=True
+            )
+            self._step_start = None
+        return {k: v / docs for k, v in parts_acc.items()}
+
+    def abort(self) -> None:
+        """Drain outstanding replies after a guard-skipped batch.
+
+        The workers already computed their shard (their gradients land in
+        the shm buffers and are simply never read), so draining keeps the
+        pipes in lockstep for the next dispatch.  A worker *crash* still
+        raises — a skipped batch must not mask a dead rank.
+        """
+        try:
+            for worker_index in self._outstanding:
+                self._recv(worker_index)
+        finally:
+            self._outstanding = []
+            self._step_start = None
+
+    # ------------------------------------------------------------------
+    def _recv(self, worker_index: int):
+        conn = self._conns[worker_index]
+        deadline = time.monotonic() + _REPLY_TIMEOUT
+        while not conn.poll(_POLL_INTERVAL):
+            proc = self._procs[worker_index]
+            if not proc.is_alive():
+                raise ParallelExecutionError(
+                    f"ddp worker {worker_index + 1} died "
+                    f"(exitcode {proc.exitcode}) before replying"
+                )
+            if time.monotonic() > deadline:  # pragma: no cover - hang guard
+                raise ParallelExecutionError(
+                    f"ddp worker {worker_index + 1} reply timed out"
+                )
+        return conn.recv()
+
+    def _collect(self) -> list[tuple[int, int, dict]]:
+        replies = []
+        for worker_index in self._outstanding:
+            msg = self._recv(worker_index)
+            tag, seq = msg[0], msg[1]
+            if seq != self._seq:
+                raise ParallelExecutionError(
+                    f"ddp worker {worker_index + 1} replied to step {seq}, "
+                    f"expected {self._seq}"
+                )
+            if tag == "err":
+                raise ParallelExecutionError(
+                    f"ddp worker {worker_index + 1} failed:\n{msg[2]}"
+                )
+            replies.append((worker_index, int(msg[2]), msg[3]))
+        self._outstanding = []
+        return replies
+
+    # ------------------------------------------------------------------
+    def probe_workers(self) -> list[dict]:
+        """Per-worker memory self-reports (the zero-copy RSS assertion)."""
+        self._seq += 1
+        for conn in self._conns:
+            conn.send(("probe", self._seq))
+        return [self._recv(i)[3] for i in range(len(self._conns))]
+
+    def close(self) -> None:
+        """Stop workers, then release pipes and every shm segment.
+
+        The corpus' adopted shm-backed cache arrays are re-privatized
+        (copied out) before their segments unmap — ``SharedMemory.close``
+        pulls the mapping out from under live views, so handing the
+        corpus back with views into a closed segment would turn its next
+        ``bow_matrix``/``bow_csr`` hit into a read of unmapped (or
+        recycled) memory.
+        """
+        from repro.parallel.shm import unshare_corpus_bow
+
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=10.0)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+        buffers = list(self._grad_bufs)
+        if self._param_buf is not None:
+            buffers.append(self._param_buf)
+        for buf in buffers:
+            buf.close()
+        self._param_buf = None
+        self._grad_bufs = []
+        self._acc = None
+        if self._bow is not None:
+            unshare_corpus_bow(self._corpus, self._bow)
+            self._bow = None
+        self._corpus = None

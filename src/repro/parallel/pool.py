@@ -46,6 +46,7 @@ import contextlib
 import multiprocessing
 import os
 import time
+import traceback
 import uuid
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -70,12 +71,30 @@ TASK_TIMER_KEY = "parallel/task"
 _TASK_GROUPS: dict[str, tuple[Callable[[Any], Any], list, bool]] = {}
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    Containerized CI commonly pins the process to a subset of the host's
+    cores; ``os.cpu_count()`` reports the host and oversubscribes.  The
+    scheduler affinity mask (``os.sched_getaffinity(0)``, Linux) is the
+    honest figure; platforms without it fall back to ``cpu_count()``.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic kernels
+            pass
+    return os.cpu_count() or 1
+
+
 def resolve_workers(workers: int | None = None) -> int:
     """Resolve the effective worker count.
 
     ``workers`` wins when given; otherwise the ``REPRO_WORKERS``
-    environment variable; otherwise ``os.cpu_count()``.  The result is
-    always >= 1; zero/negative values are configuration errors.
+    environment variable; otherwise :func:`available_cpus` (the CPU
+    affinity mask where the platform exposes one).  The result is always
+    >= 1; zero/negative values are configuration errors.
     """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV)
@@ -87,7 +106,7 @@ def resolve_workers(workers: int | None = None) -> int:
                     f"{WORKERS_ENV}={raw!r} is not an integer"
                 ) from None
         else:
-            return os.cpu_count() or 1
+            return available_cpus()
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
     return int(workers)
@@ -103,9 +122,12 @@ class TaskResult:
     """Outcome of one task of a parallel map, success or failure.
 
     ``value`` holds the task's return value when ``ok``; ``error`` holds
-    ``"ExcType: message"`` otherwise.  ``telemetry`` is the snapshot of
-    the task-local :class:`~repro.telemetry.MetricsRegistry` (present in
-    both cases — a failing task's partial timings are still shipped).
+    ``"ExcType: message"`` otherwise, with the worker-side traceback text
+    in ``traceback`` (fan-out sites used to surface only the exception
+    type, which made crashed workers undebuggable from the parent).
+    ``telemetry`` is the snapshot of the task-local
+    :class:`~repro.telemetry.MetricsRegistry` (present in both cases — a
+    failing task's partial timings are still shipped).
     """
 
     index: int
@@ -115,6 +137,7 @@ class TaskResult:
     seconds: float = 0.0
     pid: int = 0
     telemetry: dict | None = field(default=None, repr=False)
+    traceback: str | None = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -123,7 +146,10 @@ class TaskResult:
     def unwrap(self) -> Any:
         """The task's value; raises :class:`ParallelExecutionError` if it failed."""
         if not self.ok:
-            raise ParallelExecutionError(f"task {self.index} failed: {self.error}")
+            detail = f"\n{self.traceback}" if self.traceback else ""
+            raise ParallelExecutionError(
+                f"task {self.index} failed: {self.error}{detail}"
+            )
         return self.value
 
 
@@ -159,6 +185,7 @@ def _execute(
             seconds=time.perf_counter() - start,
             pid=os.getpid(),
             telemetry=registry.snapshot(),
+            traceback=traceback.format_exc(),
         )
 
 

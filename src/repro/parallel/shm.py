@@ -1,0 +1,171 @@
+"""Shared-memory arrays for fork-based data-parallel training.
+
+The DDP exchange (:mod:`repro.parallel.ddp`) needs three kinds of arrays
+visible to every rank without per-batch pickling:
+
+* the **parameter broadcast buffer** the parent writes before each batch
+  and workers read through bound views,
+* one **gradient reduction buffer** per worker, written by the worker
+  after its backward pass and consumed by the parent's all-reduce,
+* the **corpus bag-of-words** (dense cast cache or CSR arrays), so N
+  workers map one BOW instead of holding N copies.
+
+All of them are numpy arrays backed by :class:`multiprocessing.shared_memory
+.SharedMemory` segments created in the parent *before* the workers fork.
+Forked children inherit the mappings, so cross-process writes are visible
+both ways and nothing is ever attached by name.
+
+Lifecycle: the creating process owns the segment and must call
+:meth:`SharedArray.close` (the exchange does, in ``close()``), which
+unmaps the parent's view and unlinks the name; inherited mappings in
+workers only unmap on process exit.
+
+.. warning::
+   ``SharedMemory.close()`` unmaps even while numpy views of the buffer
+   are still alive (CPython does not raise ``BufferError`` for ndarray
+   exports of ``shm.buf``) — a stale view then reads unmapped memory, or
+   worse, whatever segment got mapped at the same address next.  Any
+   array handed out beyond the exchange's lifetime (the corpus' adopted
+   BOW cache) must therefore be re-privatized with
+   :func:`unshare_corpus_bow` *before* its segment is closed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+class SharedArray:
+    """A numpy array whose buffer lives in a shared-memory segment.
+
+    Only the process that constructed the instance unlinks the segment;
+    fork-inherited copies merely unmap when they are garbage collected or
+    their process exits.
+    """
+
+    def __init__(self, shape, dtype):
+        shape = tuple(int(s) for s in np.atleast_1d(np.asarray(shape, dtype=np.int64)))
+        itemsize = np.dtype(dtype).itemsize
+        nbytes = max(1, int(np.prod(shape)) * itemsize)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._owner_pid = os.getpid()
+        self.array = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
+
+    @classmethod
+    def from_array(cls, source: np.ndarray) -> "SharedArray":
+        """A shared copy of ``source`` (same shape and dtype)."""
+        shared = cls(source.shape, source.dtype)
+        shared.array[...] = source
+        return shared
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    def close(self) -> None:
+        """Unmap this handle's view; the owner also unlinks the segment.
+
+        Closing UNMAPS the memory in this process even if other numpy
+        views of the buffer are still alive (see the module warning) —
+        callers must re-home any such view first
+        (:func:`unshare_corpus_bow` does, for the corpus cache).
+        """
+        owner = os.getpid() == self._owner_pid
+        self.array = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - outstanding exported views
+            pass
+        if owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+
+@dataclass
+class SharedCorpusBow:
+    """Handles of a corpus BOW re-homed into shared memory.
+
+    ``segments`` keeps the :class:`SharedArray` owners alive (and
+    closeable); ``bytes_shared`` feeds the ``ddp_*`` telemetry.
+    """
+
+    sparse: bool
+    dtype: np.dtype
+    segments: list[SharedArray] = field(default_factory=list)
+
+    @property
+    def bytes_shared(self) -> int:
+        return sum(seg.nbytes for seg in self.segments)
+
+    def close(self) -> None:
+        for seg in self.segments:
+            seg.close()
+        self.segments.clear()
+
+
+def share_corpus_bow(corpus, dtype, sparse: bool) -> SharedCorpusBow:
+    """Move the corpus' cached BOW (for ``dtype``) into shared memory.
+
+    Builds the cache entry the training path will use — the dense
+    per-dtype cast for the dense path, the CSR master/cast for the sparse
+    path — copies its backing arrays into shared segments, and re-adopts
+    the shared copies into the corpus cache.  Every later
+    ``bow_matrix(dtype)`` / ``bow_csr(dtype)`` call (the trainer's
+    :class:`~repro.data.loaders.BatchIterator` makes exactly one) then
+    returns shared-memory-backed arrays, and workers forked afterwards
+    map the same physical pages.
+    """
+    from repro.tensor.sparse import CSRBatch
+
+    handles = SharedCorpusBow(sparse=bool(sparse), dtype=np.dtype(dtype))
+    if sparse:
+        csr = corpus.bow_csr(dtype)
+        data = SharedArray.from_array(csr.data)
+        indices = SharedArray.from_array(csr.indices)
+        indptr = SharedArray.from_array(csr.indptr)
+        handles.segments += [data, indices, indptr]
+        corpus.adopt_bow_csr(
+            dtype,
+            CSRBatch(data.array, indices.array, indptr.array, csr.shape),
+        )
+    else:
+        bow = corpus.bow_matrix(dtype)
+        dense = SharedArray.from_array(bow)
+        handles.segments.append(dense)
+        corpus.adopt_bow_matrix(dtype, dense.array)
+    return handles
+
+
+def unshare_corpus_bow(corpus, handles: SharedCorpusBow) -> None:
+    """Re-privatize the corpus cache, then release the shared segments.
+
+    The corpus cache entries installed by :func:`share_corpus_bow` are
+    views into the shared segments; closing those segments unmaps them
+    in place (see the module warning), so any cache entry that still
+    aliases a segment is first replaced with a private copy.  After this
+    returns, ``bow_matrix``/``bow_csr`` keep serving warm caches and the
+    segments are gone.
+    """
+    from repro.tensor.sparse import CSRBatch
+
+    shared = {id(seg.array) for seg in handles.segments if seg.array is not None}
+    if handles.sparse:
+        csr = corpus.bow_csr(handles.dtype)
+        if {id(csr.data), id(csr.indices), id(csr.indptr)} & shared:
+            corpus.adopt_bow_csr(
+                handles.dtype,
+                CSRBatch(
+                    csr.data.copy(), csr.indices.copy(), csr.indptr.copy(), csr.shape
+                ),
+            )
+    else:
+        bow = corpus.bow_matrix(handles.dtype)
+        if id(bow) in shared:
+            corpus.adopt_bow_matrix(handles.dtype, bow.copy())
+    handles.close()

@@ -1,0 +1,93 @@
+"""Flat (1-D) views over a parameter list's data and gradients.
+
+Data-parallel training (:mod:`repro.parallel.ddp`) moves parameters and
+gradients between processes through preallocated flat buffers — one
+contiguous float array per direction — instead of pickling per-parameter
+payloads.  These helpers define the single canonical layout both sides
+use: parameters in ``model.parameters()`` order (stable: the module tree
+walk is deterministic), each flattened C-order, concatenated.
+
+Everything here is plain numpy over ``Parameter.data`` / ``Parameter.grad``
+arrays; nothing differentiates, so the helpers live next to the tensor
+layer but below autodiff.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def flat_size(parameters: Sequence) -> int:
+    """Total number of scalars across ``parameters`` (the buffer length)."""
+    return int(sum(p.data.size for p in parameters))
+
+
+def _check_buffer(parameters: Sequence, flat: np.ndarray, what: str) -> None:
+    needed = flat_size(parameters)
+    if flat.ndim != 1 or flat.shape[0] != needed:
+        raise ShapeError(
+            f"{what} buffer has shape {flat.shape}, expected ({needed},) "
+            f"for {len(parameters)} parameters"
+        )
+
+
+def write_params(parameters: Sequence, flat: np.ndarray) -> None:
+    """Copy every parameter's ``data`` into ``flat`` (canonical layout)."""
+    _check_buffer(parameters, flat, "parameter")
+    offset = 0
+    for p in parameters:
+        n = p.data.size
+        flat[offset : offset + n] = p.data.reshape(-1)
+        offset += n
+
+
+def bind_params_to(parameters: Sequence, flat: np.ndarray) -> None:
+    """Rebind every parameter's ``data`` to a **read-only view** of ``flat``.
+
+    This is the worker side of the shared-memory parameter broadcast: the
+    parent writes the flat buffer before each batch and the worker's
+    forward pass reads the views — no per-batch copy, no pickling.  The
+    views are marked non-writeable as a tripwire: workers never step the
+    optimizer, so nothing should ever write parameter data in place.
+    """
+    _check_buffer(parameters, flat, "parameter")
+    offset = 0
+    for p in parameters:
+        n = p.data.size
+        view = flat[offset : offset + n].reshape(p.data.shape)
+        view.flags.writeable = False
+        p.data = view
+        offset += n
+
+
+def write_grads(parameters: Sequence, flat: np.ndarray) -> None:
+    """Copy every parameter's gradient into ``flat`` (missing grads → 0)."""
+    _check_buffer(parameters, flat, "gradient")
+    offset = 0
+    for p in parameters:
+        n = p.data.size
+        if p.grad is None:
+            flat[offset : offset + n] = 0.0
+        else:
+            flat[offset : offset + n] = p.grad.reshape(-1)
+        offset += n
+
+
+def load_grads(parameters: Sequence, flat: np.ndarray) -> None:
+    """Rebind every parameter's ``grad`` to a view of ``flat``.
+
+    The views alias ``flat`` — callers that reuse the buffer (the
+    all-reduce accumulator does, once per batch) must only overwrite it
+    after the optimizer step consumed the gradients, which the trainer's
+    ``zero_grad → … → step`` pipeline guarantees.
+    """
+    _check_buffer(parameters, flat, "gradient")
+    offset = 0
+    for p in parameters:
+        n = p.data.size
+        p.grad = flat[offset : offset + n].reshape(p.data.shape)
+        offset += n

@@ -47,6 +47,46 @@ class TestBagOfWords:
         assert toy_corpus.bow_matrix(np.float32).dtype == np.float32
 
 
+class TestCastCache:
+    def test_alternating_dtypes_rebuild_at_most_once_each(self, toy_corpus):
+        # Regression: float32 training interleaved with float64 NPMI
+        # evaluation used to rebuild the BOW on every dtype switch.  The
+        # per-dtype dicts pin each dtype to at most one materialization
+        # per corpus lifetime, however requests alternate.
+        for _ in range(8):
+            toy_corpus.bow_matrix(np.float32)
+            toy_corpus.bow_matrix(np.float64)
+            toy_corpus.bow_csr(np.float32)
+            toy_corpus.bow_csr(np.float64)
+        stats = toy_corpus.cast_stats
+        assert stats["bow_rebuilds"] == 2  # one per dtype, never more
+        assert stats["csr_rebuilds"] <= 2
+        assert stats["bow_hits"] >= 14
+        assert stats["csr_hits"] >= 14
+
+    def test_alternating_dtypes_return_stable_objects(self, toy_corpus):
+        f32_first = toy_corpus.bow_matrix(np.float32)
+        f64_first = toy_corpus.bow_matrix(np.float64)
+        assert toy_corpus.bow_matrix(np.float32) is f32_first
+        assert toy_corpus.bow_matrix(np.float64) is f64_first
+        csr_first = toy_corpus.bow_csr(np.float32)
+        toy_corpus.bow_csr(np.float64)
+        assert toy_corpus.bow_csr(np.float32) is csr_first
+
+    def test_record_cast_stats_publishes_counters(self, toy_corpus):
+        from repro.telemetry import MetricsRegistry
+
+        toy_corpus.bow_matrix(np.float32)
+        toy_corpus.bow_matrix(np.float32)
+        registry = MetricsRegistry()
+        toy_corpus.record_cast_stats(registry)
+        counters = registry.snapshot()["counters"]
+        assert counters["data/bow_cast_rebuilds"] == 1
+        assert counters["data/bow_cast_hits"] == 1
+        assert "data/csr_cast_rebuilds" in counters
+        assert "data/csr_cast_hits" in counters
+
+
 class TestStats:
     def test_table1_quantities(self, toy_corpus):
         stats = toy_corpus.stats()

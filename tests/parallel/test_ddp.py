@@ -1,0 +1,348 @@
+"""The data-parallel exchange: shm plumbing, seeding, failure paths.
+
+Training-level equivalence (bitwise serial identity, gradient averaging,
+resume, guards) lives in ``tests/training/test_ddp_training.py``; this
+module covers the building blocks — :class:`SharedArray`,
+:func:`share_corpus_bow`/:func:`unshare_corpus_bow`, per-rank reseeding
+and the exchange's dispatch/reduce failure semantics.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.data.vocabulary import Vocabulary
+from repro.errors import ConfigError, CorpusError, ParallelExecutionError
+from repro.models import ProdLDA
+from repro.models.base import NTMConfig
+from repro.parallel import (
+    DDP_RNG_STREAM,
+    DDPGradientExchange,
+    SerialExchange,
+    SharedArray,
+    fork_available,
+    share_corpus_bow,
+    unshare_corpus_bow,
+)
+from repro.parallel.ddp import _memory_probe, reseed_model_streams
+from repro.training.seed import spawn_task_seed
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires the fork start method"
+)
+
+
+def _dense_corpus(docs: int = 12, vocab: int = 10, seed: int = 0) -> Corpus:
+    """A corpus dense enough (>25% nonzero) to take the dense BOW path."""
+    rng = np.random.default_rng(seed)
+    vocabulary = Vocabulary([f"w{i}" for i in range(vocab)])
+    documents = [rng.integers(0, vocab, size=3 * vocab).tolist() for _ in range(docs)]
+    return Corpus(documents, vocabulary)
+
+
+def _sparse_corpus(docs: int = 40, vocab: int = 100, seed: int = 0) -> Corpus:
+    """A corpus sparse enough (<25% nonzero) for the CSR fast path."""
+    rng = np.random.default_rng(seed)
+    vocabulary = Vocabulary([f"w{i}" for i in range(vocab)])
+    documents = [rng.integers(0, vocab, size=4).tolist() for _ in range(docs)]
+    return Corpus(documents, vocabulary)
+
+
+def _config(**overrides) -> NTMConfig:
+    defaults = dict(
+        num_topics=4,
+        hidden_sizes=(16,),
+        epochs=2,
+        batch_size=8,
+        learning_rate=3e-3,
+        dropout=0.1,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return NTMConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# the identity strategy
+# ----------------------------------------------------------------------
+class TestSerialExchange:
+    def test_dispatch_and_reduce_are_identities(self):
+        exchange = SerialExchange()
+        bow = np.arange(12.0).reshape(3, 4)
+        assert exchange.dispatch(bow, np.arange(3), True) is bow
+        parts = {"total": 1.5}
+        assert exchange.reduce(None, parts, shard_docs=3, total_docs=3) is parts
+        assert exchange.workers == 1
+
+    def test_lifecycle_hooks_are_no_ops(self):
+        exchange = SerialExchange()
+        exchange.bind(None, None, np.float64)
+        exchange.start_epoch(3)
+        exchange.abort()
+        exchange.close()
+
+
+# ----------------------------------------------------------------------
+# deterministic per-(rank, epoch) reseeding
+# ----------------------------------------------------------------------
+class _TwoStreams:
+    """A minimal model exposing two named RNG streams."""
+
+    def __init__(self):
+        self.model = np.random.default_rng(123)
+        self.gumbel = np.random.default_rng(456)
+
+    def rng_streams(self):
+        return {"model": self.model, "gumbel": self.gumbel}
+
+    def draw(self) -> tuple:
+        return tuple(self.model.random(3)) + tuple(self.gumbel.random(3))
+
+
+class TestReseedModelStreams:
+    def test_same_rank_and_epoch_reseed_identically(self):
+        a, b = _TwoStreams(), _TwoStreams()
+        b.draw()  # desynchronize first; reseeding must resynchronize
+        reseed_model_streams(a, seed=7, rank=2, epoch=5)
+        reseed_model_streams(b, seed=7, rank=2, epoch=5)
+        assert a.draw() == b.draw()
+
+    @pytest.mark.parametrize(
+        "other", [dict(rank=1, epoch=5), dict(rank=2, epoch=6)]
+    )
+    def test_rank_and_epoch_select_distinct_streams(self, other):
+        a, b = _TwoStreams(), _TwoStreams()
+        reseed_model_streams(a, seed=7, rank=2, epoch=5)
+        reseed_model_streams(b, seed=7, **other)
+        assert a.draw() != b.draw()
+
+    def test_named_streams_stay_independent(self):
+        model = _TwoStreams()
+        reseed_model_streams(model, seed=7, rank=0, epoch=0)
+        draws = model.draw()
+        assert draws[:3] != draws[3:]
+
+
+class TestSeedStreamIndependence:
+    """spawn_task_seed fan-outs must never collide across streams."""
+
+    def test_no_collisions_across_task_and_stream_grid(self):
+        seeds = {
+            spawn_task_seed(0, task, stream=stream)
+            for task in range(1024)
+            for stream in range(4)
+        }
+        assert len(seeds) == 1024 * 4
+
+    def test_ddp_rank_stream_is_disjoint_from_task_and_batch_seeds(self):
+        # Worker-rank reseeds draw from stream 0xDD; the multi-seed
+        # fan-outs draw from stream 0; the trainer's batch shuffler uses
+        # the literal ``seed + 1``.  None of them may overlap.
+        for seed in (0, 1, 42):
+            ranks = {
+                spawn_task_seed(seed, rank, stream=DDP_RNG_STREAM)
+                for rank in range(64)
+            }
+            tasks = {spawn_task_seed(seed, task) for task in range(1024)}
+            assert not ranks & tasks
+            assert seed + 1 not in ranks
+
+
+# ----------------------------------------------------------------------
+# shared-memory arrays
+# ----------------------------------------------------------------------
+class TestSharedArray:
+    def test_from_array_copies(self):
+        source = np.arange(6.0).reshape(2, 3)
+        shared = SharedArray.from_array(source)
+        try:
+            np.testing.assert_array_equal(shared.array, source)
+            assert shared.nbytes == source.nbytes
+            source[0, 0] = 99.0  # the shared copy must not alias the source
+            assert shared.array[0, 0] == 0.0
+        finally:
+            shared.close()
+
+    @needs_fork
+    def test_writes_cross_the_fork(self):
+        shared = SharedArray((4,), np.float64)
+        try:
+            shared.array[:] = 0.0
+            view = shared.array
+
+            def child():
+                view[:] = 7.0
+
+            proc = multiprocessing.get_context("fork").Process(target=child)
+            proc.start()
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+            np.testing.assert_array_equal(shared.array, np.full(4, 7.0))
+        finally:
+            shared.close()
+
+    def test_close_is_idempotent(self):
+        shared = SharedArray((4,), np.float64)
+        shared.close()
+        shared.close()
+        assert shared.array is None
+
+
+# ----------------------------------------------------------------------
+# corpus BOW sharing / re-privatization
+# ----------------------------------------------------------------------
+class TestShareCorpusBow:
+    def test_dense_cache_adopts_the_shared_array(self):
+        corpus = _dense_corpus()
+        reference = corpus.bow_matrix(np.float32).copy()
+        handles = share_corpus_bow(corpus, np.float32, sparse=False)
+        assert not handles.sparse
+        assert corpus.bow_matrix(np.float32) is handles.segments[0].array
+        assert handles.bytes_shared == reference.nbytes
+        np.testing.assert_array_equal(corpus.bow_matrix(np.float32), reference)
+        unshare_corpus_bow(corpus, handles)
+        assert handles.segments == []
+        # the cache keeps serving correct values from private memory
+        after = corpus.bow_matrix(np.float32)
+        np.testing.assert_array_equal(after, reference)
+
+    def test_sparse_cache_adopts_the_shared_arrays(self):
+        corpus = _sparse_corpus()
+        reference = corpus.bow_csr(np.float64).toarray().copy()
+        handles = share_corpus_bow(corpus, np.float64, sparse=True)
+        assert handles.sparse
+        csr = corpus.bow_csr(np.float64)
+        shared_ids = {id(seg.array) for seg in handles.segments}
+        assert {id(csr.data), id(csr.indices), id(csr.indptr)} <= shared_ids
+        unshare_corpus_bow(corpus, handles)
+        np.testing.assert_array_equal(corpus.bow_csr(np.float64).toarray(), reference)
+
+    def test_unshare_survives_segment_reuse(self):
+        # Regression: SharedMemory.close() unmaps even under live numpy
+        # views, so a cache entry left aliasing a closed segment reads
+        # recycled memory.  After unshare, new segments reusing the
+        # address space must not corrupt the cache.
+        corpus = _dense_corpus()
+        reference = corpus.bow_matrix(np.float64).copy()
+        for _ in range(3):
+            handles = share_corpus_bow(corpus, np.float64, sparse=False)
+            unshare_corpus_bow(corpus, handles)
+            decoy = SharedArray((reference.size,), np.float64)
+            decoy.array[:] = -1.0
+            np.testing.assert_array_equal(corpus.bow_matrix(np.float64), reference)
+            decoy.close()
+
+
+class TestAdoptValidation:
+    def test_adopt_bow_matrix_rejects_shape_and_dtype_mismatch(self):
+        corpus = _dense_corpus()
+        good = corpus.bow_matrix(np.float32)
+        with pytest.raises(CorpusError):
+            corpus.adopt_bow_matrix(np.float32, good[:-1])
+        with pytest.raises(CorpusError):
+            corpus.adopt_bow_matrix(np.float32, good.astype(np.float64))
+
+    def test_adopt_bow_csr_rejects_dtype_mismatch(self):
+        corpus = _sparse_corpus()
+        csr = corpus.bow_csr(np.float64)
+        with pytest.raises(CorpusError):
+            corpus.adopt_bow_csr(np.float32, csr)
+
+
+# ----------------------------------------------------------------------
+# the data-parallel exchange
+# ----------------------------------------------------------------------
+@needs_fork
+class TestDDPExchange:
+    def test_fewer_than_two_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            DDPGradientExchange(workers=1, seed=0)
+
+    def test_dispatch_requires_batch_indices(self):
+        exchange = DDPGradientExchange(workers=2, seed=0)
+        with pytest.raises(ConfigError, match="indices"):
+            exchange.dispatch(np.zeros((2, 4)), None, True)
+        exchange.close()
+
+    def test_worker_failure_surfaces_the_traceback(self):
+        corpus = _dense_corpus()
+        model = ProdLDA(corpus.vocab_size, _config())
+        exchange = DDPGradientExchange(workers=2, seed=0)
+        exchange.bind(model, corpus, dtype=np.float64)
+        try:
+            # rank 1's shard indexes past the corpus: its materialization
+            # raises inside the fork, and the parent must see the text.
+            idx = np.array([0, 10_000])
+            bow = np.zeros((2, corpus.vocab_size))
+            shard = exchange.dispatch(bow, idx, True)
+            loss, parts = model.loss_on_batch(shard)
+            loss.backward()
+            with pytest.raises(ParallelExecutionError) as excinfo:
+                exchange.reduce(model, parts, shard_docs=1, total_docs=2)
+            message = str(excinfo.value)
+            assert "worker 1 failed" in message
+            assert "Traceback" in message
+            assert "IndexError" in message
+        finally:
+            exchange.close()
+
+    def test_empty_shard_rank_sits_the_batch_out(self):
+        # A batch smaller than the worker count leaves rank 1 idle; the
+        # reduce must still balance (1 of 1 docs) and average correctly.
+        corpus = _dense_corpus()
+        model = ProdLDA(corpus.vocab_size, _config())
+        exchange = DDPGradientExchange(workers=2, seed=0)
+        exchange.bind(model, corpus, dtype=np.float64)
+        try:
+            idx = np.array([2])
+            bow = corpus.bow_matrix(np.float64)[idx]
+            shard = exchange.dispatch(bow, idx, True)
+            assert len(shard) == 1
+            loss, parts = model.loss_on_batch(shard)
+            loss.backward()
+            reduced = exchange.reduce(model, parts, shard_docs=1, total_docs=1)
+            assert set(reduced) == set(parts)
+            snapshot = exchange.metrics.snapshot()["counters"]
+            assert snapshot["ddp/batches"] == 1
+            assert snapshot["ddp/bow_bytes_shared"] > 0
+        finally:
+            exchange.close()
+
+    def test_close_reprivatizes_the_sparse_cache(self):
+        # Regression for the unmap bug: after a fit's exchange closes,
+        # the corpus must keep serving correct BOW data to later fits —
+        # including across a second bind/close cycle whose fresh segments
+        # recycle the freed address space.
+        corpus = _sparse_corpus()
+        model = ProdLDA(corpus.vocab_size, _config())
+        reference = corpus.bow_csr(np.float64).toarray().copy()
+        for _ in range(2):
+            exchange = DDPGradientExchange(workers=2, seed=0)
+            exchange.bind(model, corpus, dtype=np.float64)
+            exchange.close()
+            np.testing.assert_array_equal(
+                corpus.bow_csr(np.float64).toarray(), reference
+            )
+            np.testing.assert_array_equal(
+                corpus.bow_matrix(np.float64), reference
+            )
+
+    def test_workers_map_the_bow_instead_of_copying_it(self):
+        # The zero-copy claim, asserted on /proc: a worker that held a
+        # private copy of the dense BOW would carry at least its nbytes
+        # in Private_Dirty; a fork-shared mapping costs it ~nothing.
+        if "private_dirty" not in _memory_probe():
+            pytest.skip("smaps_rollup not available on this kernel")
+        corpus = _dense_corpus(docs=512, vocab=2048, seed=1)
+        model = ProdLDA(corpus.vocab_size, _config(batch_size=64))
+        exchange = DDPGradientExchange(workers=3, seed=0)
+        exchange.bind(model, corpus, dtype=np.float64)
+        try:
+            bow_nbytes = corpus.bow_matrix(np.float64).nbytes
+            assert bow_nbytes >= 8 * 1024 * 1024
+            for probe in exchange.probe_workers():
+                assert probe["private_dirty"] < bow_nbytes // 2, probe
+        finally:
+            exchange.close()

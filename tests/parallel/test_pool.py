@@ -10,6 +10,7 @@ from repro.parallel import (
     TASK_TIMER_KEY,
     WORKERS_ENV,
     ParallelMap,
+    available_cpus,
     parallel_map,
     require_any_success,
     resolve_workers,
@@ -36,13 +37,13 @@ class TestResolveWorkers:
         monkeypatch.setenv(WORKERS_ENV, "5")
         assert resolve_workers(None) == 5
 
-    def test_default_is_cpu_count(self, monkeypatch):
+    def test_default_is_available_cpus(self, monkeypatch):
         monkeypatch.delenv(WORKERS_ENV, raising=False)
-        assert resolve_workers(None) == (os.cpu_count() or 1)
+        assert resolve_workers(None) == available_cpus()
 
     def test_blank_env_falls_through(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "  ")
-        assert resolve_workers(None) == (os.cpu_count() or 1)
+        assert resolve_workers(None) == available_cpus()
 
     def test_env_never_latches(self, monkeypatch):
         """Each call re-reads the environment: removing the variable
@@ -52,7 +53,7 @@ class TestResolveWorkers:
         monkeypatch.setenv(WORKERS_ENV, "2")
         assert resolve_workers(None) == 2
         monkeypatch.delenv(WORKERS_ENV)
-        assert resolve_workers(None) == (os.cpu_count() or 1)
+        assert resolve_workers(None) == available_cpus()
 
     def test_invalid_env_rejected(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "many")
@@ -66,6 +67,24 @@ class TestResolveWorkers:
         monkeypatch.setenv(WORKERS_ENV, str(bad))
         with pytest.raises(ConfigError):
             resolve_workers(None)
+
+
+class TestAvailableCpus:
+    def test_affinity_mask_wins_over_cpu_count(self, monkeypatch):
+        # Containerized CI pins the process to a subset of the host's
+        # cores; the affinity mask is the honest figure.
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2})
+        assert available_cpus() == 3
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == 3
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        assert available_cpus() == (os.cpu_count() or 1)
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set())
+        assert available_cpus() == 1
 
 
 class TestSerialPath:
@@ -124,6 +143,21 @@ class TestFaultIsolation:
         with pytest.raises(ParallelExecutionError):
             failed.unwrap()
         assert results[1].unwrap() == 1
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_failure_carries_the_worker_traceback(self, workers):
+        # The parent must be able to debug a crashed task without
+        # re-running it: the worker-side traceback text ships with the
+        # result and surfaces through unwrap().
+        results = parallel_map(_square_or_raise, list(range(4)), workers=workers)
+        failed = results[3]
+        assert "Traceback (most recent call last)" in failed.traceback
+        assert "ValueError: refusing 3" in failed.traceback
+        assert "_square_or_raise" in failed.traceback
+        assert results[1].traceback is None
+        with pytest.raises(ParallelExecutionError, match="refusing 3") as excinfo:
+            failed.unwrap()
+        assert "Traceback" in str(excinfo.value)
 
     @pytest.mark.parametrize("workers", [1, 2])
     def test_failing_task_still_ships_telemetry(self, workers):

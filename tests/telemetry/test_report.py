@@ -207,3 +207,30 @@ class TestCheckRegressionScript:
         )
         assert result.returncode == 0, result.stdout + result.stderr
         assert load_report(new_base)["name"] == "computational_analysis"
+
+    def test_compare_mode_diffs_two_reports(self, tmp_path):
+        """``--compare A B``: per-total deltas, exit 0, no pass/fail gate."""
+        baseline, base_path = self._reports(tmp_path)
+        other = copy.deepcopy(baseline)
+        other["totals"]["epoch_seconds"] *= 2.0  # would fail the gate
+        other["totals"]["only_in_b"] = 1.25
+        del other["totals"]["op_seconds"]
+        other_path = write_report(other, tmp_path / "other.json")
+
+        result = self._run("--compare", str(base_path), str(other_path))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "PERF REGRESSION" not in result.stdout
+        lines = {
+            line.split()[0]: line
+            for line in result.stdout.splitlines()
+            if line and not line.startswith(("compare:", " ", "-", "metric"))
+        }
+        assert "2.000x" in lines["epoch_seconds"]
+        # keys missing on one side render as '-' instead of crashing
+        assert "-" in lines["only_in_b"].split()
+        assert "-" in lines["op_seconds"].split()
+
+    def test_compare_mode_missing_report_exits_two(self, tmp_path):
+        _, base_path = self._reports(tmp_path)
+        result = self._run("--compare", str(base_path), str(tmp_path / "nope.json"))
+        assert result.returncode == 2

@@ -88,6 +88,9 @@ class TestDocstringCoverage:
             "repro.models.base",
             "repro.training.protocol",
             "repro.training.trainer",
+            "repro.parallel.pool",
+            "repro.parallel.ddp",
+            "repro.parallel.shm",
             "repro.extensions.online",
             "repro.serving.service",
             "repro.serving.breaker",

@@ -1,0 +1,247 @@
+"""Data-parallel training equivalence: serial identity, averaging, resume.
+
+The contract under test (docs/PARALLELISM.md, §Data-parallel training):
+
+* ``ddp_workers=1`` (or unset) is the identity strategy — bitwise equal
+  to the serial trainer, for every model;
+* ``ddp_workers=N`` produces the size-weighted average of per-shard
+  gradients, which with batch-dependent randomness disabled equals the
+  serial full-batch gradient to float rounding;
+* a full run is deterministic per worker count, end-of-training metrics
+  stay statistically close across counts, and a resume at the same
+  worker count is bitwise;
+* the guard and fault harness fire in the parent, on averaged values,
+  identically to the serial pipeline.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import ContraTopic, ContraTopicConfig, npmi_kernel
+from repro.errors import ConfigError
+from repro.models import ETM
+from repro.parallel import DDPGradientExchange, SerialExchange, fork_available
+from repro.tensor.dtypes import default_dtype
+from repro.training.faults import FaultPlan
+from repro.training.resilience import CheckpointCallback, GuardPolicy
+from repro.training.trainer import RunSpec, Trainer
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires the fork start method"
+)
+
+
+def _assert_bitwise_equal(a, b):
+    assert [e["total"] for e in a.history] == [e["total"] for e in b.history]
+    a_state, b_state = a.state_dict(), b.state_dict()
+    assert a_state.keys() == b_state.keys()
+    for name in a_state:
+        np.testing.assert_array_equal(a_state[name], b_state[name])
+
+
+@pytest.fixture
+def make_etm(tiny_corpus, tiny_embeddings):
+    def build(config):
+        return ETM(tiny_corpus.vocab_size, config, tiny_embeddings.vectors)
+
+    return build
+
+
+@pytest.fixture
+def make_contratopic(tiny_corpus, tiny_embeddings, tiny_npmi):
+    def build(config):
+        return ContraTopic(
+            ETM(tiny_corpus.vocab_size, config, tiny_embeddings.vectors),
+            npmi_kernel(tiny_npmi),
+            ContraTopicConfig(),
+        )
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# workers=1 is the serial trainer, bit for bit
+# ----------------------------------------------------------------------
+class TestSerialIdentity:
+    def test_etm_workers_one_is_bitwise_serial(
+        self, tiny_corpus, fast_config, make_etm
+    ):
+        serial = Trainer(RunSpec()).fit(make_etm(fast_config), tiny_corpus)
+        ddp1 = Trainer(RunSpec(ddp_workers=1)).fit(make_etm(fast_config), tiny_corpus)
+        assert isinstance(ddp1._trainer.exchange, SerialExchange)
+        _assert_bitwise_equal(serial, ddp1)
+
+    def test_contratopic_workers_one_is_bitwise_serial(
+        self, tiny_corpus, fast_config, make_contratopic
+    ):
+        serial = Trainer(RunSpec()).fit(make_contratopic(fast_config), tiny_corpus)
+        ddp1 = Trainer(RunSpec(ddp_workers=1)).fit(
+            make_contratopic(fast_config), tiny_corpus
+        )
+        _assert_bitwise_equal(serial, ddp1)
+
+
+# ----------------------------------------------------------------------
+# the gradient math
+# ----------------------------------------------------------------------
+@needs_fork
+class TestGradientAveraging:
+    @pytest.mark.parametrize(
+        "dtype,tol", [(np.float64, 1e-12), (np.float32, 1e-6)]
+    )
+    def test_average_equals_serial_fullbatch_gradient(
+        self, tiny_corpus, fast_config, make_etm, dtype, tol
+    ):
+        # Eval mode disables dropout and reparameterization noise — the
+        # only sources of shard-dependence — so the size-weighted average
+        # must match the serial full-batch gradient to float rounding.
+        with default_dtype(dtype):
+            idx = np.arange(96)
+            bow = tiny_corpus.bow_matrix(dtype)[idx]
+
+            serial = make_etm(fast_config).eval()
+            loss, _ = serial.loss_on_batch(bow)
+            loss.backward()
+
+            sharded = make_etm(fast_config).eval()
+            exchange = DDPGradientExchange(workers=3, seed=fast_config.seed)
+            exchange.bind(sharded, tiny_corpus, dtype=np.dtype(dtype))
+            try:
+                shard = exchange.dispatch(bow, idx, True)
+                assert len(shard) < len(idx)
+                loss, parts = sharded.loss_on_batch(shard)
+                loss.backward()
+                exchange.reduce(
+                    sharded, parts, shard_docs=len(shard), total_docs=len(idx)
+                )
+            finally:
+                exchange.close()
+
+            for reference, averaged in zip(
+                serial.parameters(), sharded.parameters()
+            ):
+                # Scaled infinity norm: shard-order summation legitimately
+                # perturbs the last few ulps, so the error is measured
+                # against the gradient's own magnitude.
+                scale = max(1.0, float(np.abs(reference.grad).max()))
+                error = float(np.abs(averaged.grad - reference.grad).max()) / scale
+                assert error <= tol, (error, scale)
+
+    def test_end_metrics_stay_close_across_worker_counts(
+        self, tiny_corpus, fast_config, make_etm
+    ):
+        # Shard-dependent randomness makes workers>1 statistically — not
+        # bitwise — equivalent; the final loss must stay within a few
+        # percent of serial (the BENCH_ddp baseline drifts <3%).
+        config = dataclasses.replace(fast_config, epochs=3)
+        finals = {}
+        for workers in (1, 2, 4):
+            model = Trainer(RunSpec(ddp_workers=workers)).fit(
+                make_etm(config), tiny_corpus
+            )
+            finals[workers] = model.history[-1]["total"]
+        for workers in (2, 4):
+            drift = abs(finals[workers] - finals[1]) / abs(finals[1])
+            assert drift < 0.15, finals
+
+    def test_same_worker_count_reruns_bitwise(
+        self, tiny_corpus, fast_config, make_etm
+    ):
+        config = dataclasses.replace(fast_config, epochs=3)
+        first = Trainer(RunSpec(ddp_workers=2)).fit(make_etm(config), tiny_corpus)
+        second = Trainer(RunSpec(ddp_workers=2)).fit(make_etm(config), tiny_corpus)
+        _assert_bitwise_equal(first, second)
+
+
+# ----------------------------------------------------------------------
+# checkpoint / resume
+# ----------------------------------------------------------------------
+@needs_fork
+class TestDDPResume:
+    def test_resume_at_same_worker_count_is_bitwise(
+        self, tiny_corpus, fast_config, make_etm, tmp_path
+    ):
+        spec = RunSpec(ddp_workers=2)
+        full = Trainer(spec).fit(make_etm(fast_config), tiny_corpus)
+
+        short = dataclasses.replace(fast_config, epochs=2)
+        callback = CheckpointCallback(tmp_path / "ckpt")
+        Trainer(spec).fit(make_etm(short), tiny_corpus, callbacks=[callback])
+
+        resumed = Trainer(spec).fit(
+            make_etm(fast_config), tiny_corpus, resume_from=callback.last_path
+        )
+        assert len(resumed.history) == fast_config.epochs
+        _assert_bitwise_equal(full, resumed)
+
+
+# ----------------------------------------------------------------------
+# guard escalation and fault injection fire in the parent
+# ----------------------------------------------------------------------
+@needs_fork
+class TestGuardAndFaultParity:
+    def test_guard_counters_match_serial_under_injected_faults(
+        self, tiny_corpus, fast_config, make_etm
+    ):
+        # Faults are injected in the parent, on the averaged loss and
+        # gradients, so the guard must see — and log — exactly the same
+        # escalation as the serial run; skipped batches drain workers
+        # without losing lockstep.
+        config = dataclasses.replace(fast_config, epochs=3)
+        plan = FaultPlan(nan_loss_steps=(1, 5), exploding_grad_steps=(3,))
+
+        def run(workers):
+            spec = RunSpec(guard=GuardPolicy(), faults=plan, ddp_workers=workers)
+            return Trainer(spec).fit(make_etm(config), tiny_corpus)
+
+        serial, sharded = run(None), run(2)
+        assert len(sharded.history) == config.epochs
+        for key in ("guard_faults", "guard_skipped_batches"):
+            serial_counts = [e[key] for e in serial.history]
+            sharded_counts = [e[key] for e in sharded.history]
+            assert sharded_counts == serial_counts
+        assert sum(e["guard_faults"] for e in sharded.history) == 3
+
+
+# ----------------------------------------------------------------------
+# spec plumbing and strategy selection
+# ----------------------------------------------------------------------
+class TestSpecAndSelection:
+    @pytest.mark.parametrize("bad", [0, -2, True, "2", 1.5])
+    def test_ddp_workers_validation(self, bad):
+        with pytest.raises(ConfigError):
+            RunSpec(ddp_workers=bad)
+
+    def test_ddp_workers_round_trips_through_dict(self):
+        spec = RunSpec(ddp_workers=4)
+        assert spec.to_dict()["ddp_workers"] == 4
+        assert RunSpec.from_dict(spec.to_dict()).ddp_workers == 4
+        with pytest.raises(ConfigError):
+            RunSpec.from_dict({"ddp_workers": 0})
+
+    def test_exchange_selection(self, tiny_corpus, fast_config, make_etm):
+        model = make_etm(fast_config)
+        assert isinstance(Trainer(RunSpec()).build_exchange(model), SerialExchange)
+        assert isinstance(
+            Trainer(RunSpec(ddp_workers=1)).build_exchange(model), SerialExchange
+        )
+        if fork_available():
+            exchange = Trainer(RunSpec(ddp_workers=3)).build_exchange(model)
+            assert isinstance(exchange, DDPGradientExchange)
+            assert exchange.workers == 3
+
+    @needs_fork
+    def test_fit_populates_ddp_telemetry(
+        self, tiny_corpus, fast_config, make_etm
+    ):
+        config = dataclasses.replace(fast_config, epochs=2)
+        model = Trainer(RunSpec(ddp_workers=2)).fit(make_etm(config), tiny_corpus)
+        exchange = model._trainer.exchange
+        assert isinstance(exchange, DDPGradientExchange)
+        snapshot = exchange.metrics.snapshot()
+        assert snapshot["counters"]["ddp/batches"] > 0
+        assert snapshot["counters"]["ddp/bow_bytes_shared"] > 0
+        assert "ddp/shard" in snapshot["timers"]
+        assert "ddp/reduce" in snapshot["timers"]
