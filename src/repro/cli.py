@@ -41,8 +41,13 @@ Commands
               profile once per ``--ddp-legs`` worker count (default
               1,2,4) and records the scaling curve
               (``ddp_wall_seconds_w<N>`` / ``ddp_docs_per_sec_w<N>`` /
-              ``ddp_speedup_w<N>``) for the CI perf-guard.  The
-              ``--inject-*`` flags drive the
+              ``ddp_speedup_w<N>``) for the CI perf-guard.
+              ``--suite streaming`` replays a synthetic drifting stream
+              through the incremental co-occurrence/NPMI engine and
+              through a per-slice full recount, checks the exactness
+              contract, and records ``streaming_update_seconds`` /
+              ``streaming_speedup`` / ``streaming_docs_per_sec`` for the
+              CI perf-guard.  The ``--inject-*`` flags drive the
               deterministic fault harness so recovery paths can be
               smoke-tested in CI.
 
@@ -71,6 +76,8 @@ Examples
         --ddp-workers 4
     python -m repro bench --suite ddp --dataset 20ng --scale 0.1 \
         --epochs 3 --ddp-legs 1,2,4 --telemetry BENCH_ddp.json
+    python -m repro bench --suite streaming --stream-slices 20 \
+        --stream-docs 250 --telemetry BENCH_streaming.json
     python -m repro bench --dataset 20ng --model contratopic --epochs 3 \
         --guard --inject-nan 0.25 --inject-grad 0.1 --telemetry smoke.json
     python -m repro serve --dataset 20ng --scale 0.12 --epochs 3 \
@@ -505,6 +512,102 @@ def _cmd_bench_ddp(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_bench_streaming(args: argparse.Namespace, out) -> int:
+    """``bench --suite streaming``: incremental engine vs full recount.
+
+    Replays a synthetic drifting stream (``--stream-slices`` slices of
+    ``--stream-docs`` documents) twice — once through the incremental
+    :class:`repro.metrics.streaming.StreamingNpmiEngine`, once through a
+    per-slice from-scratch recount + cold NPMI build — verifies the
+    exactness contract (bitwise counts, NPMI within 1e-12), and writes a
+    report whose totals carry ``streaming_update_seconds``,
+    ``streaming_speedup``, ``streaming_docs_per_sec`` and the engine's
+    counters for the CI perf-guard.
+    """
+    import numpy as np
+
+    from repro.extensions.online import (
+        DriftingStreamConfig,
+        generate_drifting_stream,
+    )
+    from repro.metrics.cooccurrence import DocumentCooccurrence
+    from repro.metrics.npmi import compute_npmi_matrix
+    from repro.metrics.streaming import (
+        StreamingNpmiEngine,
+        record_streaming_stats,
+    )
+    from repro.telemetry import (
+        MetricsRegistry,
+        build_report,
+        format_report,
+        write_report,
+    )
+    from repro.telemetry.report import (
+        STREAMING_DOCS_KEY,
+        STREAMING_RECOUNT_KEY,
+        STREAMING_UPDATE_KEY,
+    )
+
+    print(
+        f"streaming benchmark: {args.stream_slices} slices x "
+        f"{args.stream_docs} docs...",
+        file=out,
+    )
+    slices, _, _ = generate_drifting_stream(
+        DriftingStreamConfig(
+            emerge_at=max(1, args.stream_slices // 2),
+            num_slices=args.stream_slices,
+            docs_per_slice=args.stream_docs,
+            average_length=40.0,
+            seed=args.seed,
+        )
+    )
+    vocab_size = slices[0].vocab_size
+    registry = MetricsRegistry()
+    for slice_corpus in slices:  # warm incidence caches outside timers
+        slice_corpus.binary_doc_word()
+
+    engine = StreamingNpmiEngine(vocab_size)
+    for slice_corpus in slices:
+        with registry.timer(STREAMING_UPDATE_KEY):
+            engine.update(slice_corpus)
+
+    recount = None
+    for upto in range(1, len(slices) + 1):
+        with registry.timer(STREAMING_RECOUNT_KEY):
+            recount = DocumentCooccurrence.empty(vocab_size)
+            for past in slices[:upto]:
+                recount.update(past)
+            cold = compute_npmi_matrix(recount)
+
+    engine.check_against(recount)
+    npmi_gap = float(np.max(np.abs(engine.npmi.matrix - cold.matrix)))
+    if npmi_gap > 1e-12:
+        raise SystemExit(
+            f"incremental NPMI diverged from cold build by {npmi_gap:.3e}"
+        )
+    total_docs = sum(len(s) for s in slices)
+    registry.counter(STREAMING_DOCS_KEY, absolute=True).value = float(total_docs)
+    record_streaming_stats(registry)
+    report = build_report(
+        args.name or "streaming_engine",
+        registry=registry,
+        meta={
+            "suite": "streaming",
+            "num_slices": args.stream_slices,
+            "docs_per_slice": args.stream_docs,
+            "vocab_size": vocab_size,
+            "total_docs": total_docs,
+            "seed": args.seed,
+            "npmi_gap": npmi_gap,
+        },
+    )
+    path = write_report(report, args.telemetry)
+    print(format_report(report), file=out)
+    print(f"wrote telemetry report to {path}", file=out)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace, out) -> int:
     """``serve``: drive the resilient inference service under load.
 
@@ -685,6 +788,8 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         return _cmd_bench_multiseed(args, out)
     if args.suite == "ddp":
         return _cmd_bench_ddp(args, out)
+    if args.suite == "streaming":
+        return _cmd_bench_streaming(args, out)
 
     from repro.models.base import NeuralTopicModel
     from repro.telemetry import (
@@ -908,13 +1013,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite",
         default="train",
-        choices=["train", "ops", "sparse", "multiseed", "ddp"],
+        choices=["train", "ops", "sparse", "multiseed", "ddp", "streaming"],
         help="'train': benchmark an end-to-end training run; "
         "'ops': microbenchmark every fused kernel on fixed shapes; "
         "'sparse': dense-vs-CSR fast-path hot-path comparison; "
         "'multiseed': serial-vs-parallel §V.F multi-seed evaluation "
         "with a metric-equality assertion; "
-        "'ddp': data-parallel scaling curve over --ddp-legs worker counts",
+        "'ddp': data-parallel scaling curve over --ddp-legs worker counts; "
+        "'streaming': incremental NPMI engine vs per-slice full recount "
+        "on a synthetic drifting stream",
     )
     bench.add_argument(
         "--ddp-workers",
@@ -936,6 +1043,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="--suite multiseed: worker processes of the parallel leg "
         "(default: REPRO_WORKERS or the CPU count)",
+    )
+    bench.add_argument(
+        "--stream-slices",
+        type=int,
+        default=20,
+        help="--suite streaming: time slices in the drift profile "
+        "(default: 20)",
+    )
+    bench.add_argument(
+        "--stream-docs",
+        type=int,
+        default=250,
+        help="--suite streaming: documents per slice (default: 250)",
     )
     bench.add_argument(
         "--num-seeds",

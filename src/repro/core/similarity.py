@@ -35,10 +35,44 @@ class SimilarityKernel:
     matrix: np.ndarray      # (V, V) similarities, symmetric
     exp_matrix: np.ndarray  # exp(matrix / temperature), precomputed for Eq. 2
     temperature: float = 1.0
+    #: Monotonically increasing revision of :attr:`matrix`.  A streaming
+    #: consumer bumps it through :meth:`refresh` after mutating the
+    #: matrix in place; the per-dtype tensor caches below are refreshed
+    #: by delta (values copied into the existing buffers) instead of
+    #: being thrown away and reallocated.
+    version: int = 0
 
     @property
     def vocab_size(self) -> int:
         return self.matrix.shape[0]
+
+    def refresh(self, matrix: np.ndarray | None = None) -> int:
+        """Recompute :attr:`exp_matrix` in place after the matrix moved.
+
+        The streaming update path: mutate :attr:`matrix` in place (or
+        pass ``matrix`` to have its values copied in), then ``refresh``
+        re-exponentiates into the *existing* ``exp_matrix`` buffer,
+        bumps :attr:`version`, and rewrites every cached constant tensor
+        in place — no V×V reallocations, and any long-lived reference to
+        the cached tensors observes the new values.  Returns the new
+        version.
+        """
+        if matrix is not None and matrix is not self.matrix:
+            if matrix.shape != self.matrix.shape:
+                raise ShapeError(
+                    f"refresh matrix shape {matrix.shape} != kernel shape "
+                    f"{self.matrix.shape}"
+                )
+            np.copyto(self.matrix, matrix)
+        np.divide(self.matrix, self.temperature, out=self.exp_matrix)
+        np.exp(self.exp_matrix, out=self.exp_matrix)
+        self.version += 1
+        cache = self.__dict__.get("_tensor_cache") or {}
+        for exp_t, diag_t in cache.values():
+            if exp_t.data is not self.exp_matrix:
+                np.copyto(exp_t.data, self.exp_matrix)
+            np.copyto(diag_t.data, np.diagonal(exp_t.data))
+        return self.version
 
     # ------------------------------------------------------------------
     # constant-tensor cache

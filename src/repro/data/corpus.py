@@ -8,6 +8,7 @@ in the paper's Table I.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -17,6 +18,23 @@ from scipy import sparse
 from repro.data.vocabulary import Vocabulary
 from repro.errors import CorpusError
 from repro.tensor.sparse import CSRBatch
+
+#: Effectiveness counters of the memoised content fingerprint
+#: (:meth:`Corpus.content_fingerprint`).  ``documents_hashed`` is the
+#: ground truth for "a warm lookup does zero hashing work": it only
+#: advances when document payloads are actually fed to the digest.
+_FINGERPRINT_STATS = {"computes": 0, "memo_hits": 0, "documents_hashed": 0}
+
+
+def fingerprint_stats() -> dict[str, int]:
+    """Counters of fingerprint computes / memo hits / documents hashed."""
+    return dict(_FINGERPRINT_STATS)
+
+
+def reset_fingerprint_stats() -> None:
+    """Zero the fingerprint counters (tests use this)."""
+    for key in _FINGERPRINT_STATS:
+        _FINGERPRINT_STATS[key] = 0
 
 
 @dataclass(frozen=True)
@@ -65,14 +83,7 @@ class Corpus:
             raise CorpusError("corpus must contain at least one document")
         self.documents = [np.asarray(doc, dtype=np.int64) for doc in documents]
         self.vocabulary = vocabulary
-        vocab_size = len(vocabulary)
-        for i, doc in enumerate(self.documents):
-            if doc.size == 0:
-                raise CorpusError(f"document {i} is empty")
-            if doc.min() < 0 or doc.max() >= vocab_size:
-                raise CorpusError(
-                    f"document {i} has token ids outside [0, {vocab_size})"
-                )
+        self._validate_documents(self.documents, len(vocabulary), first_index=0)
         if labels is not None:
             labels_arr = np.asarray(labels, dtype=np.int64)
             if labels_arr.shape != (len(self.documents),):
@@ -84,6 +95,13 @@ class Corpus:
         else:
             self.labels = None
         self.label_names = list(label_names) if label_names is not None else None
+        # Content-fingerprint memo: a running blake2b over document
+        # payloads (advanced lazily, so an ``extend`` only ever hashes the
+        # new documents) plus the finalized hex digest.  Invalidated by
+        # any mutating operation (see :meth:`extend`).
+        self._doc_digest = None
+        self._digested_count = 0
+        self._fingerprint: str | None = None
         self._bow_cache: np.ndarray | None = None
         self._bow_casts: dict[np.dtype, np.ndarray] = {}
         self._csr_cache: sparse.csr_matrix | None = None
@@ -127,6 +145,121 @@ class Corpus:
             average_length=float(lengths.mean()),
             num_tokens=int(lengths.sum()),
         )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_documents(documents, vocab_size: int, first_index: int) -> None:
+        """Reject empty documents and out-of-vocabulary token ids."""
+        for offset, doc in enumerate(documents):
+            i = first_index + offset
+            if doc.size == 0:
+                raise CorpusError(f"document {i} is empty")
+            if doc.min() < 0 or doc.max() >= vocab_size:
+                raise CorpusError(
+                    f"document {i} has token ids outside [0, {vocab_size})"
+                )
+
+    # ------------------------------------------------------------------
+    def content_fingerprint(self) -> str:
+        """Memoised content hash of the documents (order-sensitive).
+
+        Two corpora with identical document sequences over the same-sized
+        vocabulary fingerprint identically regardless of how they were
+        built — including a corpus grown by :meth:`extend`, whose
+        fingerprint chains from the parent digest plus the new documents'
+        delta digest instead of re-hashing every document.  The finalized
+        hex digest is memoised, so a warm lookup does zero hashing work;
+        every mutating operation invalidates the memo.
+        """
+        if self._fingerprint is not None and self._digested_count == len(
+            self.documents
+        ):
+            _FINGERPRINT_STATS["memo_hits"] += 1
+            return self._fingerprint
+        if self._doc_digest is None:
+            self._doc_digest = hashlib.blake2b(digest_size=16)
+            self._digested_count = 0
+        for doc in self.documents[self._digested_count:]:
+            self._doc_digest.update(doc.size.to_bytes(8, "little"))
+            self._doc_digest.update(np.ascontiguousarray(doc).tobytes())
+            _FINGERPRINT_STATS["documents_hashed"] += 1
+        self._digested_count = len(self.documents)
+        final = hashlib.blake2b(digest_size=16)
+        final.update(f"{len(self)}:{self.vocab_size}:".encode())
+        final.update(self._doc_digest.copy().digest())
+        self._fingerprint = final.hexdigest()
+        _FINGERPRINT_STATS["computes"] += 1
+        return self._fingerprint
+
+    def extend(
+        self,
+        documents: Sequence[Sequence[int]],
+        labels: Sequence[int] | None = None,
+    ) -> int:
+        """Append ``documents`` in place; returns how many were added.
+
+        The streaming mutation: new documents join the corpus under the
+        existing vocabulary, and every derived cache (dense/CSR BOW and
+        their per-dtype casts) is invalidated.  The fingerprint memo is
+        invalidated too, but the *running* document digest is kept — the
+        next :meth:`content_fingerprint` hashes only the appended
+        documents and still equals the fingerprint of an equal corpus
+        built from scratch.
+
+        ``labels`` is required exactly when the corpus is labeled (one
+        label per new document) and rejected when it is not.
+        """
+        new_docs = [np.asarray(doc, dtype=np.int64) for doc in documents]
+        self._validate_documents(
+            new_docs, self.vocab_size, first_index=len(self.documents)
+        )
+        if self.labels is not None:
+            if labels is None:
+                raise CorpusError(
+                    "extend on a labeled corpus requires one label per document"
+                )
+            labels_arr = np.asarray(labels, dtype=np.int64)
+            if labels_arr.shape != (len(new_docs),):
+                raise CorpusError(
+                    f"labels shape {labels_arr.shape} does not match "
+                    f"{len(new_docs)} new documents"
+                )
+        elif labels is not None:
+            raise CorpusError("extend on an unlabeled corpus got labels")
+        if not new_docs:
+            return 0
+        self.documents.extend(new_docs)
+        if self.labels is not None:
+            self.labels = np.concatenate([self.labels, labels_arr])
+        self._invalidate_caches()
+        return len(new_docs)
+
+    def _invalidate_caches(self) -> None:
+        """Drop every derived cache after a mutating operation.
+
+        The running document digest intentionally survives (it is
+        position-consistent with the retained documents); only the
+        finalized fingerprint memo and the materialized BOW forms go.
+        """
+        self._fingerprint = None
+        self._bow_cache = None
+        self._bow_casts = {}
+        self._csr_cache = None
+        self._csr_master = None
+        self._csr_casts = {}
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Drop the (unpicklable) running hash object; keep the memo."""
+        state = dict(self.__dict__)
+        state["_doc_digest"] = None
+        state["_digested_count"] = (
+            len(self.documents) if self._fingerprint is not None else 0
+        )
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     def bow_matrix(self, dtype=np.float64) -> np.ndarray:

@@ -3,12 +3,22 @@
 Documents arrive in *time slices* (cf. On-line LDA, AlSumait et al. 2008).
 Per slice the model:
 
-1. re-estimates the slice's NPMI matrix and blends it into a running
-   exponentially-decayed kernel (so the contrastive similarity tracks the
-   corpus as language use drifts, without forgetting instantly);
-2. warm-starts the network from the previous slice's parameters and
+1. folds the slice into a :class:`~repro.metrics.streaming
+   .StreamingNpmiEngine` — an exact O(nnz_new·V) delta update of the
+   cumulative co-occurrence counts plus one allocation-free in-place
+   NPMI rederivation — and blends the *moving* NPMI into an
+   exponentially-decayed kernel (so the contrastive similarity tracks
+   the corpus as language use drifts, without forgetting instantly).
+   The kernel is one persistent :class:`~repro.core.similarity
+   .SimilarityKernel` refreshed in place (version-bumped, exp-tensor
+   caches rewritten by delta) instead of a fresh V×V build per slice;
+2. runs a coherence-drop drift check: when the updated NPMI scores the
+   previous slice's topics much lower than before (the corpus moved
+   away from the model), the slice trains under the PR-2 guard
+   escalation ladder (skip → LR backoff → restore → degrade);
+3. warm-starts the network from the previous slice's parameters and
    fine-tunes for a few epochs;
-3. records per-topic top words, enabling drift/emergence analyses.
+4. records per-topic top words, enabling drift/emergence analyses.
 
 A synthetic *drifting stream* generator is included: theme popularity
 evolves over slices and new themes can be injected mid-stream, so the
@@ -17,20 +27,22 @@ emergence-detection code path is exercised by real signal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.contratopic import ContraTopic, ContraTopicConfig
-from repro.core.similarity import npmi_kernel
+from repro.core.similarity import SimilarityKernel, npmi_kernel
 from repro.data.corpus import Corpus
 from repro.data.preprocessing import PreprocessConfig, Preprocessor
 from repro.data.synthetic import SyntheticCorpusConfig, SyntheticCorpusGenerator
 from repro.data.theme_banks import THEME_BANKS
 from repro.errors import ConfigError, NotFittedError
-from repro.metrics.npmi import NpmiMatrix, compute_npmi_matrix
+from repro.metrics.npmi import NpmiMatrix
+from repro.metrics.streaming import StreamingNpmiEngine
 from repro.models.base import NeuralTopicModel
+from repro.training.resilience import GuardPolicy
 from repro.training.trainer import RunSpec, Trainer
 
 
@@ -39,20 +51,36 @@ class OnlineConfig:
     """Knobs of the online trainer.
 
     ``kernel_decay`` is the exponential forgetting factor ρ of the running
-    NPMI kernel: N_t = ρ·N_{t-1} + (1-ρ)·N_slice.  ``epochs_per_slice``
-    replaces the backbone config's epoch count after the first slice
-    (warm-started fine-tuning needs fewer passes).
+    NPMI kernel: N_t = ρ·N_{t-1} + (1-ρ)·M_t, where M_t is the *moving*
+    cumulative NPMI maintained incrementally by the streaming engine.
+    ``epochs_per_slice`` replaces the backbone config's epoch count after
+    the first slice (warm-started fine-tuning needs fewer passes).
+
+    ``drift_threshold`` is the coherence-drop alarm level: before
+    training a slice, the previous model's topics are re-scored under
+    the freshly updated NPMI; a drop larger than the threshold (the
+    corpus moved away from the model) escalates that slice's training
+    through the guard machinery (a :class:`~repro.training.resilience
+    .GuardPolicy` is enabled if the run spec has none).
+    ``coherence_top_words`` is how many top words per topic the check
+    scores.
     """
 
     kernel_decay: float = 0.7
     epochs_per_slice: int = 10
     kernel_temperature: float = 0.25
+    drift_threshold: float = 0.1
+    coherence_top_words: int = 10
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.kernel_decay < 1.0:
             raise ConfigError("kernel_decay must be in [0, 1)")
         if self.epochs_per_slice < 1:
             raise ConfigError("epochs_per_slice must be >= 1")
+        if self.drift_threshold <= 0.0:
+            raise ConfigError("drift_threshold must be positive")
+        if self.coherence_top_words < 2:
+            raise ConfigError("coherence_top_words must be >= 2")
 
 
 @dataclass
@@ -63,6 +91,17 @@ class SliceResult:
     top_words: list[list[str]]
     topic_drift: np.ndarray  # (K,) cosine distance of β rows vs prev slice
     mean_drift: float
+    #: Mean pairwise NPMI of the trained topics' top words under the
+    #: moving (cumulative) NPMI matrix.
+    coherence: float = 0.0
+    #: How far the *previous* model's coherence fell when re-scored under
+    #: this slice's updated NPMI (0.0 for the first slice).
+    coherence_drop: float = 0.0
+    #: True when the drop exceeded the drift threshold and this slice
+    #: trained under the guard escalation ladder.
+    guard_escalated: bool = False
+    #: Version of the shared similarity kernel this slice trained against.
+    kernel_version: int = 0
 
 
 class OnlineContraTopic:
@@ -96,32 +135,67 @@ class OnlineContraTopic:
         self._factory = backbone_factory
         self.regularizer_config = regularizer_config or ContraTopicConfig()
         self.online_config = online_config or OnlineConfig()
+        self._run_spec = run_spec
         self._trainer = Trainer(run_spec)
         self.model: ContraTopic | None = None
+        self.engine: StreamingNpmiEngine | None = None
+        self.kernel: SimilarityKernel | None = None
         self.kernel_matrix: np.ndarray | None = None
         self.history: list[SliceResult] = []
+        self.drift_alarms = 0
         self._previous_beta: np.ndarray | None = None
+        self._last_coherence: float | None = None
+        self._blend_scratch: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def partial_fit(self, corpus: Corpus) -> SliceResult:
-        """Consume one time slice and return its evolution record."""
+        """Consume one time slice and return its evolution record.
+
+        The incremental path: the slice is folded into the streaming
+        engine (delta-update counts + in-place NPMI rederivation), the
+        coherence-drop drift check runs against the updated moving NPMI,
+        the persistent kernel blends and refreshes in place, and the
+        warm-started model fine-tunes — under the guard escalation
+        ladder when the drift check fired.
+        """
         cfg = self.online_config
-        slice_npmi = compute_npmi_matrix(corpus).matrix
-        if self.kernel_matrix is None:
-            self.kernel_matrix = slice_npmi
-        else:
-            if self.kernel_matrix.shape != slice_npmi.shape:
-                raise ConfigError(
-                    "all slices must share one vocabulary; got matrices of "
-                    f"shape {self.kernel_matrix.shape} and {slice_npmi.shape}"
-                )
-            self.kernel_matrix = (
-                cfg.kernel_decay * self.kernel_matrix
-                + (1.0 - cfg.kernel_decay) * slice_npmi
+        if self.engine is None:
+            self.engine = StreamingNpmiEngine(corpus.vocab_size)
+        elif corpus.vocab_size != self.engine.vocab_size:
+            raise ConfigError(
+                "all slices must share one vocabulary; engine has "
+                f"{self.engine.vocab_size} words, slice has {corpus.vocab_size}"
             )
-        kernel = npmi_kernel(
-            NpmiMatrix(self.kernel_matrix), temperature=cfg.kernel_temperature
-        )
+        moving = self.engine.update(corpus)
+
+        # Drift check: re-score the previous topics under the *updated*
+        # NPMI before training.  A large coherence drop means the corpus
+        # moved away from the model — train this slice guarded.
+        coherence_drop = 0.0
+        escalate = False
+        if self.model is not None and self._last_coherence is not None:
+            rescored = self._topics_coherence(
+                self.model.topic_word_matrix(), moving
+            )
+            coherence_drop = self._last_coherence - rescored
+            escalate = coherence_drop > cfg.drift_threshold
+            if escalate:
+                self.drift_alarms += 1
+
+        if self.kernel is None:
+            # First slice: one kernel allocation for the stream's
+            # lifetime; later slices mutate it in place.
+            self.kernel = npmi_kernel(moving, temperature=cfg.kernel_temperature)
+            self.kernel_matrix = self.kernel.matrix
+            self._blend_scratch = np.empty_like(self.kernel.matrix)
+        else:
+            blended = self.kernel.matrix
+            blended *= cfg.kernel_decay
+            np.multiply(
+                moving.matrix, 1.0 - cfg.kernel_decay, out=self._blend_scratch
+            )
+            blended += self._blend_scratch
+            self.kernel.refresh()
 
         previous_state = None
         if self.model is not None:
@@ -130,13 +204,15 @@ class OnlineContraTopic:
         backbone = self._factory()
         if previous_state is not None:
             backbone.config.epochs = cfg.epochs_per_slice
-        model = ContraTopic(backbone, kernel, self.regularizer_config)
+        model = ContraTopic(backbone, self.kernel, self.regularizer_config)
         if previous_state is not None:
             model.load_state_dict(previous_state)
-        self._trainer.fit(model, corpus)
+        trainer = Trainer(self._escalated_run_spec()) if escalate else self._trainer
+        trainer.fit(model, corpus)
         self.model = model
 
         beta = model.topic_word_matrix()
+        coherence = self._topics_coherence(beta, moving)
         drift = self._drift(beta)
         tops = model.top_words(corpus.vocabulary, 10)
         result = SliceResult(
@@ -144,10 +220,31 @@ class OnlineContraTopic:
             top_words=tops,
             topic_drift=drift,
             mean_drift=float(drift.mean()),
+            coherence=coherence,
+            coherence_drop=float(coherence_drop),
+            guard_escalated=escalate,
+            kernel_version=self.kernel.version,
         )
         self.history.append(result)
         self._previous_beta = beta
+        self._last_coherence = coherence
         return result
+
+    def _escalated_run_spec(self) -> RunSpec:
+        """The slice's run spec with the guard ladder switched on."""
+        if self._run_spec is None:
+            return RunSpec(guard=GuardPolicy())
+        if self._run_spec.guard is not None:
+            return self._run_spec
+        return replace(self._run_spec, guard=GuardPolicy())
+
+    def _topics_coherence(self, beta: np.ndarray, npmi: NpmiMatrix) -> float:
+        """Mean pairwise NPMI of each topic's top words, averaged."""
+        topn = self.online_config.coherence_top_words
+        top_ids = np.argsort(-beta, axis=1)[:, :topn]
+        return float(
+            np.mean([npmi.mean_pairwise(ids) for ids in top_ids])
+        )
 
     def _drift(self, beta: np.ndarray) -> np.ndarray:
         """Per-topic cosine distance between consecutive β rows."""

@@ -17,14 +17,14 @@ Cached instances are shared — treat them as read-only.
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
+from typing import Sequence
 
 import numpy as np
 from scipy import sparse
 
 from repro.data.corpus import Corpus
-from repro.errors import ShapeError
+from repro.errors import CorpusError, ShapeError
 
 #: Dense V×V joint matrices are large; keep only this many corpora.
 CACHE_CAPACITY = 8
@@ -38,15 +38,14 @@ def corpus_fingerprint(corpus: Corpus) -> str:
 
     Two corpora with identical document sequences over the same-sized
     vocabulary fingerprint identically regardless of how they were built
-    (loader, subset, split).  Labels are excluded — co-occurrence never
-    reads them.
+    (loader, subset, split, or streaming :meth:`~repro.data.corpus.Corpus
+    .extend`).  Labels are excluded — co-occurrence never reads them.
+
+    The value is memoised on the corpus and chained incrementally: a
+    warm lookup hashes nothing, and a corpus grown by ``extend`` chains
+    (parent digest, delta digest) instead of re-hashing every document.
     """
-    digest = hashlib.blake2b(digest_size=16)
-    digest.update(f"{len(corpus)}:{corpus.vocab_size}".encode())
-    for doc in corpus.documents:
-        digest.update(doc.size.to_bytes(8, "little"))
-        digest.update(np.ascontiguousarray(doc).tobytes())
-    return digest.hexdigest()
+    return corpus.content_fingerprint()
 
 
 def cooccurrence_cache_stats() -> dict[str, int]:
@@ -83,6 +82,16 @@ class DocumentCooccurrence:
         self.num_documents = num_documents
         self.doc_freq = doc_freq
         self.joint = joint
+        #: Cached instances are shared read-only; :meth:`update` refuses
+        #: to mutate them (set when an instance enters the LRU cache).
+        self._frozen = False
+        #: Streaming counters: delta updates applied and their total
+        #: sparse-accumulated nonzeros.
+        self.update_stats: dict[str, int] = {
+            "updates": 0,
+            "delta_nnz": 0,
+            "documents_added": 0,
+        }
 
     @classmethod
     def from_corpus(cls, corpus: Corpus, cache: bool = True) -> "DocumentCooccurrence":
@@ -104,6 +113,7 @@ class DocumentCooccurrence:
             return hit
         _CACHE_STATS["misses"] += 1
         counted = cls._count(corpus)
+        counted._frozen = True
         _COUNT_CACHE[key] = counted
         while len(_COUNT_CACHE) > CACHE_CAPACITY:
             _COUNT_CACHE.popitem(last=False)
@@ -127,6 +137,105 @@ class DocumentCooccurrence:
         joint = (incidence.T @ incidence).toarray()
         doc_freq = np.diag(joint).copy()
         return cls(incidence.shape[0], doc_freq, joint)
+
+    @classmethod
+    def empty(cls, vocab_size: int) -> "DocumentCooccurrence":
+        """Zero counts over ``vocab_size`` words — the streaming seed.
+
+        An empty instance is mutable by construction: feed it slices
+        through :meth:`update` and the counts stay bitwise-equal to a
+        full recount of everything fed so far.
+        """
+        if vocab_size < 1:
+            raise ShapeError(f"vocab_size must be >= 1, got {vocab_size}")
+        return cls(
+            0,
+            np.zeros(vocab_size, dtype=np.float64),
+            np.zeros((vocab_size, vocab_size), dtype=np.float64),
+        )
+
+    def update(
+        self,
+        new_docs: "Corpus | Sequence[Sequence[int]] | np.ndarray | sparse.spmatrix",
+    ) -> int:
+        """Fold new documents' counts in, exactly; returns the delta nnz.
+
+        The delta is the new documents' binary-slice product — an
+        O(nnz_new·V) sparse accumulation scattered into the existing
+        dense ``joint`` (never a full O(nnz_total·V) recount).  Because
+        every count is an integer (exact in float64), the incremental
+        totals are **bitwise identical** to a from-scratch recount of
+        all documents seen so far.
+
+        ``new_docs`` may be a :class:`~repro.data.corpus.Corpus`, a
+        sequence of token-id documents (the empty sequence is a no-op
+        slice), or a ``(docs, vocab)`` count matrix.  Cached instances
+        returned by :meth:`from_corpus` are shared read-only and refuse
+        to update.
+        """
+        if self._frozen:
+            raise CorpusError(
+                "refusing to update a cached DocumentCooccurrence (shared "
+                "read-only); count with cache=False or start from empty()"
+            )
+        incidence = self._as_incidence(new_docs)
+        self.update_stats["updates"] += 1
+        added = incidence.shape[0]
+        if added == 0:
+            return 0
+        delta = (incidence.T @ incidence).tocoo()
+        delta.sum_duplicates()
+        # Canonical COO has unique coordinates, so fancy-indexed += is an
+        # exact scatter-add of integer-valued float64 counts.
+        self.joint[delta.row, delta.col] += delta.data
+        self.doc_freq += np.asarray(incidence.sum(axis=0)).ravel()
+        self.num_documents += added
+        self.update_stats["delta_nnz"] += int(delta.nnz)
+        self.update_stats["documents_added"] += added
+        return int(delta.nnz)
+
+    def _as_incidence(self, new_docs) -> sparse.csr_matrix:
+        """Normalize any accepted slice form to 0/1 CSR over this vocab."""
+        vocab = self.vocab_size
+        if isinstance(new_docs, Corpus):
+            if new_docs.vocab_size != vocab:
+                raise ShapeError(
+                    f"slice vocab {new_docs.vocab_size} != counts vocab {vocab}"
+                )
+            return new_docs.binary_doc_word()
+        if sparse.issparse(new_docs) or isinstance(new_docs, np.ndarray):
+            bow = new_docs
+            if bow.shape[1] != vocab:
+                raise ShapeError(
+                    f"slice bow vocab {bow.shape[1]} != counts vocab {vocab}"
+                )
+            if sparse.issparse(bow):
+                incidence = bow.tocsr().copy()
+                incidence.data = np.ones_like(incidence.data)
+                return incidence
+            return sparse.csr_matrix((np.asarray(bow) > 0).astype(np.float64))
+        # A (possibly empty) sequence of token-id documents.
+        docs = [np.asarray(doc, dtype=np.int64) for doc in new_docs]
+        indptr = [0]
+        indices: list[int] = []
+        for i, doc in enumerate(docs):
+            if doc.size == 0:
+                raise CorpusError(f"slice document {i} is empty")
+            if doc.min() < 0 or doc.max() >= vocab:
+                raise CorpusError(
+                    f"slice document {i} has token ids outside [0, {vocab})"
+                )
+            ids = np.unique(doc)
+            indices.extend(ids.tolist())
+            indptr.append(len(indices))
+        return sparse.csr_matrix(
+            (
+                np.ones(len(indices), dtype=np.float64),
+                np.array(indices, dtype=np.int64),
+                np.array(indptr, dtype=np.int64),
+            ),
+            shape=(len(docs), vocab),
+        )
 
     @property
     def vocab_size(self) -> int:

@@ -38,6 +38,78 @@ def clear_npmi_cache() -> None:
     _NPMI_CACHE.clear()
 
 
+class NpmiWorkspace:
+    """Preallocated scratch buffers for repeated NPMI rederivations.
+
+    A cold :func:`compute_npmi_matrix` allocates a handful of V×V
+    temporaries (log numerator, log denominator, masks) on every call;
+    a streaming consumer rederiving after each slice would churn those
+    allocations once per slice.  One workspace owns them instead —
+    :meth:`NpmiMatrix.rederive_into` reuses the same buffers rebuild
+    after rebuild.  ``uses`` counts how many rederivations ran through
+    the workspace (reuses are ``uses - 1``).
+    """
+
+    def __init__(self, vocab_size: int):
+        if vocab_size < 1:
+            raise ShapeError(f"vocab_size must be >= 1, got {vocab_size}")
+        shape = (vocab_size, vocab_size)
+        self.log_joint = np.empty(shape, dtype=np.float64)
+        self.log_marginal = np.empty(shape, dtype=np.float64)
+        self.zero_joint = np.empty(shape, dtype=bool)
+        self.saturated = np.empty(shape, dtype=bool)
+        self.uses = 0
+
+    @property
+    def vocab_size(self) -> int:
+        return self.log_joint.shape[0]
+
+
+def _derive_npmi_into(
+    out: np.ndarray,
+    cooc: "DocumentCooccurrence",
+    epsilon: float,
+    never_cooccur_value: float,
+    work: NpmiWorkspace,
+) -> np.ndarray:
+    """Derive NPMI from counts into ``out`` using ``work`` scratch only.
+
+    This is *the* derivation — the cold path wraps it with freshly
+    allocated buffers, the streaming path with persistent ones — so the
+    two agree to the last bit by construction.
+    """
+    if cooc.num_documents < 1:
+        raise ShapeError("cannot derive NPMI from zero documents")
+    np.divide(cooc.joint, cooc.num_documents, out=out)  # p(w_i, w_j)
+    p_word = cooc.doc_freq / cooc.num_documents
+    np.less_equal(out, 0.0, out=work.zero_joint)
+    np.greater_equal(out, 1.0, out=work.saturated)
+    np.add(out, epsilon, out=work.log_joint)
+    np.log(work.log_joint, out=work.log_joint)  # log(p_joint + eps)
+    np.outer(p_word, p_word, out=work.log_marginal)
+    np.add(work.log_marginal, epsilon, out=work.log_marginal)
+    np.log(work.log_marginal, out=work.log_marginal)  # log(p_i p_j + eps)
+    # pmi = log(p_joint + eps) - log(p_i p_j + eps), into the marginal
+    # buffer; normalizer -log(p_joint + eps) into the joint buffer.
+    np.subtract(work.log_joint, work.log_marginal, out=work.log_marginal)
+    np.negative(work.log_joint, out=work.log_joint)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        np.divide(work.log_marginal, work.log_joint, out=out)
+    out[work.zero_joint] = never_cooccur_value
+    # Degenerate p(w_i, w_j) = 1 (both words in every document): the
+    # normalizer -log p is 0; the dependence limit is +1.
+    out[work.saturated] = 1.0
+    # Words that never occur at all are undefined; treat as uninformative 0.
+    absent = p_word <= 0.0
+    if absent.any():
+        out[absent, :] = 0.0
+        out[:, absent] = 0.0
+    np.fill_diagonal(out, 1.0)
+    np.clip(out, -1.0, 1.0, out=out)
+    work.uses += 1
+    return out
+
+
 class NpmiMatrix:
     """A precomputed dense NPMI matrix with convenience lookups."""
 
@@ -71,6 +143,39 @@ class NpmiMatrix:
         sub = self.submatrix(ids)
         total = sub.sum() - np.trace(sub)
         return float(total / (n * (n - 1)))
+
+    def rederive_into(
+        self,
+        source: "DocumentCooccurrence",
+        workspace: NpmiWorkspace | None = None,
+        epsilon: float = 1e-12,
+        never_cooccur_value: float = -1.0,
+    ) -> "NpmiMatrix":
+        """Recompute this matrix **in place** from ``source`` counts.
+
+        ``self.matrix`` is the persistent V×V output buffer; the
+        log/mask temporaries come from ``workspace`` (allocated fresh
+        when omitted — pass a long-lived :class:`NpmiWorkspace` to make
+        repeated rebuilds allocation-free).  The result is identical to
+        a cold :func:`compute_npmi_matrix` over the same counts: both
+        run the same derivation kernel.  Returns ``self``.
+        """
+        if source.vocab_size != self.vocab_size:
+            raise ShapeError(
+                f"counts vocab {source.vocab_size} != matrix vocab "
+                f"{self.vocab_size}"
+            )
+        if workspace is None:
+            workspace = NpmiWorkspace(self.vocab_size)
+        elif workspace.vocab_size != self.vocab_size:
+            raise ShapeError(
+                f"workspace vocab {workspace.vocab_size} != matrix vocab "
+                f"{self.vocab_size}"
+            )
+        _derive_npmi_into(
+            self.matrix, source, epsilon, never_cooccur_value, workspace
+        )
+        return self
 
 
 def compute_npmi_matrix(
@@ -109,28 +214,10 @@ def compute_npmi_matrix(
         if isinstance(source, DocumentCooccurrence)
         else DocumentCooccurrence.from_corpus(source)
     )
-    p_word = cooc.marginal_probability()
-    p_joint = cooc.joint_probability()
-
-    with np.errstate(divide="ignore", invalid="ignore"):
-        pmi = np.log(p_joint + epsilon) - np.log(
-            np.outer(p_word, p_word) + epsilon
-        )
-        denom = -np.log(p_joint + epsilon)
-        npmi = pmi / denom
-
-    zero_joint = p_joint <= 0.0
-    npmi = np.where(zero_joint, never_cooccur_value, npmi)
-    # Degenerate p(w_i, w_j) = 1 (both words in every document): the
-    # normalizer -log p is 0; the dependence limit is +1.
-    npmi = np.where(p_joint >= 1.0, 1.0, npmi)
-    # Words that never occur at all are undefined; treat as uninformative 0.
-    absent = p_word <= 0.0
-    if absent.any():
-        npmi[absent, :] = 0.0
-        npmi[:, absent] = 0.0
-    np.fill_diagonal(npmi, 1.0)
-    npmi = np.clip(npmi, -1.0, 1.0)
+    npmi = np.empty((cooc.vocab_size, cooc.vocab_size), dtype=np.float64)
+    _derive_npmi_into(
+        npmi, cooc, epsilon, never_cooccur_value, NpmiWorkspace(cooc.vocab_size)
+    )
     result = NpmiMatrix(npmi)
     if key is not None:
         _NPMI_CACHE[key] = result

@@ -78,6 +78,23 @@ SERVING_REQUESTS_KEY = "serving/requests_total"
 DDP_WALL_KEY_PREFIX = "ddp/wall_w"
 DDP_DOCS_KEY = "ddp/docs"
 
+#: Registry keys the streaming-kernel benchmark records under
+#: (``python -m repro bench --suite streaming`` and
+#: ``benchmarks/bench_streaming.py``): wall-clock of the incremental
+#: delta-update leg, wall-clock of the from-scratch recount leg, and the
+#: number of documents each leg streamed.  :func:`build_report` rolls
+#: them into ``totals`` (including the ``streaming_speedup`` ratio and
+#: ``streaming_docs_per_sec``) so the CI perf-guard can gate the
+#: incremental engine; the ``streaming/*`` counters published by
+#: :func:`repro.metrics.streaming.record_streaming_stats` (updates,
+#: delta_nnz, buffer reuses) and the ``npmi_cache/*`` hit/miss counters
+#: become ``streaming_*`` / ``npmi_cache_*`` totals alongside them.
+STREAMING_UPDATE_KEY = "streaming/update"
+STREAMING_RECOUNT_KEY = "streaming/recount"
+STREAMING_DOCS_KEY = "streaming/docs"
+STREAMING_COUNTER_PREFIX = "streaming/"
+NPMI_CACHE_COUNTER_PREFIX = "npmi_cache/"
+
 
 def _op_table(registry: MetricsRegistry) -> list[dict]:
     """Extract the per-op rows from a registry's ``op/*`` keys."""
@@ -242,6 +259,35 @@ def build_report(
                     totals[f"ddp_speedup_w{label}"] = float(
                         serial_leg.total_seconds / stat.total_seconds
                     )
+        update_leg = registry.timers.get(STREAMING_UPDATE_KEY)
+        recount_leg = registry.timers.get(STREAMING_RECOUNT_KEY)
+        stream_docs = registry.counters.get(STREAMING_DOCS_KEY)
+        if update_leg is not None and update_leg.count:
+            totals["streaming_update_seconds"] = float(update_leg.total_seconds)
+        if recount_leg is not None and recount_leg.count:
+            totals["streaming_recount_seconds"] = float(recount_leg.total_seconds)
+        if (
+            update_leg is not None
+            and recount_leg is not None
+            and recount_leg.count
+            and update_leg.total_seconds > 0
+        ):
+            totals["streaming_speedup"] = float(
+                recount_leg.total_seconds / update_leg.total_seconds
+            )
+        if (
+            stream_docs is not None
+            and stream_docs.value
+            and update_leg is not None
+            and update_leg.total_seconds > 0
+        ):
+            totals["streaming_docs_per_sec"] = float(
+                stream_docs.value / update_leg.total_seconds
+            )
+        for key, counter in registry.counters.items():
+            for prefix in (STREAMING_COUNTER_PREFIX, NPMI_CACHE_COUNTER_PREFIX):
+                if key.startswith(prefix) and key != STREAMING_DOCS_KEY:
+                    totals[key.replace("/", "_", 1)] = int(counter.value)
     report = {
         "schema": SCHEMA,
         "name": name,
@@ -401,6 +447,7 @@ TIME_TOTALS = (
     "ddp_wall_seconds_w1",
     "ddp_wall_seconds_w2",
     "ddp_wall_seconds_w4",
+    "streaming_update_seconds",
 )
 
 #: totals keys where *smaller* current values mean a slowdown.
@@ -415,6 +462,9 @@ RATE_TOTALS = (
     "ddp_docs_per_sec_w4",
     "ddp_speedup_w2",
     "ddp_speedup_w4",
+    "streaming_speedup",
+    "streaming_docs_per_sec",
+    "streaming_buffer_reuses",
 )
 
 

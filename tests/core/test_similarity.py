@@ -90,3 +90,52 @@ def test_property_loss_invariant_to_consistent_word_relabeling(seed):
     a = topic_contrastive_loss(Tensor(samples), kernel_a).item()
     b = topic_contrastive_loss(Tensor(samples[:, perm]), kernel_b).item()
     assert a == pytest.approx(b, rel=1e-10)
+
+
+class TestRefresh:
+    def _kernel(self, vocab=5, temperature=0.5):
+        rng = np.random.default_rng(0)
+        sym = rng.uniform(-1, 1, size=(vocab, vocab))
+        sym = np.clip((sym + sym.T) / 2, -1, 1)
+        return npmi_kernel(NpmiMatrix(sym), temperature=temperature)
+
+    def test_in_place_mutation_then_refresh(self):
+        kernel = self._kernel()
+        exp_buffer = kernel.exp_matrix
+        assert kernel.version == 0
+        kernel.matrix *= 0.5
+        assert kernel.refresh() == 1
+        assert kernel.exp_matrix is exp_buffer  # no reallocation
+        np.testing.assert_allclose(
+            kernel.exp_matrix, np.exp(kernel.matrix / kernel.temperature)
+        )
+        assert kernel.refresh() == 2  # version is monotonic
+
+    def test_refresh_copies_external_matrix(self):
+        kernel = self._kernel()
+        replacement = np.zeros_like(kernel.matrix)
+        kernel.refresh(replacement)
+        np.testing.assert_array_equal(kernel.matrix, replacement)
+        np.testing.assert_allclose(kernel.exp_matrix, np.ones_like(replacement))
+        with pytest.raises(ShapeError):
+            kernel.refresh(np.zeros((2, 2)))
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_cached_tensors_refresh_in_place(self, dtype):
+        kernel = self._kernel()
+        exp_t = kernel.exp_matrix_tensor(np.dtype(dtype))
+        diag_t = kernel.exp_diag_tensor(np.dtype(dtype))
+        kernel.matrix *= 0.25
+        kernel.refresh()
+        # Long-lived consumers keep the same Tensor objects and observe
+        # the refreshed values through them.
+        assert kernel.exp_matrix_tensor(np.dtype(dtype)) is exp_t
+        assert kernel.exp_diag_tensor(np.dtype(dtype)) is diag_t
+        np.testing.assert_allclose(
+            exp_t.data,
+            np.exp(kernel.matrix / kernel.temperature).astype(dtype),
+            rtol=1e-6,
+        )
+        np.testing.assert_allclose(
+            diag_t.data, np.diagonal(exp_t.data), rtol=1e-6
+        )

@@ -132,3 +132,84 @@ class TestSubset:
 
     def test_repr(self, toy_corpus):
         assert "labeled" in repr(toy_corpus)
+
+
+class TestFingerprint:
+    @pytest.fixture(autouse=True)
+    def _fresh_stats(self):
+        from repro.data.corpus import reset_fingerprint_stats
+
+        reset_fingerprint_stats()
+        yield
+        reset_fingerprint_stats()
+
+    def test_memoised_warm_lookup_hashes_nothing(self, toy_corpus):
+        from repro.data.corpus import fingerprint_stats
+
+        first = toy_corpus.content_fingerprint()
+        cold = fingerprint_stats()
+        assert cold["documents_hashed"] == len(toy_corpus)
+        assert toy_corpus.content_fingerprint() == first
+        warm = fingerprint_stats()
+        # The warm lookup is a pure memo hit: zero additional hashing work.
+        assert warm["documents_hashed"] == cold["documents_hashed"]
+        assert warm["computes"] == cold["computes"]
+        assert warm["memo_hits"] == cold["memo_hits"] + 1
+
+    def test_extend_hashes_only_the_delta(self, toy_corpus, toy_vocabulary):
+        from repro.data.corpus import fingerprint_stats
+
+        toy_corpus_copy = Corpus(
+            [doc.copy() for doc in toy_corpus.documents], toy_vocabulary
+        )
+        toy_corpus_copy.content_fingerprint()
+        hashed_before = fingerprint_stats()["documents_hashed"]
+        added = toy_corpus_copy.extend([[0, 5], [1, 2, 3]])
+        assert added == 2
+        toy_corpus_copy.content_fingerprint()
+        # Chained digest: only the two new documents were hashed.
+        assert fingerprint_stats()["documents_hashed"] == hashed_before + 2
+
+    def test_extended_equals_from_scratch(self, toy_corpus, toy_vocabulary):
+        grown = Corpus([doc.copy() for doc in toy_corpus.documents], toy_vocabulary)
+        grown.content_fingerprint()  # memoise, then chain from the delta
+        grown.extend([[3, 4], [5, 0, 1]])
+        scratch = Corpus(
+            [doc.copy() for doc in grown.documents], toy_vocabulary
+        )
+        assert grown.content_fingerprint() == scratch.content_fingerprint()
+        assert grown.content_fingerprint() != toy_corpus.content_fingerprint()
+
+    def test_extend_invalidates_bow_caches(self, toy_corpus, toy_vocabulary):
+        grown = Corpus([doc.copy() for doc in toy_corpus.documents], toy_vocabulary)
+        before = grown.bow_matrix()
+        grown.extend([[0, 1]])
+        after = grown.bow_matrix()
+        assert after.shape[0] == before.shape[0] + 1
+
+    def test_extend_validates_documents(self, toy_corpus, toy_vocabulary):
+        grown = Corpus([doc.copy() for doc in toy_corpus.documents], toy_vocabulary)
+        with pytest.raises(CorpusError):
+            grown.extend([[]])
+        with pytest.raises(CorpusError):
+            grown.extend([[len(toy_vocabulary)]])
+        # Unlabeled corpora reject labels; labeled ones require them.
+        with pytest.raises(CorpusError):
+            grown.extend([[0, 1]], labels=[1])
+        labeled = Corpus(
+            [doc.copy() for doc in toy_corpus.documents],
+            toy_vocabulary,
+            labels=toy_corpus.labels,
+        )
+        with pytest.raises(CorpusError):
+            labeled.extend([[0, 1]])
+        labeled.extend([[0, 1]], labels=[1])
+        assert len(labeled) == len(toy_corpus) + 1
+        assert len(grown) == len(toy_corpus)
+
+    def test_pickle_keeps_memo(self, toy_corpus):
+        import pickle
+
+        fp = toy_corpus.content_fingerprint()
+        clone = pickle.loads(pickle.dumps(toy_corpus))
+        assert clone.content_fingerprint() == fp

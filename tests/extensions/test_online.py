@@ -196,3 +196,109 @@ class TestExportCheckpoint:
         assert registry.load(path)
         assert registry.version == 2
         assert registry.last_good_path == path
+
+
+class TestStreamingEngineWiring:
+    """PR 9: partial_fit rides the incremental co-occurrence/NPMI engine."""
+
+    def test_engine_accumulates_across_slices(self, stream):
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        online.partial_fit(slices[0])
+        assert online.engine is not None
+        assert online.engine.num_documents == len(slices[0])
+        online.partial_fit(slices[1])
+        assert online.engine.num_documents == len(slices[0]) + len(slices[1])
+        assert online.engine.stats["updates"] == 2
+
+    def test_moving_npmi_is_exact(self, stream):
+        from repro.metrics import DocumentCooccurrence, compute_npmi_matrix
+
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        online.partial_fit(slices[0])
+        online.partial_fit(slices[1])
+        full = DocumentCooccurrence.empty(slices[0].vocab_size)
+        full.update(slices[0])
+        full.update(slices[1])
+        online.engine.check_against(full)
+        cold = compute_npmi_matrix(full)
+        gap = np.max(np.abs(online.engine.npmi.matrix - cold.matrix))
+        assert gap <= 1e-12
+
+    def test_kernel_refreshes_in_place(self, stream):
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        r0 = online.partial_fit(slices[0])
+        matrix = online.kernel.matrix
+        exp = online.kernel.exp_matrix
+        r1 = online.partial_fit(slices[1])
+        assert online.kernel.matrix is matrix  # blended in place
+        assert online.kernel.exp_matrix is exp
+        assert r1.kernel_version == r0.kernel_version + 1
+        np.testing.assert_allclose(
+            online.kernel.exp_matrix,
+            np.exp(online.kernel.matrix / online.kernel.temperature),
+        )
+
+    def test_vocab_mismatch_rejected(self, stream):
+        from repro.data import Corpus, Vocabulary
+
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        online.partial_fit(slices[0])
+        other = Corpus([[0, 1]], Vocabulary(["a", "b"]))
+        with pytest.raises(ConfigError):
+            online.partial_fit(other)
+
+
+class TestDriftCheck:
+    """The coherence-drop drift check and its guard escalation."""
+
+    def test_records_coherence_and_drop(self, stream):
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        r0 = online.partial_fit(slices[0])
+        r1 = online.partial_fit(slices[1])
+        # Slice 0 has no previous model: no drop, no escalation.
+        assert r0.coherence_drop == 0.0
+        assert not r0.guard_escalated
+        assert np.isfinite(r0.coherence) and np.isfinite(r1.coherence)
+
+    def test_sensitive_threshold_escalates_on_emergence(self, stream):
+        """A drifting stream + hair-trigger threshold must fire the alarm
+        and route the slice through a guarded trainer."""
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        online.online_config = OnlineConfig(
+            kernel_decay=0.5, epochs_per_slice=3, drift_threshold=1e-9
+        )
+        results = [online.partial_fit(s) for s in slices]
+        fired = [r for r in results[1:] if r.guard_escalated]
+        # The emerging theme changes the NPMI the previous topics are
+        # scored under; with a near-zero threshold any drop escalates.
+        assert online.drift_alarms == len(fired)
+        assert any(r.coherence_drop != 0.0 for r in results[1:])
+
+    def test_escalated_spec_has_a_guard(self, stream):
+        from repro.training.trainer import RunSpec
+
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        spec = online._escalated_run_spec()
+        assert spec.guard is not None
+        # A caller-provided guardless spec gains a guard, non-destructively.
+        online._run_spec = RunSpec()
+        escalated = online._escalated_run_spec()
+        assert escalated.guard is not None
+        assert online._run_spec.guard is None
+
+    def test_emerging_topic_detection_fires_on_drift(self, stream):
+        """generate_drifting_stream + the online model: the emergence
+        code path reports re-specialized topics once the theme lands."""
+        slices, _, _ = stream
+        online = _make_online(slices[0].vocab_size)
+        for s in slices:
+            online.partial_fit(s)
+        assert online.history[-1].mean_drift > 0.0
+        assert online.emerging_topics(threshold=0.0) != []

@@ -234,3 +234,73 @@ class TestCheckRegressionScript:
         _, base_path = self._reports(tmp_path)
         result = self._run("--compare", str(base_path), str(tmp_path / "nope.json"))
         assert result.returncode == 2
+
+
+class TestStreamingTotals:
+    """PR 9: streaming-engine keys roll into perf-guard-gated totals."""
+
+    def _registry(self) -> MetricsRegistry:
+        from repro.metrics.streaming import (
+            record_streaming_stats,
+            reset_streaming_stats,
+            StreamingNpmiEngine,
+        )
+        from repro.telemetry.report import (
+            STREAMING_DOCS_KEY,
+            STREAMING_RECOUNT_KEY,
+            STREAMING_UPDATE_KEY,
+        )
+
+        reset_streaming_stats()
+        registry = MetricsRegistry()
+        engine = StreamingNpmiEngine(4)
+        with registry.timer(STREAMING_UPDATE_KEY):
+            engine.update([[0, 1], [2, 3]])
+        with registry.timer(STREAMING_UPDATE_KEY):
+            engine.update([[1, 2]])
+        registry.record_seconds(STREAMING_RECOUNT_KEY, 0.5, absolute=True)
+        registry.counter(STREAMING_DOCS_KEY, absolute=True).value = 3.0
+        record_streaming_stats(registry)
+        return registry
+
+    def test_streaming_totals_roll_up(self):
+        from repro.metrics.streaming import reset_streaming_stats
+
+        try:
+            totals = build_report("demo", registry=self._registry())["totals"]
+        finally:
+            reset_streaming_stats()
+        assert totals["streaming_update_seconds"] > 0
+        assert totals["streaming_recount_seconds"] == pytest.approx(0.5)
+        assert totals["streaming_speedup"] == pytest.approx(
+            0.5 / totals["streaming_update_seconds"]
+        )
+        assert totals["streaming_docs_per_sec"] == pytest.approx(
+            3.0 / totals["streaming_update_seconds"]
+        )
+        assert totals["streaming_updates"] == 2
+        assert totals["streaming_documents"] == 3
+        assert totals["streaming_buffer_reuses"] == 1
+        assert totals["streaming_delta_nnz"] > 0
+        for key in ("npmi_cache_hits", "npmi_cache_misses", "npmi_cache_size"):
+            assert key in totals
+
+    def test_streaming_totals_are_gated(self):
+        from repro.telemetry.report import RATE_TOTALS, TIME_TOTALS
+
+        assert "streaming_update_seconds" in TIME_TOTALS
+        for key in (
+            "streaming_speedup",
+            "streaming_docs_per_sec",
+            "streaming_buffer_reuses",
+        ):
+            assert key in RATE_TOTALS
+
+    def test_regression_guard_catches_streaming_slowdown(self):
+        base = build_report("demo", registry=self._registry())
+        slow = copy.deepcopy(base)
+        slow["totals"]["streaming_speedup"] = (
+            base["totals"]["streaming_speedup"] / 10.0
+        )
+        failures, _ = compare_reports(base, slow, threshold=2.0)
+        assert any("streaming_speedup" in f for f in failures)
