@@ -101,6 +101,7 @@ from repro.experiments.table1_stats import format_table1, run_table1
 from repro.io import load_checkpoint, save_checkpoint
 from repro.metrics.coherence import topic_npmi_scores
 from repro.models.registry import available_models
+from repro.objectives.registry import available_objectives
 from repro.training.protocol import evaluate_model
 
 
@@ -129,11 +130,40 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
         help="regularizer weight λ (default: the dataset's calibrated value)",
     )
     parser.add_argument(
+        "--objective",
+        default=None,
+        choices=["elbo", *available_objectives()],
+        help="replace the model's own objective stack: 'elbo' trains the "
+        "plain ELBO, any registry name adds that regularizer at its "
+        "default (or --objective-weight) weight",
+    )
+    parser.add_argument(
+        "--objective-weight",
+        type=float,
+        default=None,
+        help="weight of the --objective term (default: the registry's "
+        "calibrated value)",
+    )
+    parser.add_argument(
         "--dtype",
         default=None,
         choices=["float32", "float64"],
         help="training precision (default: REPRO_DTYPE or float64)",
     )
+
+
+def _objectives_from_args(args: argparse.Namespace):
+    """``--objective`` → the RunSpec ``objectives`` tuple (or None)."""
+    objective = getattr(args, "objective", None)
+    if objective == "elbo":
+        return ()  # pure ELBO: an empty stack of extra terms
+    if objective:
+        from repro.objectives.registry import ObjectiveSpec
+
+        return (
+            ObjectiveSpec(objective, weight=getattr(args, "objective_weight", None)),
+        )
+    return None
 
 
 def _run_spec(args: argparse.Namespace, model):
@@ -153,10 +183,14 @@ def _run_spec(args: argparse.Namespace, model):
         )
     resume = getattr(args, "resume", None) or None
     ddp_workers = getattr(args, "ddp_workers", None)
+    objectives = _objectives_from_args(args)
     is_neural = isinstance(model, NeuralTopicModel)
-    if (guard or checkpoint or resume or ddp_workers) and not is_neural:
+    if (
+        guard or checkpoint or resume or ddp_workers or objectives is not None
+    ) and not is_neural:
         raise SystemExit(
-            "--guard/--resume/--checkpoint-dir/--ddp-workers require a neural model"
+            "--guard/--resume/--checkpoint-dir/--ddp-workers/--objective "
+            "require a neural model"
         )
     return RunSpec(
         model=model.config if is_neural else None,
@@ -164,6 +198,7 @@ def _run_spec(args: argparse.Namespace, model):
         checkpoint=checkpoint,
         resume_from=resume,
         ddp_workers=ddp_workers,
+        objectives=objectives,
     )
 
 
@@ -608,6 +643,77 @@ def _cmd_bench_streaming(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_bench_regularizers(args: argparse.Namespace, out) -> int:
+    """``bench --suite regularizers``: the objective-zoo leaderboard.
+
+    Trains the same backbone once per objective (pure ELBO control plus
+    every :mod:`repro.objectives` registry entry), fanning the seeds out
+    over ``--workers`` processes, scores each with the §V.B protocol and
+    writes a report whose ``regularizers_wall_seconds`` total gates the
+    sweep's cost in CI while the leaderboard rows land in ``meta`` for
+    the checked-in ``BENCH_regularizers`` table.
+    """
+    from repro.experiments.regularizers import (
+        format_leaderboard,
+        regularizer_leaderboard,
+    )
+    from repro.telemetry import (
+        MetricsRegistry,
+        build_report,
+        format_report,
+        write_report,
+    )
+    from repro.telemetry.report import REGULARIZERS_WALL_KEY
+
+    context = ExperimentContext(_settings_from_args(args))
+    seeds = tuple(range(args.num_seeds))
+    registry = MetricsRegistry()
+    print(
+        f"regularizer leaderboard on {args.dataset}: "
+        f"{len(seeds)} seeds per objective...",
+        file=out,
+    )
+    with registry.timer(REGULARIZERS_WALL_KEY):
+        result = regularizer_leaderboard(
+            context,
+            seeds=seeds,
+            workers=args.workers,
+            registry=registry,
+            backbone=args.backbone,
+        )
+    report = build_report(
+        args.name or "regularizers",
+        registry=registry,
+        meta={
+            "suite": "regularizers",
+            "dataset": args.dataset,
+            "backbone": args.backbone,
+            "scale": args.scale,
+            "num_topics": args.num_topics,
+            "epochs": args.epochs,
+            "seeds": list(seeds),
+            "leaderboard": [
+                {
+                    "objective": row.name,
+                    "weight": row.weight,
+                    **row.summary(),
+                }
+                for row in result.rows
+            ],
+            "best": result.best().name,
+            "failures": {
+                label: {str(seed): status for seed, status in statuses.items()}
+                for label, statuses in result.failures.items()
+            },
+        },
+    )
+    path = write_report(report, args.telemetry)
+    print(format_leaderboard(result, args.dataset), file=out)
+    print(format_report(report), file=out)
+    print(f"wrote telemetry report to {path}", file=out)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace, out) -> int:
     """``serve``: drive the resilient inference service under load.
 
@@ -790,6 +896,8 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         return _cmd_bench_ddp(args, out)
     if args.suite == "streaming":
         return _cmd_bench_streaming(args, out)
+    if args.suite == "regularizers":
+        return _cmd_bench_regularizers(args, out)
 
     from repro.models.base import NeuralTopicModel
     from repro.telemetry import (
@@ -841,6 +949,7 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         ),
         faults=faults,
         ddp_workers=args.ddp_workers,
+        objectives=_objectives_from_args(args),
     )
     print(f"benchmarking {args.model} on {args.dataset}...", file=out)
     profiler = profile_ops(registry) if args.profile_ops else contextlib.nullcontext()
@@ -1013,7 +1122,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite",
         default="train",
-        choices=["train", "ops", "sparse", "multiseed", "ddp", "streaming"],
+        choices=[
+            "train",
+            "ops",
+            "sparse",
+            "multiseed",
+            "ddp",
+            "streaming",
+            "regularizers",
+        ],
         help="'train': benchmark an end-to-end training run; "
         "'ops': microbenchmark every fused kernel on fixed shapes; "
         "'sparse': dense-vs-CSR fast-path hot-path comparison; "
@@ -1021,7 +1138,15 @@ def build_parser() -> argparse.ArgumentParser:
         "with a metric-equality assertion; "
         "'ddp': data-parallel scaling curve over --ddp-legs worker counts; "
         "'streaming': incremental NPMI engine vs per-slice full recount "
-        "on a synthetic drifting stream",
+        "on a synthetic drifting stream; "
+        "'regularizers': objective-zoo leaderboard (ELBO control + every "
+        "repro.objectives entry) on one backbone",
+    )
+    bench.add_argument(
+        "--backbone",
+        default="etm",
+        help="--suite regularizers: backbone every objective trains on "
+        "(default: etm)",
     )
     bench.add_argument(
         "--ddp-workers",
@@ -1041,8 +1166,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="--suite multiseed: worker processes of the parallel leg "
-        "(default: REPRO_WORKERS or the CPU count)",
+        help="--suite multiseed/regularizers: worker processes of the "
+        "parallel seed fan-out (default: REPRO_WORKERS or the CPU count)",
     )
     bench.add_argument(
         "--stream-slices",
@@ -1061,7 +1186,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--num-seeds",
         type=int,
         default=5,
-        help="--suite multiseed: how many seeds to evaluate (default: 5)",
+        help="--suite multiseed/regularizers: how many seeds to evaluate "
+        "(default: 5)",
     )
     bench.add_argument(
         "--telemetry", required=True, help="path for the BENCH_*.json report"

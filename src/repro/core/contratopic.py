@@ -14,9 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.contrastive import ContrastiveMode, topic_contrastive_loss
+from repro.core.contrastive import ContrastiveMode
 from repro.core.similarity import SimilarityKernel
-from repro.core.subset_sampling import relaxed_topk_sample, sample_gumbel
 from repro.errors import ConfigError, ShapeError
 from repro.models.base import NeuralTopicModel
 from repro.nn.module import Module
@@ -103,6 +102,19 @@ class ContraTopic(NeuralTopicModel):
         self.backbone = backbone
         self.encoder = backbone.encoder
         self._rng = np.random.default_rng(backbone.config.seed + 7)
+        # Imported lazily: repro.objectives.contrastive imports this
+        # package's loss kernels, so a module-level import would cycle
+        # through repro.core.__init__.
+        from repro.objectives.contrastive import TopicContrastiveObjective
+
+        # The regularizer math lives in the shared objective; passing the
+        # config *object* (not copies of its fields) keeps ablations that
+        # mutate it post-construction (e.g. ContraTopic-S flipping
+        # use_sampling) visible, and sharing self._rng keeps the Gumbel
+        # stream identical to the historical inline implementation.
+        self._contrastive = TopicContrastiveObjective(
+            kernel=kernel, config=regularizer_config, rng=self._rng
+        )
         self._fitted = False
         self.history = []
 
@@ -122,6 +134,7 @@ class ContraTopic(NeuralTopicModel):
         return self.backbone.kl_loss(mu, logvar, theta)
 
     def on_fit_start(self, corpus) -> None:
+        super().on_fit_start(corpus)  # prepares the objective stack
         self.backbone.on_fit_start(corpus)
 
     def rng_streams(self) -> dict:
@@ -131,32 +144,39 @@ class ContraTopic(NeuralTopicModel):
         return {"model": self._rng, "backbone": self.backbone._rng}
 
     # ------------------------------------------------------------------
-    # the contribution: λ·L_con
+    # the contribution: λ·L_con (delegated to the shared objective)
     # ------------------------------------------------------------------
-    def contrastive_samples(self, beta: Tensor) -> Tensor:
-        """Relaxed v-hot samples per topic (or v·β for ContraTopic-S)."""
-        cfg = self.regularizer
-        if not cfg.use_sampling:
-            # ContraTopic-S: "leverage the weight sum operation of
-            # topic-word distribution as an expectation".
-            return beta * float(cfg.num_sampled_words)
-        log_beta = (beta + 1e-12).log()
-        noise = sample_gumbel(beta.shape, self._rng)
-        return relaxed_topk_sample(
-            log_beta,
-            cfg.num_sampled_words,
-            cfg.gumbel_temperature,
-            gumbel_noise=noise,
+    def build_objectives(self):
+        """ELBO + one named ``contrastive`` term weighted by λ.
+
+        This is what makes ContraTopic a thin facade over the objective
+        pipeline: the guard degrades (and telemetry reports) the
+        contrastive term by name, and the identical term is available
+        standalone via ``ObjectiveSpec("contrastive")`` on any backbone.
+        """
+        from repro.objectives.base import (
+            ElboObjective,
+            ObjectiveStack,
+            ObjectiveTerm,
         )
 
-    def contrastive_loss(self, beta: Tensor) -> Tensor:
-        samples = self.contrastive_samples(beta)
-        return topic_contrastive_loss(
-            samples,
-            self.kernel,
-            mode=self.regularizer.mode,
-            negative_weight=self.regularizer.negative_weight,
+        return ObjectiveStack(
+            ElboObjective(),
+            [
+                ObjectiveTerm(
+                    "contrastive",
+                    self._contrastive,
+                    weight=self.regularizer.lambda_weight,
+                )
+            ],
         )
+
+    def contrastive_samples(self, beta: Tensor) -> Tensor:
+        """Relaxed v-hot samples per topic (or v·β for ContraTopic-S)."""
+        return self._contrastive.samples(beta)
+
+    def contrastive_loss(self, beta: Tensor) -> Tensor:
+        return self._contrastive.loss(beta)
 
     def extra_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor:
         return self.contrastive_loss(beta) * self.regularizer.lambda_weight

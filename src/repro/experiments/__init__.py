@@ -22,12 +22,26 @@ from repro.experiments.grid_search import (
     GridSearchResult,
     grid_search_contratopic,
 )
+from repro.experiments.regularizers import (
+    DEFAULT_OBJECTIVES,
+    LeaderboardResult,
+    LeaderboardRow,
+    format_leaderboard,
+    regularizer_leaderboard,
+    weight_grid,
+)
 
 __all__ = [
     "ExperimentContext",
     "ExperimentSettings",
     "DEFAULT_LAMBDAS",
+    "DEFAULT_OBJECTIVES",
     "GridPoint",
     "GridSearchResult",
+    "LeaderboardResult",
+    "LeaderboardRow",
+    "format_leaderboard",
     "grid_search_contratopic",
+    "regularizer_leaderboard",
+    "weight_grid",
 ]

@@ -19,11 +19,9 @@ import numpy as np
 
 from repro.core.contratopic import ContraTopic, ContraTopicConfig
 from repro.core.similarity import SimilarityKernel
-from repro.data.corpus import Corpus
 from repro.errors import ConfigError
 from repro.models.base import NeuralTopicModel
-from repro.tensor import functional as F
-from repro.tensor.dtypes import get_default_dtype
+from repro.objectives.clntm import DocumentContrastiveObjective
 from repro.tensor.tensor import Tensor
 
 
@@ -63,49 +61,45 @@ class MultiLevelContraTopic(ContraTopic):
     ):
         super().__init__(backbone, kernel, topic_config)
         self.multilevel = multilevel_config or MultiLevelConfig()
-        self._idf: np.ndarray | None = None
+        # The document level *is* the CLNTM objective — one implementation
+        # shared with repro.models.clntm and ObjectiveSpec("clntm").
+        self._document = DocumentContrastiveObjective(
+            salient_fraction=self.multilevel.salient_fraction,
+            temperature=self.multilevel.infonce_temperature,
+        )
 
-    def on_fit_start(self, corpus: Corpus) -> None:
-        super().on_fit_start(corpus)
-        doc_freq = corpus.word_document_frequency()
-        self._idf = np.log((len(corpus) + 1.0) / (doc_freq + 1.0)) + 1.0
+    def build_objectives(self):
+        """ELBO + the two named levels: λ·L_topic and λ_doc·L_doc.
+
+        Declaring both as separate terms lets the guard shed the document
+        level first (reverse stack order) before falling back to
+        ELBO-only, and telemetry reports each level's contribution.
+        """
+        from repro.objectives.base import ObjectiveTerm
+
+        stack = super().build_objectives()
+        stack.terms.append(
+            ObjectiveTerm(
+                "document",
+                self._document,
+                weight=self.multilevel.lambda_document,
+            )
+        )
+        return stack
+
+    @property
+    def _idf(self) -> np.ndarray | None:
+        return self._document.idf
 
     # ------------------------------------------------------------------
     def _document_views(self, bow: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        idf = self._idf if self._idf is not None else np.ones(self.vocab_size)
-        tfidf = bow * idf[None, :]
-        positive = np.zeros_like(bow)
-        negative = bow.copy()
-        fraction = self.multilevel.salient_fraction
-        for i in range(bow.shape[0]):
-            present = np.flatnonzero(bow[i] > 0)
-            if present.size == 0:
-                continue
-            n_salient = max(1, int(round(present.size * fraction)))
-            salient = present[np.argsort(-tfidf[i, present])[:n_salient]]
-            positive[i, salient] = bow[i, salient]
-            negative[i, salient] = 0.0
-        return positive, negative
+        return self._document.views(bow)
 
     def document_contrastive_loss(self, theta: Tensor, bow: np.ndarray) -> Tensor:
         """InfoNCE over (anchor, salient-view, deleted-view) triplets."""
-        positive_bow, negative_bow = self._document_views(
-            np.asarray(bow, dtype=get_default_dtype())
-        )
-        theta_pos, _, _ = self.encode_theta(positive_bow, sample=False)
-        theta_neg, _, _ = self.encode_theta(negative_bow, sample=False)
-        anchor = _normalize(theta)
-        inv_temp = 1.0 / self.multilevel.infonce_temperature
-        sim_pos = (anchor * _normalize(theta_pos)).sum(axis=1) * inv_temp
-        sim_neg = (anchor * _normalize(theta_neg)).sum(axis=1) * inv_temp
-        return F.softplus(sim_neg - sim_pos).mean()
+        return self._document.infonce(self, theta, bow)
 
     def extra_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor:
         topic_term = super().extra_loss(theta, beta, bow)
         doc_term = self.document_contrastive_loss(theta, bow)
         return topic_term + doc_term * self.multilevel.lambda_document
-
-
-def _normalize(x: Tensor) -> Tensor:
-    norm = ((x * x).sum(axis=1, keepdims=True) + 1e-12).sqrt()
-    return x / norm

@@ -30,6 +30,7 @@ from repro.tensor.sparse import CSRBatch
 from repro.tensor.tensor import Tensor, no_grad
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.objectives.base import ObjectiveStack
     from repro.training.callbacks import Callback
     from repro.training.faults import FaultInjector
     from repro.training.resilience import GuardPolicy
@@ -144,9 +145,9 @@ class NeuralTopicModel(TopicModel, Module):
 
     #: Class-level defaults so subclasses that bypass ``__init__`` (e.g.
     #: ContraTopic, which reuses its backbone's encoder) still have them.
-    #: ``extra_loss_enabled`` is the graceful-degradation switch: the
-    #: guard flips it off when the contrastive term repeatedly diverges.
-    extra_loss_enabled: bool = True
+    #: The objective stack is built lazily on first use (and replaceable
+    #: via ``set_objectives`` / ``RunSpec.objectives``).
+    _objectives: "ObjectiveStack | None" = None
     _trainer: "TrainState | None" = None
 
     def __init__(self, vocab_size: int, config: NTMConfig):
@@ -190,6 +191,67 @@ class NeuralTopicModel(TopicModel, Module):
         return None
 
     # ------------------------------------------------------------------
+    # the objective stack (composable loss terms)
+    # ------------------------------------------------------------------
+    def build_objectives(self) -> "ObjectiveStack":
+        """The model's default loss composition.
+
+        Base class: the ELBO plus one ``extra`` term adapting the legacy
+        :meth:`extra_loss` hook — so subclasses overriding that hook keep
+        training identically.  Subclasses with named regularizers (e.g.
+        ContraTopic) override this to declare real terms; a
+        :class:`~repro.training.trainer.RunSpec` with ``objectives=``
+        replaces whatever the model declares.
+        """
+        # Imported lazily: repro.objectives is a consumer-side layer and
+        # importing it at module level would make every model import pull
+        # in the similarity/NPMI machinery.
+        from repro.objectives.base import (
+            ElboObjective,
+            ExtraLossAdapter,
+            ObjectiveStack,
+            ObjectiveTerm,
+        )
+
+        return ObjectiveStack(
+            ElboObjective(),
+            [ObjectiveTerm("extra", ExtraLossAdapter())],
+        )
+
+    @property
+    def objectives(self) -> "ObjectiveStack":
+        """The live stack (built lazily from :meth:`build_objectives`)."""
+        if self._objectives is None:
+            self._objectives = self.build_objectives()
+        return self._objectives
+
+    def set_objectives(self, stack: "ObjectiveStack") -> None:
+        """Replace the stack (the ``RunSpec.objectives`` attachment path)."""
+        self._objectives = stack
+
+    def objective_flags(self) -> dict[str, bool]:
+        """Per-term enable flags — what DDP ships and checkpoints carry."""
+        return self.objectives.flags()
+
+    def apply_objective_flags(self, flags: "bool | dict[str, bool]") -> None:
+        """Set per-term flags from a dict, or all terms from a legacy bool."""
+        self.objectives.apply_flags(flags)
+
+    @property
+    def extra_loss_enabled(self) -> bool:
+        """Legacy single-switch view of the per-term flags.
+
+        True while *any* regularizer term is still enabled; assigning a
+        bool sets every term — exactly the pre-stack semantics, so the
+        guard's ELBO-only degradation and old checkpoints keep working.
+        """
+        return self.objectives.any_enabled()
+
+    @extra_loss_enabled.setter
+    def extra_loss_enabled(self, enabled: bool) -> None:
+        self.objectives.apply_flags(bool(enabled))
+
+    # ------------------------------------------------------------------
     # shared machinery
     # ------------------------------------------------------------------
     def encode_theta(
@@ -220,21 +282,15 @@ class NeuralTopicModel(TopicModel, Module):
         :class:`~repro.data.loaders.BatchIterator` chose — dense on the
         reference path, :class:`~repro.tensor.sparse.CSRBatch` on the
         sparse fast path.  Loss values agree to ≤1e-6 between the two.
+
+        The composition itself lives in the model's
+        :class:`~repro.objectives.base.ObjectiveStack`: base ELBO plus
+        every enabled regularizer term (the guard's ELBO-only degradation
+        disables terms one by one).  The stack's compute path reproduces
+        the historical inline body operation-for-operation, so this
+        remains a bitwise-identical facade.
         """
-        theta, mu, logvar = self.encode_theta(bow, sample=True)
-        beta = self.beta()
-        rec = self.reconstruction_loss(theta, beta, bow)
-        kl = self.kl_loss(mu, logvar, theta)
-        loss = rec + kl * self.config.kl_weight
-        parts = {"rec": rec.item(), "kl": kl.item()}
-        # ELBO-only degradation: the guard disables the extra (contrastive)
-        # term when it repeatedly produces non-finite losses.
-        extra = self.extra_loss(theta, beta, bow) if self.extra_loss_enabled else None
-        if extra is not None:
-            loss = loss + extra
-            parts["extra"] = extra.item()
-        parts["total"] = loss.item()
-        return loss, parts
+        return self.objectives.compute(self, bow)
 
     def fit(
         self,
@@ -289,7 +345,15 @@ class NeuralTopicModel(TopicModel, Module):
         return self
 
     def on_fit_start(self, corpus: Corpus) -> None:
-        """Hook run before training (e.g. CLNTM precomputes tf-idf)."""
+        """Hook run before training.
+
+        The default prepares the objective stack — corpus-dependent term
+        state (NPMI kernels, tf-idf tables, private RNG streams) is built
+        here, which is what keeps :class:`ObjectiveSpec`s plain picklable
+        data until fit time.  Subclasses adding their own setup should
+        call ``super().on_fit_start(corpus)``.
+        """
+        self.objectives.prepare(self, corpus)
 
     # ------------------------------------------------------------------
     # checkpoint / resume support
@@ -299,9 +363,14 @@ class NeuralTopicModel(TopicModel, Module):
 
         Subclasses with additional streams (e.g. ContraTopic's Gumbel
         noise generator) extend this mapping; bitwise-consistent resume
-        requires every stream to be captured.
+        requires every stream to be captured.  Objective terms holding a
+        private stream (e.g. a spec-attached contrastive or VICReg term)
+        surface it here as ``objective_<term>``.
         """
-        return {"model": self._rng}
+        streams = {"model": self._rng}
+        if self._objectives is not None:
+            streams.update(self._objectives.rng_streams())
+        return streams
 
     def training_state(self) -> dict:
         """JSON-serializable snapshot of the non-parameter training state.

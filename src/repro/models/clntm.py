@@ -1,12 +1,15 @@
 """CLNTM — contrastive learning for neural topic models (Nguyen & Luu, 2021).
 
 The paper's representative *document-wise* contrastive baseline, and the
-method ContraTopic is contrasted against in §IV.E: CLNTM perturbs each
-document's bag-of-words using tf-idf salience — the positive view keeps the
-salient words, the negative view deletes them — and applies an InfoNCE loss
-over the *document-topic* representations.  Any benefit to the topic-word
-matrix is indirect, which is exactly the weakness ContraTopic's topic-wise
-loss addresses.
+method ContraTopic is contrasted against in §IV.E.  Since the objective
+refactor the math lives in
+:class:`repro.objectives.clntm.DocumentContrastiveObjective`; this class
+is the registry alias **ProdLDA backbone + that one term** — its training
+is bitwise-identical to ``ProdLDA`` with
+``ObjectiveSpec("clntm")`` attached (pinned by
+``tests/objectives/test_rivals.py``).  The ``_augment``/``extra_loss``
+methods remain as thin delegates for direct inspection and the legacy
+test surface.
 """
 
 from __future__ import annotations
@@ -16,8 +19,7 @@ import numpy as np
 from repro.data.corpus import Corpus
 from repro.models.base import NTMConfig
 from repro.models.prodlda import ProdLDA
-from repro.tensor.dtypes import get_default_dtype
-from repro.tensor import functional as F
+from repro.objectives.clntm import DocumentContrastiveObjective
 from repro.tensor.tensor import Tensor
 
 
@@ -46,46 +48,37 @@ class CLNTM(ProdLDA):
         self.contrastive_weight = contrastive_weight
         self.salient_fraction = salient_fraction
         self.temperature = temperature
-        self._idf: np.ndarray | None = None
+        self._objective = DocumentContrastiveObjective(
+            salient_fraction=salient_fraction, temperature=temperature
+        )
+
+    def build_objectives(self):
+        from repro.objectives.base import (
+            ElboObjective,
+            ObjectiveStack,
+            ObjectiveTerm,
+        )
+
+        return ObjectiveStack(
+            ElboObjective(),
+            [
+                ObjectiveTerm(
+                    "clntm", self._objective, weight=self.contrastive_weight
+                )
+            ],
+        )
+
+    # -- legacy inspection surface (delegates to the shared objective) --
+    @property
+    def _idf(self) -> np.ndarray | None:
+        return self._objective.idf
 
     def on_fit_start(self, corpus: Corpus) -> None:
-        doc_freq = corpus.word_document_frequency()
-        self._idf = np.log((len(corpus) + 1.0) / (doc_freq + 1.0)) + 1.0
+        super().on_fit_start(corpus)  # stack prepare computes the idf table
 
     def _augment(self, bow: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Positive view keeps tf-idf-salient words; negative deletes them."""
-        if self._idf is None:  # transform-time or unit-test use
-            self._idf = np.ones(self.vocab_size)
-        tfidf = bow * self._idf[None, :]
-        positive = np.zeros_like(bow)
-        negative = bow.copy()
-        for i in range(bow.shape[0]):
-            present = np.flatnonzero(bow[i] > 0)
-            if present.size == 0:
-                continue
-            n_salient = max(1, int(round(present.size * self.salient_fraction)))
-            salient = present[np.argsort(-tfidf[i, present])[:n_salient]]
-            positive[i, salient] = bow[i, salient]
-            negative[i, salient] = 0.0
-        return positive, negative
+        return self._objective.views(bow)
 
     def extra_loss(self, theta: Tensor, beta: Tensor, bow: np.ndarray) -> Tensor:
-        positive_bow, negative_bow = self._augment(
-            np.asarray(bow, dtype=get_default_dtype())
-        )
-        theta_pos, _, _ = self.encode_theta(positive_bow, sample=False)
-        theta_neg, _, _ = self.encode_theta(negative_bow, sample=False)
-
-        anchor = _l2_normalize(theta)
-        pos = _l2_normalize(theta_pos)
-        neg = _l2_normalize(theta_neg)
-        sim_pos = (anchor * pos).sum(axis=1) * (1.0 / self.temperature)
-        sim_neg = (anchor * neg).sum(axis=1) * (1.0 / self.temperature)
-        # InfoNCE with one positive and one negative per anchor:
-        # -log( e^{s+} / (e^{s+} + e^{s-}) ) = softplus(s- - s+)
-        return F.softplus(sim_neg - sim_pos).mean() * self.contrastive_weight
-
-
-def _l2_normalize(x: Tensor) -> Tensor:
-    norm = ((x * x).sum(axis=1, keepdims=True) + 1e-12).sqrt()
-    return x / norm
+        return self._objective.infonce(self, theta, bow) * self.contrastive_weight

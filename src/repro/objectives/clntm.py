@@ -1,0 +1,144 @@
+"""CLNTM's document-wise contrastive loss (Nguyen & Luu, 2021) as an objective.
+
+The rival the paper contrasts against in §IV.E: perturb each document's
+bag-of-words by tf-idf salience — the positive view keeps the salient
+words, the negative view deletes them — and apply an InfoNCE loss over the
+*document-topic* representations θ.  Any benefit to the topic-word matrix
+is indirect, which is exactly the weakness ContraTopic's topic-wise loss
+addresses.
+
+The math lives here as pure functions (:func:`compute_idf`,
+:func:`salient_views`, :func:`document_infonce`) shared by three callers:
+this objective, the legacy :class:`repro.models.clntm.CLNTM` facade (now a
+ProdLDA backbone + this term), and the multi-level extension's document
+branch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.objectives.base import BatchContext, Objective
+from repro.tensor import functional as F
+from repro.tensor.dtypes import get_default_dtype
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.data.corpus import Corpus
+    from repro.tensor.tensor import Tensor
+
+
+def compute_idf(corpus: "Corpus") -> np.ndarray:
+    """Smoothed inverse document frequency, ``log((D+1)/(df+1)) + 1``."""
+    doc_freq = corpus.word_document_frequency()
+    return np.log((len(corpus) + 1.0) / (doc_freq + 1.0)) + 1.0
+
+
+def salient_views(
+    bow: np.ndarray, idf: np.ndarray, salient_fraction: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Positive view keeps tf-idf-salient words; negative deletes them."""
+    tfidf = bow * idf[None, :]
+    positive = np.zeros_like(bow)
+    negative = bow.copy()
+    for i in range(bow.shape[0]):
+        present = np.flatnonzero(bow[i] > 0)
+        if present.size == 0:
+            continue
+        n_salient = max(1, int(round(present.size * salient_fraction)))
+        salient = present[np.argsort(-tfidf[i, present])[:n_salient]]
+        positive[i, salient] = bow[i, salient]
+        negative[i, salient] = 0.0
+    return positive, negative
+
+
+def l2_normalize(x: "Tensor") -> "Tensor":
+    norm = ((x * x).sum(axis=1, keepdims=True) + 1e-12).sqrt()
+    return x / norm
+
+
+def document_infonce(
+    model,
+    theta: "Tensor",
+    bow,
+    idf: np.ndarray,
+    salient_fraction: float,
+    temperature: float,
+) -> "Tensor":
+    """InfoNCE over (anchor, salient-view, deleted-view) θ triplets.
+
+    With one positive and one negative per anchor,
+    ``-log(e^{s+} / (e^{s+} + e^{s-})) = softplus(s- - s+)``.
+    """
+    dense = np.asarray(
+        bow.toarray() if hasattr(bow, "toarray") else bow,
+        dtype=get_default_dtype(),
+    )
+    positive_bow, negative_bow = salient_views(dense, idf, salient_fraction)
+    theta_pos, _, _ = model.encode_theta(positive_bow, sample=False)
+    theta_neg, _, _ = model.encode_theta(negative_bow, sample=False)
+    anchor = l2_normalize(theta)
+    pos = l2_normalize(theta_pos)
+    neg = l2_normalize(theta_neg)
+    sim_pos = (anchor * pos).sum(axis=1) * (1.0 / temperature)
+    sim_neg = (anchor * neg).sum(axis=1) * (1.0 / temperature)
+    return F.softplus(sim_neg - sim_pos).mean()
+
+
+class DocumentContrastiveObjective(Objective):
+    """CLNTM's document-wise InfoNCE with tf-idf driven views.
+
+    Parameters
+    ----------
+    salient_fraction:
+        Fraction of a document's present words (by tf-idf) treated salient.
+    temperature:
+        InfoNCE softmax temperature.
+    idf:
+        Precomputed idf vector; ``None`` defers to :meth:`prepare`, and
+        view construction without either falls back to uniform idf
+        (transform-time / unit-test use, the legacy CLNTM behaviour).
+    """
+
+    name = "clntm"
+
+    def __init__(
+        self,
+        salient_fraction: float = 0.25,
+        temperature: float = 0.5,
+        idf: "np.ndarray | list | None" = None,
+    ):
+        if not 0.0 < salient_fraction < 1.0:
+            raise ConfigError("salient_fraction must be in (0, 1)")
+        if temperature <= 0:
+            raise ConfigError("temperature must be positive")
+        self.salient_fraction = salient_fraction
+        self.temperature = temperature
+        self.idf = None if idf is None else np.asarray(idf, dtype=float)
+
+    def prepare(self, model, corpus: "Corpus") -> None:
+        self.idf = compute_idf(corpus)
+
+    def _idf_for(self, bow) -> np.ndarray:
+        if self.idf is None:
+            self.idf = np.ones(bow.shape[1])
+        return self.idf
+
+    def views(self, bow: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """The (positive, negative) augmentation pair for a dense batch."""
+        return salient_views(bow, self._idf_for(bow), self.salient_fraction)
+
+    def infonce(self, model, theta: "Tensor", bow) -> "Tensor":
+        return document_infonce(
+            model,
+            theta,
+            bow,
+            self._idf_for(bow),
+            self.salient_fraction,
+            self.temperature,
+        )
+
+    def term_on_batch(self, model, batch, ctx: BatchContext):
+        return self.infonce(model, ctx.theta, batch), {}

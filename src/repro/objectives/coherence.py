@@ -1,0 +1,106 @@
+"""Diversity-aware coherence regularization (Li et al., 2023) as an objective.
+
+The second rival from the paper's related work: instead of contrasting
+sampled word subsets, directly *optimize* a differentiable surrogate of
+the evaluation metrics — push each topic's internal NPMI mass up
+(coherence) while pushing the NPMI mass shared *between* topics down
+(diversity), so topics become individually coherent and mutually distinct:
+
+    L = −(1/K) Σ_k β_k N β_kᵀ  +  w_div · (1/(K(K−1))) Σ_{k≠l} β_k N β_lᵀ
+
+with N the train-corpus NPMI matrix (diagonal zeroed — a word trivially
+co-occurs with itself) and the topic rows β_k acting as the paper's
+relaxed stand-in for the hard top-word indicator.  The cross-topic mass is
+computed via the identity Σ_{k,l} β_k N β_lᵀ = t N tᵀ with t = Σ_k β_k, so
+the whole term costs one (K,V)·(V,V) product — the same shape as the
+topic-wise contrastive loss, and it reuses the same NPMI infrastructure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.objectives.base import BatchContext, Objective
+from repro.tensor.tensor import Tensor
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.data.corpus import Corpus
+    from repro.metrics.npmi import NpmiMatrix
+
+
+class DiversityAwareCoherenceObjective(Objective):
+    """Differentiable NPMI coherence reward + cross-topic diversity penalty.
+
+    Parameters
+    ----------
+    diversity_weight:
+        w_div above — how hard overlapping topics are penalized relative
+        to the per-topic coherence reward.
+    npmi:
+        Precomputed :class:`~repro.metrics.npmi.NpmiMatrix`; ``None``
+        defers to :meth:`prepare`, which computes it from the training
+        corpus (fingerprint-cached, so it is shared with evaluation).
+    """
+
+    name = "coherence"
+
+    def __init__(
+        self,
+        diversity_weight: float = 1.0,
+        npmi: "NpmiMatrix | None" = None,
+    ):
+        if diversity_weight < 0:
+            raise ConfigError("diversity_weight must be non-negative")
+        self.diversity_weight = diversity_weight
+        self._matrix: np.ndarray | None = None
+        self._cached: dict[np.dtype, Tensor] = {}
+        if npmi is not None:
+            self._set_matrix(npmi.matrix)
+
+    def _set_matrix(self, matrix: np.ndarray) -> None:
+        hollow = np.asarray(matrix, dtype=np.float64).copy()
+        np.fill_diagonal(hollow, 0.0)
+        self._matrix = hollow
+        self._cached = {}
+
+    def prepare(self, model, corpus: "Corpus") -> None:
+        if self._matrix is None:
+            from repro.metrics.npmi import compute_npmi_matrix
+
+            self._set_matrix(compute_npmi_matrix(corpus).matrix)
+
+    def _matrix_tensor(self, dtype) -> Tensor:
+        """The hollow NPMI matrix as a constant tensor, cached per dtype."""
+        if self._matrix is None:
+            raise ConfigError(
+                "DiversityAwareCoherenceObjective has no NPMI matrix yet; "
+                "call prepare() (fit does) or pass npmi= at construction"
+            )
+        key = np.dtype(dtype)
+        cached = self._cached.get(key)
+        if cached is None:
+            cached = Tensor(self._matrix.astype(key, copy=False))
+            self._cached[key] = cached
+        return cached
+
+    def loss(self, beta: Tensor) -> Tensor:
+        num_topics = beta.shape[0]
+        kernel = self._matrix_tensor(beta.data.dtype)
+        weighted = beta @ kernel  # (K, V)
+        per_topic = (weighted * beta).sum(axis=1)  # β_k N β_kᵀ per topic
+        coherence = per_topic.mean()
+        loss = -coherence
+        if num_topics > 1 and self.diversity_weight > 0:
+            totals = beta.sum(axis=0, keepdims=True)  # t = Σ_k β_k, (1, V)
+            all_pairs = ((totals @ kernel) * totals).sum()  # t N tᵀ
+            cross = (all_pairs - per_topic.sum()) * (
+                1.0 / (num_topics * (num_topics - 1))
+            )
+            loss = loss + cross * self.diversity_weight
+        return loss
+
+    def term_on_batch(self, model, batch, ctx: BatchContext):
+        return self.loss(ctx.beta), {}

@@ -1,0 +1,139 @@
+"""VICReg-style variance-invariance-covariance regularization on θ.
+
+The third rival: Bardes et al.'s VICReg recipe (the variant PAPERS.md's
+Xu et al. 2025 applies to topic models), transplanted onto the
+document-topic representations.  Two stochastic views of every document
+come for free from the VAE: the batch's θ (reparameterized with the
+model's own noise) and a second draw θ' from the *same* posterior
+``N(μ, σ²)`` using this objective's private RNG stream.  Three penalties:
+
+* **invariance** — mean squared distance between the two views;
+* **variance** — a hinge ``relu(γ − std(θ_k))`` per topic dimension,
+  fighting the posterior-collapse failure mode where every document gets
+  the same θ (γ defaults to 1/K, the scale of a simplex coordinate);
+* **covariance** — squared off-diagonal entries of the batch covariance,
+  decorrelating topic usage across the batch (the diversity mechanism).
+
+All three are plain autodiff tensor ops — no new kernels needed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.objectives.base import BatchContext, Objective
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.data.corpus import Corpus
+
+#: Offset of the second-view noise stream from the model seed.
+VICREG_SEED_OFFSET = 13
+
+
+class VicRegObjective(Objective):
+    """Variance-invariance-covariance regularization over document θ.
+
+    Parameters
+    ----------
+    sim_coeff / std_coeff / cov_coeff:
+        The three VICReg weights (paper defaults 25 / 25 / 1).
+    std_target:
+        γ of the variance hinge; ``None`` uses 1/num_topics at call time.
+    """
+
+    name = "vicreg"
+
+    def __init__(
+        self,
+        sim_coeff: float = 25.0,
+        std_coeff: float = 25.0,
+        cov_coeff: float = 1.0,
+        std_target: float | None = None,
+    ):
+        for label, value in (
+            ("sim_coeff", sim_coeff),
+            ("std_coeff", std_coeff),
+            ("cov_coeff", cov_coeff),
+        ):
+            if value < 0:
+                raise ConfigError(f"{label} must be non-negative")
+        if std_target is not None and std_target <= 0:
+            raise ConfigError("std_target must be positive (or None)")
+        self.sim_coeff = sim_coeff
+        self.std_coeff = std_coeff
+        self.cov_coeff = cov_coeff
+        self.std_target = std_target
+        self._masks: dict[tuple[int, np.dtype], np.ndarray] = {}
+
+    def prepare(self, model, corpus: "Corpus") -> None:
+        if self.rng is None:
+            self.rng = np.random.default_rng(
+                model.config.seed + VICREG_SEED_OFFSET
+            )
+
+    # ------------------------------------------------------------------
+    def _off_diagonal_mask(self, size: int, dtype) -> np.ndarray:
+        key = (size, np.dtype(dtype))
+        mask = self._masks.get(key)
+        if mask is None:
+            mask = np.ones((size, size), dtype=key[1])
+            np.fill_diagonal(mask, 0.0)
+            self._masks[key] = mask
+        return mask
+
+    def _variance_hinge(self, x: Tensor, target: float) -> Tensor:
+        centered = x - x.mean(axis=0, keepdims=True)
+        variance = (centered * centered).mean(axis=0)
+        std = (variance + 1e-8).sqrt()
+        return F.relu(target - std).mean()
+
+    def _covariance_penalty(self, x: Tensor) -> Tensor:
+        batch, dims = x.shape
+        centered = x - x.mean(axis=0, keepdims=True)
+        cov = (centered.T @ centered) * (1.0 / max(batch - 1, 1))
+        off = cov * self._off_diagonal_mask(dims, x.data.dtype)
+        return (off * off).sum() * (1.0 / dims)
+
+    def loss(self, ctx: BatchContext) -> Tensor:
+        if self.rng is None:
+            raise ConfigError(
+                "VicRegObjective has no RNG stream yet; call prepare() "
+                "(fit does) before computing the loss"
+            )
+        theta = ctx.theta
+        # Second view: an independent reparameterized draw from the same
+        # posterior, through the objective's private stream so the model's
+        # own noise sequence (and hence the base ELBO) stays untouched.
+        eps = Tensor(
+            self.rng.standard_normal(ctx.mu.shape), dtype=ctx.mu.data.dtype
+        )
+        z2 = ctx.mu + (ctx.logvar * 0.5).exp() * eps
+        theta2 = F.softmax(z2, axis=1)
+
+        diff = theta - theta2
+        invariance = (diff * diff).mean()
+
+        target = (
+            self.std_target
+            if self.std_target is not None
+            else 1.0 / theta.shape[1]
+        )
+        variance = self._variance_hinge(theta, target) + self._variance_hinge(
+            theta2, target
+        )
+        covariance = self._covariance_penalty(theta) + self._covariance_penalty(
+            theta2
+        )
+        return (
+            invariance * self.sim_coeff
+            + variance * self.std_coeff
+            + covariance * self.cov_coeff
+        )
+
+    def term_on_batch(self, model, batch, ctx: BatchContext):
+        return self.loss(ctx), {}

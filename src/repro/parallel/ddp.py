@@ -119,8 +119,12 @@ class GradientExchange:
     def start_epoch(self, epoch: int) -> None:
         """Epoch boundary hook (no-op serially)."""
 
-    def dispatch(self, bow, idx, extra_loss_enabled: bool):
-        """The parent's shard of ``bow`` (serially: the whole batch)."""
+    def dispatch(self, bow, idx, extra_loss_enabled):
+        """The parent's shard of ``bow`` (serially: the whole batch).
+
+        ``extra_loss_enabled`` is either the legacy bool or a per-term
+        ``{name: enabled}`` map from ``model.objective_flags()``.
+        """
         return bow
 
     def reduce(self, model, parts: dict, shard_docs: int, total_docs: int) -> dict:
@@ -242,7 +246,14 @@ def _worker_main(ctx: _WorkerContext, rank: int, conn) -> None:
             if epoch != last_epoch:
                 reseed_model_streams(ctx.model, ctx.seed, rank, epoch)
                 last_epoch = epoch
-            ctx.model.extra_loss_enabled = extra_enabled
+            # ``extra_enabled`` is a per-term {name: bool} map for models
+            # on the objective stack, or the legacy bool; either way the
+            # worker mirrors the parent's degradation state exactly.
+            apply_flags = getattr(ctx.model, "apply_objective_flags", None)
+            if apply_flags is not None:
+                apply_flags(extra_enabled)
+            else:
+                ctx.model.extra_loss_enabled = extra_enabled
             for p in params:
                 p.grad = None
             bow = _materialize_shard(ctx, shard_idx)
@@ -364,7 +375,7 @@ class DDPGradientExchange(GradientExchange):
         reseed_model_streams(self._model, self.seed, 0, self._epoch)
 
     # ------------------------------------------------------------------
-    def dispatch(self, bow, idx, extra_loss_enabled: bool):
+    def dispatch(self, bow, idx, extra_loss_enabled):
         """Broadcast parameters, ship shard indices, return shard 0.
 
         ``np.array_split`` places the larger shards first, so shard 0 is
@@ -393,7 +404,15 @@ class DDPGradientExchange(GradientExchange):
                 if shard.size == 0:
                     continue
                 conn.send(
-                    ("step", self._seq, self._epoch, shard, bool(extra_loss_enabled))
+                    (
+                        "step",
+                        self._seq,
+                        self._epoch,
+                        shard,
+                        dict(extra_loss_enabled)
+                        if isinstance(extra_loss_enabled, dict)
+                        else bool(extra_loss_enabled),
+                    )
                 )
                 self._outstanding.append(worker_index)
             n0 = int(shards[0].size)

@@ -95,6 +95,12 @@ STREAMING_DOCS_KEY = "streaming/docs"
 STREAMING_COUNTER_PREFIX = "streaming/"
 NPMI_CACHE_COUNTER_PREFIX = "npmi_cache/"
 
+#: wall-clock of one full regularizer-leaderboard sweep
+#: (:func:`repro.experiments.regularizers.regularizer_leaderboard`).
+#: :func:`build_report` surfaces it as ``regularizers_wall_seconds``,
+#: which :data:`TIME_TOTALS` gates against ``BENCH_regularizers``.
+REGULARIZERS_WALL_KEY = "regularizers/wall"
+
 
 def _op_table(registry: MetricsRegistry) -> list[dict]:
     """Extract the per-op rows from a registry's ``op/*`` keys."""
@@ -159,6 +165,13 @@ def _epoch_totals(epochs: Sequence[dict]) -> dict:
     guard_keys = {k for e in epochs for k in e if k.startswith("guard_")}
     for key in sorted(guard_keys):
         totals[key] = float(sum(e.get(key, 0.0) for e in epochs))
+    # Per-term objective contributions (repro.objectives): every enabled
+    # stack term logs its weighted per-epoch mean as ``objective_<name>``,
+    # which rolls up here as ``objective_<name>_loss`` so reports show one
+    # scalar per regularizer.
+    objective_keys = {k for e in epochs for k in e if k.startswith("objective_")}
+    for key in sorted(objective_keys):
+        totals[f"{key}_loss"] = float(sum(e.get(key, 0.0) for e in epochs))
     return totals
 
 
@@ -288,6 +301,11 @@ def build_report(
             for prefix in (STREAMING_COUNTER_PREFIX, NPMI_CACHE_COUNTER_PREFIX):
                 if key.startswith(prefix) and key != STREAMING_DOCS_KEY:
                     totals[key.replace("/", "_", 1)] = int(counter.value)
+        regularizers_wall = registry.timers.get(REGULARIZERS_WALL_KEY)
+        if regularizers_wall is not None and regularizers_wall.count:
+            totals["regularizers_wall_seconds"] = float(
+                regularizers_wall.total_seconds
+            )
     report = {
         "schema": SCHEMA,
         "name": name,
@@ -448,6 +466,7 @@ TIME_TOTALS = (
     "ddp_wall_seconds_w2",
     "ddp_wall_seconds_w4",
     "streaming_update_seconds",
+    "regularizers_wall_seconds",
 )
 
 #: totals keys where *smaller* current values mean a slowdown.

@@ -51,10 +51,12 @@ class GuardPolicy:
     Each ``skips_per_escalation`` *consecutive* faulty batches climb one
     rung: first ``max_lr_backoffs`` learning-rate multiplications by
     ``lr_backoff`` (never below ``min_lr``), then up to ``max_restores``
-    restorations of the last good snapshot, then — when the model has an
-    extra (contrastive) loss term and ``degrade_extra_loss`` is set —
-    permanent degradation to ELBO-only training.  A clean batch resets
-    the consecutive counter but not the rungs already climbed.
+    restorations of the last good snapshot, then — when the model still
+    has enabled regularizer terms and ``degrade_extra_loss`` is set —
+    permanent degradation: objective-stack terms are disabled one per
+    escalation (reverse stack order, the disabled term's name lands in
+    the event log) until only the base ELBO remains.  A clean batch
+    resets the consecutive counter but not the rungs already climbed.
 
     ``max_faults`` bounds the total number of tolerated faults (None =
     unbounded): exceeding it raises
@@ -114,6 +116,8 @@ class TrainingGuard:
         self.optimizer = optimizer
         self.counts: dict[str, int] = {name: 0 for name in GUARD_COUNTERS}
         self.actions: list[str] = []
+        #: Objective-term names disabled by the degradation rung, in order.
+        self.degraded_terms: list[str] = []
         self._consecutive = 0
         self._epoch_had_fault = False
         self._prev_counts = dict(self.counts)
@@ -158,7 +162,12 @@ class TrainingGuard:
         action = "skip"
         if self._consecutive % self.policy.skips_per_escalation == 0:
             action = self._escalate()
-        self.actions.append(f"{kind}:{action}")
+        entry = f"{kind}:{action}"
+        if action == "degrade" and self.degraded_terms:
+            # The event log names the term the degradation rung disabled,
+            # e.g. "loss:degrade:contrastive".
+            entry = f"{entry}:{self.degraded_terms[-1]}"
+        self.actions.append(entry)
         budget = self.policy.max_faults
         if budget is not None and self.counts["faults"] >= budget:
             raise TrainingDivergedError(
@@ -188,11 +197,29 @@ class TrainingGuard:
             self.optimizer.lr = lr
             self.counts["restores"] += 1
             return "restore"
-        if policy.degrade_extra_loss and self.model.extra_loss_enabled:
-            self.model.extra_loss_enabled = False
-            self.counts["degradations"] += 1
-            return "degrade"
+        if policy.degrade_extra_loss:
+            disabled = self._disable_one_term()
+            if disabled is not None:
+                self.counts["degradations"] += 1
+                self.degraded_terms.append(disabled)
+                return "degrade"
         return "skip"
+
+    def _disable_one_term(self) -> str | None:
+        """Shed one objective term (reverse stack order); returns its name.
+
+        Models on the objective pipeline degrade term by term until only
+        the base ELBO remains; a model exposing just the legacy boolean
+        switch degrades in one step, named ``extra``.  ``None`` means
+        there is nothing left to disable.
+        """
+        stack = getattr(self.model, "objectives", None)
+        if stack is not None and hasattr(stack, "disable_next"):
+            return stack.disable_next()
+        if getattr(self.model, "extra_loss_enabled", False):
+            self.model.extra_loss_enabled = False
+            return "extra"
+        return None
 
     # ------------------------------------------------------------------
     # happy path

@@ -177,7 +177,7 @@ def capture_training_state(model) -> dict:
     state: TrainState | None = getattr(model, "_trainer", None)
     if state is None:
         raise ConfigError("training_state requires an active fit()")
-    return {
+    snapshot = {
         "epoch": int(state.epoch),
         "rng": {
             name: rng.bit_generator.state
@@ -187,6 +187,14 @@ def capture_training_state(model) -> dict:
         "history": [dict(entry) for entry in model.history],
         "extra_loss_enabled": bool(getattr(model, "extra_loss_enabled", True)),
     }
+    flags = getattr(model, "objective_flags", None)
+    if callable(flags):
+        # Per-term degradation state; the legacy bool above stays for
+        # checkpoints read by older code paths.
+        snapshot["objective_terms"] = {
+            str(name): bool(enabled) for name, enabled in flags().items()
+        }
+    return snapshot
 
 
 def restore_training_state(
@@ -219,7 +227,15 @@ def restore_training_state(
         streams[name].bit_generator.state = rng_state
     batch_rng.bit_generator.state = state["batch_rng"]
     model.history = [dict(entry) for entry in state["history"]]
-    model.extra_loss_enabled = bool(state.get("extra_loss_enabled", True))
+    terms = state.get("objective_terms")
+    if terms is not None and hasattr(model, "apply_objective_flags"):
+        model.apply_objective_flags(
+            {str(name): bool(enabled) for name, enabled in terms.items()}
+        )
+    else:
+        # Legacy (pre-objective-stack) checkpoints carry one bool; the
+        # setter maps it onto every term, bitwise-matching the old runs.
+        model.extra_loss_enabled = bool(state.get("extra_loss_enabled", True))
     return int(state["epoch"]) + 1
 
 
@@ -321,6 +337,13 @@ class RunSpec:
         :class:`~repro.parallel.ddp.GradientExchange`; ``N >= 2`` shards
         every batch across N ranks with size-weighted gradient averaging
         (see :mod:`repro.parallel.ddp` and docs/PARALLELISM.md).
+    ``objectives``
+        Optional tuple of
+        :class:`~repro.objectives.registry.ObjectiveSpec` (or their
+        dicts).  When set, the trainer replaces the model's own objective
+        stack with ELBO + these terms before ``on_fit_start`` — the
+        regularizer-zoo sweep path (``()`` trains pure ELBO).  ``None``
+        keeps whatever the model declares.
 
     Use :meth:`to_dict`/:meth:`from_dict` (or the JSON twins) to move a
     spec through config files and process boundaries.
@@ -332,8 +355,26 @@ class RunSpec:
     faults: FaultPlan | None = None
     resume_from: str | None = None
     ddp_workers: int | None = None
+    objectives: "tuple | None" = None
 
     def __post_init__(self) -> None:
+        if self.objectives is not None:
+            # Lazy import: repro.objectives pulls the similarity/NPMI
+            # machinery, which plain training runs never need.
+            from repro.objectives.registry import ObjectiveSpec
+
+            specs = []
+            for entry in self.objectives:
+                if isinstance(entry, ObjectiveSpec):
+                    specs.append(entry)
+                elif isinstance(entry, dict):
+                    specs.append(ObjectiveSpec.from_dict(entry))
+                else:
+                    raise ConfigError(
+                        "RunSpec.objectives entries must be ObjectiveSpec "
+                        f"or mappings, got {type(entry).__name__}"
+                    )
+            self.objectives = tuple(specs)
         if self.ddp_workers is not None:
             if not isinstance(self.ddp_workers, int) or isinstance(
                 self.ddp_workers, bool
@@ -365,6 +406,11 @@ class RunSpec:
                 str(self.resume_from) if self.resume_from is not None else None
             ),
             "ddp_workers": self.ddp_workers,
+            "objectives": (
+                [spec.to_dict() for spec in self.objectives]
+                if self.objectives is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -379,6 +425,12 @@ class RunSpec:
 
         resume = data.get("resume_from")
         workers = data.get("ddp_workers")
+        objectives = data.get("objectives")
+        if objectives is not None and not isinstance(objectives, (list, tuple)):
+            raise ConfigError(
+                "RunSpec field 'objectives' must be a list of objective "
+                f"specs or null, got {type(objectives).__name__}"
+            )
         return cls(
             model=_decode(NTMConfig, data.get("model"), "model"),
             guard=_decode(GuardPolicy, data.get("guard"), "guard"),
@@ -386,6 +438,7 @@ class RunSpec:
             faults=_decode(FaultPlan, data.get("faults"), "faults"),
             resume_from=str(resume) if resume is not None else None,
             ddp_workers=workers,
+            objectives=tuple(objectives) if objectives is not None else None,
         )
 
     def to_json(self) -> str:
@@ -522,7 +575,13 @@ class Trainer:
         Under DDP this also broadcasts the current parameters and ships
         the other ranks their shard indices.
         """
-        extra = bool(getattr(model, "extra_loss_enabled", True))
+        flags = getattr(model, "objective_flags", None)
+        if callable(flags):
+            # Per-term enable map: workers mirror the guard's term-level
+            # degradation state exactly, not just an all-or-nothing bool.
+            extra: bool | dict = flags()
+        else:
+            extra = bool(getattr(model, "extra_loss_enabled", True))
         return state.exchange.dispatch(bow, idx, extra)
 
     def compute_loss(self, model, bow: Batch):
@@ -679,6 +738,12 @@ class Trainer:
         injector, owns_interrupts = self.build_faults(faults)
 
         model.train()
+        if self.spec.objectives is not None:
+            from repro.objectives.registry import attach_objectives
+
+            # Before on_fit_start so the spec-built terms' prepare hooks
+            # (NPMI kernels, idf tables, RNG seeding) see the corpus.
+            attach_objectives(model, self.spec.objectives)
         model.on_fit_start(corpus)
         optimizer = self.build_optimizer(model)
         batch_rng = self.build_batch_rng(model)

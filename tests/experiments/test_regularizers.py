@@ -1,0 +1,123 @@
+"""Regularizer leaderboard: determinism, weight grids, rendering."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    ExperimentContext,
+    ExperimentSettings,
+    LeaderboardResult,
+    LeaderboardRow,
+    format_leaderboard,
+    regularizer_leaderboard,
+    weight_grid,
+)
+from repro.experiments.regularizers import _row_label
+from repro.objectives import ObjectiveSpec
+from repro.objectives.registry import DEFAULT_WEIGHTS
+
+
+def _tiny_context() -> ExperimentContext:
+    settings = ExperimentSettings(
+        dataset="20ng", scale=0.05, epochs=2, num_topics=10, batch_size=64
+    )
+    return ExperimentContext(settings)
+
+
+def _row(name, coherence, **kwargs) -> LeaderboardRow:
+    defaults = dict(
+        weight=1.0,
+        coherence={0.1: coherence},
+        diversity={0.1: 0.9},
+        km_purity={20: 0.5},
+        seed_status={0: "ok"},
+    )
+    defaults.update(kwargs)
+    return LeaderboardRow(name=name, **defaults)
+
+
+class TestLeaderboardSweep:
+    def test_serial_equals_parallel(self):
+        objectives = (None, ObjectiveSpec("coherence"))
+        results = [
+            regularizer_leaderboard(
+                _tiny_context(), objectives=objectives, seeds=(0, 1), workers=w
+            )
+            for w in (1, 2)
+        ]
+        serial, parallel = results
+        assert not serial.failures and not parallel.failures
+        assert [r.name for r in serial.rows] == [r.name for r in parallel.rows]
+        for row_s, row_p in zip(serial.rows, parallel.rows):
+            assert row_s.coherence == row_p.coherence
+            assert row_s.diversity == row_p.diversity
+            assert row_s.km_purity == row_p.km_purity
+            assert row_s.seed_status == row_p.seed_status
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ConfigError):
+            regularizer_leaderboard(_tiny_context(), objectives=())
+
+
+class TestWeightGrid:
+    def test_default_brackets_the_registry_weight(self):
+        base = DEFAULT_WEIGHTS["contrastive"]
+        grid = weight_grid("contrastive")
+        assert [spec.weight for spec in grid] == [0.5 * base, base, 2.0 * base]
+        assert all(spec.name == "contrastive" for spec in grid)
+
+    def test_explicit_weights(self):
+        grid = weight_grid("coherence", weights=(1.0, 4.0))
+        assert [spec.weight for spec in grid] == [1.0, 4.0]
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            weight_grid("coherence", weights=())
+
+    def test_row_labels_mark_non_default_weights(self):
+        assert _row_label(None) == "elbo"
+        assert _row_label(ObjectiveSpec("coherence")) == "coherence"
+        assert _row_label(ObjectiveSpec("coherence", weight=5.0)) == "coherence@5"
+
+
+class TestLeaderboardResult:
+    def _result(self) -> LeaderboardResult:
+        return LeaderboardResult(
+            rows=[
+                _row("contrastive", 0.7, km_purity={20: 0.6}),
+                _row("elbo", 0.6, weight=0.0),
+                _row("vicreg", float("nan")),
+            ]
+        )
+
+    def test_best_by_default_metric(self):
+        assert self._result().best().name == "contrastive"
+
+    def test_best_by_other_metric(self):
+        result = self._result()
+        assert result.best(metric="km_purity").name == "contrastive"
+        assert result.best(metric="seeds_ok").name == "contrastive"
+
+    def test_best_on_empty_raises(self):
+        with pytest.raises(ConfigError):
+            LeaderboardResult(rows=[]).best()
+
+    def test_nan_rows_never_win(self):
+        result = LeaderboardResult(rows=[_row("vicreg", float("nan"))])
+        assert result.best().name == "vicreg"  # only row, even if NaN
+        assert math.isnan(result.best().coherence_at_10)
+
+    def test_format_renders_rows_and_failures(self):
+        result = self._result()
+        result.failures["vicreg"] = {0: "ok", 1: "diverged"}
+        text = format_leaderboard(result, dataset="20ng")
+        assert "Regularizer leaderboard — 20ng" in text
+        assert "contrastive" in text and "elbo" in text
+        assert "failures:" in text
+        assert "seed 1=diverged" in text
+
+    def test_summary_counts_ok_seeds(self):
+        row = _row("clntm", 0.5, seed_status={0: "ok", 1: "failed: ValueError"})
+        assert row.summary()["seeds_ok"] == 1.0

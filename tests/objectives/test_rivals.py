@@ -1,0 +1,194 @@
+"""The rival regularizers: facade equivalence and objective behaviour.
+
+Two equivalence contracts pin the "zoo" half of the refactor:
+
+* the :class:`repro.models.CLNTM` class is now literally ProdLDA +
+  ``ObjectiveSpec("clntm")`` — training both ways is bitwise-identical;
+* ``ObjectiveSpec("contrastive")`` on a bare ETM reproduces
+  :class:`repro.core.ContraTopic` over the same backbone bitwise (shared
+  Gumbel stream seeding, same kernel construction).
+
+The remaining tests cover the new rivals' math: the diversity-aware
+coherence surrogate prefers coherent *and* mutually-distinct topics, and
+the VICReg term penalizes posterior collapse.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import ContraTopic, npmi_kernel
+from repro.errors import ConfigError
+from repro.metrics import compute_npmi_matrix
+from repro.models import CLNTM, ETM, ProdLDA
+from repro.objectives import (
+    DiversityAwareCoherenceObjective,
+    ObjectiveSpec,
+    TopicContrastiveObjective,
+    VicRegObjective,
+)
+from repro.objectives.base import BatchContext
+from repro.objectives.clntm import compute_idf
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+from repro.training.trainer import RunSpec, Trainer
+
+#: Epoch-log keys that carry loss values (wall-clock keys are excluded —
+#: two equivalent runs still take different nanoseconds).
+LOSS_KEYS = ("rec", "kl", "extra", "total", "grad_norm")
+
+
+def _assert_histories_match(left, right, extra_keys=()) -> None:
+    assert len(left.history) == len(right.history)
+    for row_l, row_r in zip(left.history, right.history):
+        for key in (*LOSS_KEYS, *extra_keys):
+            assert row_l[key] == row_r[key], key
+
+
+class TestClntmFacade:
+    def test_class_equals_prodlda_plus_spec(self, tiny_corpus, fast_config):
+        config = replace(fast_config, epochs=2)
+        clntm = CLNTM(tiny_corpus.vocab_size, config)
+        Trainer().fit(clntm, tiny_corpus)
+
+        prodlda = ProdLDA(tiny_corpus.vocab_size, config)
+        Trainer(RunSpec(objectives=(ObjectiveSpec("clntm"),))).fit(
+            prodlda, tiny_corpus
+        )
+
+        for name, value in clntm.state_dict().items():
+            np.testing.assert_array_equal(value, prodlda.state_dict()[name])
+        _assert_histories_match(clntm, prodlda, extra_keys=("objective_clntm",))
+
+    def test_idf_formula(self, tiny_corpus):
+        idf = compute_idf(tiny_corpus)
+        doc_freq = tiny_corpus.word_document_frequency()
+        expected = np.log((len(tiny_corpus) + 1.0) / (doc_freq + 1.0)) + 1.0
+        np.testing.assert_array_equal(idf, expected)
+
+
+class TestContrastiveFacade:
+    def test_spec_on_etm_equals_contratopic(
+        self, tiny_corpus, tiny_npmi, tiny_embeddings, fast_config
+    ):
+        config = replace(fast_config, epochs=2)
+        wrapped = ContraTopic(
+            ETM(tiny_corpus.vocab_size, config, tiny_embeddings.vectors),
+            npmi_kernel(tiny_npmi),
+        )
+        Trainer().fit(wrapped, tiny_corpus)
+
+        bare = ETM(tiny_corpus.vocab_size, config, tiny_embeddings.vectors)
+        Trainer(RunSpec(objectives=(ObjectiveSpec("contrastive"),))).fit(
+            bare, tiny_corpus
+        )
+
+        np.testing.assert_array_equal(
+            wrapped.backbone.topic_embeddings.data, bare.topic_embeddings.data
+        )
+        for name, value in wrapped.backbone.state_dict().items():
+            np.testing.assert_array_equal(value, bare.state_dict()[name])
+        _assert_histories_match(
+            wrapped, bare, extra_keys=("objective_contrastive",)
+        )
+
+    def test_standalone_objective_requires_kernel_or_prepare(self):
+        objective = TopicContrastiveObjective()
+        with pytest.raises(ConfigError):
+            objective.loss(Tensor(np.full((2, 4), 0.25)))
+
+
+class TestCoherenceObjective:
+    def test_prefers_distinct_coherent_topics(self, toy_corpus):
+        npmi = compute_npmi_matrix(toy_corpus)
+        objective = DiversityAwareCoherenceObjective(npmi=npmi)
+        # Two topics on the two word communities vs both on community one.
+        distinct = np.zeros((2, toy_corpus.vocab_size))
+        distinct[0, :3] = 1.0 / 3
+        distinct[1, 3:] = 1.0 / 3
+        duplicated = np.tile(distinct[0], (2, 1))
+        loss_distinct = objective.loss(Tensor(distinct)).item()
+        loss_duplicated = objective.loss(Tensor(duplicated)).item()
+        assert loss_distinct < loss_duplicated
+
+    def test_loss_without_matrix_raises(self):
+        objective = DiversityAwareCoherenceObjective()
+        with pytest.raises(ConfigError):
+            objective.loss(Tensor(np.full((2, 4), 0.25)))
+
+    def test_gradient_reaches_beta(self, tiny_corpus, tiny_npmi):
+        objective = DiversityAwareCoherenceObjective(npmi=tiny_npmi)
+        rng = np.random.default_rng(0)
+        beta_logits = Tensor(
+            rng.standard_normal((4, tiny_corpus.vocab_size)), requires_grad=True
+        )
+        loss = objective.loss(F.softmax(beta_logits, axis=1))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert beta_logits.grad is not None
+        assert np.any(beta_logits.grad != 0)
+
+
+class TestVicRegObjective:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sim_coeff": -1.0},
+            {"std_coeff": -1.0},
+            {"cov_coeff": -0.5},
+            {"std_target": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            VicRegObjective(**kwargs)
+
+    def test_loss_without_rng_raises(self):
+        objective = VicRegObjective()
+        mu = Tensor(np.zeros((3, 4)))
+        ctx = BatchContext(
+            theta=F.softmax(mu, axis=1), mu=mu, logvar=mu, beta=mu
+        )
+        with pytest.raises(ConfigError):
+            objective.loss(ctx)
+
+    def _ctx(self, mu: np.ndarray) -> BatchContext:
+        mu_t = Tensor(mu)
+        logvar = Tensor(np.full_like(mu, -20.0))  # ~deterministic posterior
+        return BatchContext(
+            theta=F.softmax(mu_t, axis=1),
+            mu=mu_t,
+            logvar=logvar,
+            beta=mu_t,
+        )
+
+    def test_penalizes_posterior_collapse(self):
+        objective = VicRegObjective()
+        objective.rng = np.random.default_rng(0)
+        collapsed = self._ctx(np.zeros((8, 4)))  # every document identical
+        objective.rng = np.random.default_rng(0)
+        diverse = self._ctx(np.kron(np.eye(4), np.ones((2, 1))) * 8.0)
+        loss_collapsed = objective.loss(collapsed).item()
+        objective.rng = np.random.default_rng(0)
+        loss_diverse = objective.loss(diverse).item()
+        assert loss_collapsed > loss_diverse
+
+    def test_gradient_reaches_the_encoder(
+        self, tiny_corpus, tiny_embeddings, fast_config
+    ):
+        model = ETM(tiny_corpus.vocab_size, fast_config, tiny_embeddings.vectors)
+        objective = VicRegObjective()
+        objective.prepare(model, tiny_corpus)
+        theta, mu, logvar = model.encode_theta(
+            tiny_corpus.bow_matrix()[:16], sample=True
+        )
+        ctx = BatchContext(theta=theta, mu=mu, logvar=logvar, beta=model.beta())
+        loss = objective.loss(ctx)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        encoder_grads = [
+            p.grad for _, p in model.encoder.named_parameters() if p.grad is not None
+        ]
+        assert encoder_grads
+        assert any(np.any(g != 0) for g in encoder_grads)

@@ -1,0 +1,141 @@
+"""ObjectiveSpec validation, RunSpec round-trips and trainer attachment."""
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import ProdLDA
+from repro.objectives import (
+    ObjectiveSpec,
+    attach_objectives,
+    available_objectives,
+    build_objective,
+    build_stack,
+)
+from repro.objectives.registry import DEFAULT_WEIGHTS
+from repro.training.trainer import RunSpec, Trainer
+
+
+class TestObjectiveSpec:
+    def test_registry_lists_all_rivals(self):
+        assert set(available_objectives()) == {
+            "clntm",
+            "coherence",
+            "contrastive",
+            "vicreg",
+        }
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ConfigError):
+            ObjectiveSpec("dropout")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            ObjectiveSpec("coherence", weight=-2.0)
+
+    def test_params_must_be_a_mapping(self):
+        with pytest.raises(ConfigError):
+            ObjectiveSpec("coherence", params=[1, 2])
+
+    def test_default_weight_comes_from_registry(self):
+        for name in available_objectives():
+            assert ObjectiveSpec(name).resolved_weight() == DEFAULT_WEIGHTS[name]
+        assert ObjectiveSpec("vicreg", weight=3.5).resolved_weight() == 3.5
+
+    def test_dict_round_trip(self):
+        spec = ObjectiveSpec(
+            "coherence", weight=2.0, params={"diversity_weight": 0.5}
+        )
+        assert ObjectiveSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_requires_name(self):
+        with pytest.raises(ConfigError):
+            ObjectiveSpec.from_dict({"weight": 1.0})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError):
+            ObjectiveSpec.from_dict({"name": "coherence", "strength": 1.0})
+
+    def test_build_objective_rejects_unknown_params(self):
+        with pytest.raises(ConfigError):
+            build_objective(ObjectiveSpec("coherence", params={"tau": 0.1}))
+
+    def test_build_stack_names_and_weights(self):
+        stack = build_stack(
+            (ObjectiveSpec("coherence"), ObjectiveSpec("vicreg", weight=2.0))
+        )
+        assert stack.term_names() == ("coherence", "vicreg")
+        assert stack.term("coherence").weight == DEFAULT_WEIGHTS["coherence"]
+        assert stack.term("vicreg").weight == 2.0
+
+    def test_attach_requires_a_stack_capable_model(self):
+        with pytest.raises(ConfigError):
+            attach_objectives(object(), (ObjectiveSpec("coherence"),))
+
+
+class TestRunSpecObjectives:
+    def _spec(self) -> RunSpec:
+        return RunSpec(
+            objectives=(
+                ObjectiveSpec("coherence", weight=2.0),
+                {"name": "vicreg"},
+            )
+        )
+
+    def test_dicts_coerce_to_specs(self):
+        spec = self._spec()
+        assert all(isinstance(o, ObjectiveSpec) for o in spec.objectives)
+        assert spec.objectives[1].name == "vicreg"
+
+    def test_invalid_entry_rejected(self):
+        with pytest.raises(ConfigError):
+            RunSpec(objectives=("coherence",))
+
+    def test_dict_round_trip(self):
+        spec = self._spec()
+        restored = RunSpec.from_dict(spec.to_dict())
+        assert restored.objectives == spec.objectives
+
+    def test_json_round_trip(self):
+        spec = self._spec()
+        assert RunSpec.from_json(spec.to_json()).objectives == spec.objectives
+
+    def test_pickle_round_trip(self):
+        spec = self._spec()
+        assert pickle.loads(pickle.dumps(spec)).objectives == spec.objectives
+
+    def test_none_and_empty_survive_round_trips(self):
+        assert RunSpec.from_dict(RunSpec().to_dict()).objectives is None
+        empty = RunSpec(objectives=())
+        assert RunSpec.from_dict(empty.to_dict()).objectives == ()
+
+    def test_from_dict_rejects_non_list_objectives(self):
+        with pytest.raises(ConfigError):
+            RunSpec.from_dict({"objectives": "coherence"})
+
+
+class TestTrainerAttachment:
+    def test_spec_objectives_replace_the_model_stack(
+        self, tiny_corpus, fast_config
+    ):
+        config = replace(fast_config, epochs=2)
+        model = ProdLDA(tiny_corpus.vocab_size, config)
+        run = RunSpec(objectives=(ObjectiveSpec("coherence"),))
+        Trainer(run).fit(model, tiny_corpus)
+        assert model.objectives.term_names() == ("coherence",)
+        assert all("objective_coherence" in row for row in model.history)
+
+    def test_empty_objectives_train_pure_elbo(self, tiny_corpus, fast_config):
+        config = replace(fast_config, epochs=2)
+        model = ProdLDA(tiny_corpus.vocab_size, config)
+        Trainer(RunSpec(objectives=())).fit(model, tiny_corpus)
+        assert model.objectives.term_names() == ()
+        assert all("extra" not in row for row in model.history)
+
+    def test_none_keeps_the_model_declared_stack(self, tiny_corpus, fast_config):
+        config = replace(fast_config, epochs=2)
+        model = ProdLDA(tiny_corpus.vocab_size, config)
+        Trainer(RunSpec()).fit(model, tiny_corpus)
+        assert model.objectives.term_names() == ("extra",)

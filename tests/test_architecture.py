@@ -9,7 +9,13 @@ losses.  These tests pin that boundary so it cannot silently erode:
 * no module under ``repro.models`` holds objects from the optimizer /
   guard / fault / trainer machinery at import time (annotation-only
   ``TYPE_CHECKING`` imports remain legal — the check inspects the runtime
-  namespaces, not the source text).
+  namespaces, not the source text);
+* no library model re-implements ``loss_on_batch`` with inline
+  regularizer math — regularizers live in :mod:`repro.objectives` and
+  models compose them by overriding ``build_objectives`` (so the guard's
+  per-term shedding, checkpoint flags and telemetry see every term);
+* :mod:`repro.objectives` itself stays below the training layer: its
+  modules never hold trainer / optimizer / guard / fault machinery.
 """
 
 import importlib
@@ -21,6 +27,7 @@ import types
 import repro.core  # noqa: F401
 import repro.extensions  # noqa: F401
 import repro.models
+import repro.objectives
 from repro.models.base import NeuralTopicModel
 
 #: Modules whose machinery must not leak into the models layer.
@@ -73,4 +80,53 @@ def test_models_layer_does_not_import_training_machinery():
     assert not offenders, (
         f"models-layer namespaces hold training machinery: {offenders}; "
         "use lazy (in-function) or TYPE_CHECKING imports"
+    )
+
+
+def test_no_library_model_overrides_loss_on_batch():
+    """Regularizers compose through build_objectives, not inline math.
+
+    ``loss_on_batch`` is the one dispatch point into the objective stack;
+    a model overriding it with hand-rolled regularizer arithmetic would
+    hide its terms from the guard's per-term degradation, checkpointed
+    term flags and the ``objective_<name>`` telemetry.  Test-local
+    subclasses (the bitwise oracles in ``tests/objectives``) are exempt —
+    only classes shipped under ``repro.*`` are held to the rule.
+    """
+    library = [
+        cls
+        for cls in _all_subclasses(NeuralTopicModel)
+        if cls.__module__.startswith("repro.")
+    ]
+    assert library, "subclass walk found no library models"
+    offenders = [cls.__name__ for cls in library if "loss_on_batch" in vars(cls)]
+    assert not offenders, (
+        f"{offenders} override NeuralTopicModel.loss_on_batch; add terms "
+        "by overriding build_objectives with repro.objectives entries"
+    )
+
+
+def _objectives_modules() -> list[types.ModuleType]:
+    modules = [repro.objectives]
+    for _, name, _ in pkgutil.iter_modules(
+        repro.objectives.__path__, "repro.objectives."
+    ):
+        modules.append(importlib.import_module(name))
+    return modules
+
+
+def test_objectives_layer_does_not_import_training_machinery():
+    """The objective zoo sits below the engine: no trainer imports."""
+    offenders = []
+    for module in _objectives_modules():
+        for attr, obj in vars(module).items():
+            if isinstance(obj, types.ModuleType):
+                if obj.__name__ in FORBIDDEN_MODULES:
+                    offenders.append(f"{module.__name__}.{attr}")
+                continue
+            if getattr(obj, "__module__", None) in FORBIDDEN_MODULES:
+                offenders.append(f"{module.__name__}.{attr}")
+    assert not offenders, (
+        f"repro.objectives namespaces hold training machinery: {offenders}; "
+        "objectives must stay importable below the engine"
     )

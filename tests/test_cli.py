@@ -27,6 +27,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--dataset", "imdb"])
 
+    def test_objective_choices(self):
+        args = build_parser().parse_args(
+            ["train", "--objective", "elbo", "--objective-weight", "2.5"]
+        )
+        assert args.objective == "elbo"
+        assert args.objective_weight == 2.5
+        for name in ("contrastive", "clntm", "coherence", "vicreg"):
+            assert (
+                build_parser().parse_args(["train", "--objective", name]).objective
+                == name
+            )
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--objective", "dropout"])
+
 
 class TestCommands:
     def test_datasets(self):
@@ -51,6 +67,45 @@ class TestCommands:
         )
         assert "coherence@100%" in output
         assert "km-purity@20" in output
+
+    def test_train_with_objective_flag(self):
+        output = _run(
+            [
+                "train",
+                "--dataset",
+                "20ng",
+                "--model",
+                "etm",
+                "--scale",
+                "0.08",
+                "--num-topics",
+                "6",
+                "--epochs",
+                "2",
+                "--objective",
+                "coherence",
+            ]
+        )
+        assert "coherence@100%" in output
+
+    def test_objective_rejected_for_non_neural_models(self):
+        with pytest.raises(SystemExit, match="neural"):
+            main(
+                [
+                    "train",
+                    "--model",
+                    "lda",
+                    "--dataset",
+                    "20ng",
+                    "--scale",
+                    "0.08",
+                    "--num-topics",
+                    "4",
+                    "--objective",
+                    "coherence",
+                ],
+                out=io.StringIO(),
+            )
 
     def test_topics_prints_words(self):
         output = _run(

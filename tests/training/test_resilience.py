@@ -6,7 +6,8 @@ import pytest
 from repro.errors import ConfigError, TrainingDivergedError
 from repro.io import restore_checkpoint
 from repro.models import ProdLDA
-from repro.nn import SGD
+from repro.nn import Adam, SGD
+from repro.objectives import ObjectiveSpec, attach_objectives
 from repro.training.faults import FaultInjector, interrupted_writes
 from repro.training.resilience import (
     GUARD_COUNTERS,
@@ -15,6 +16,7 @@ from repro.training.resilience import (
     TrainingGuard,
     save_training_checkpoint,
 )
+from repro.training.trainer import capture_training_state, restore_training_state
 
 
 def _guarded(fast_config, **policy_kwargs):
@@ -135,6 +137,81 @@ class TestEscalationLadder:
         assert set(logs) == {f"guard_{name}" for name in GUARD_COUNTERS}
         assert logs["guard_faults"] == 1.0
         assert guard.epoch_logs()["guard_faults"] == 0.0
+
+
+class TestPerTermDegradation:
+    """The degrade rung sheds objective terms one at a time, by name."""
+
+    def _two_term_guarded(self, fast_config, **policy_kwargs):
+        model = ProdLDA(30, fast_config)
+        attach_objectives(
+            model, (ObjectiveSpec("coherence"), ObjectiveSpec("vicreg"))
+        )
+        optimizer = SGD(model.parameters(), lr=0.1)
+        guard = TrainingGuard(GuardPolicy(**policy_kwargs), model, optimizer)
+        return guard, model
+
+    def test_degrade_entry_names_the_shed_term(self, fast_config):
+        guard, _, _ = _guarded(
+            fast_config, skips_per_escalation=1, max_lr_backoffs=0, max_restores=0
+        )
+        assert guard.handle_fault("loss") == "degrade"
+        assert guard.actions[-1] == "loss:degrade:extra"
+        assert guard.degraded_terms == ["extra"]
+
+    def test_multi_term_model_sheds_in_reverse_stack_order(self, fast_config):
+        guard, model = self._two_term_guarded(
+            fast_config, skips_per_escalation=1, max_lr_backoffs=0, max_restores=0
+        )
+        assert guard.handle_fault("loss") == "degrade"
+        assert model.objectives.flags() == {"coherence": True, "vicreg": False}
+        assert guard.handle_fault("loss") == "degrade"
+        assert model.objectives.flags() == {"coherence": False, "vicreg": False}
+        assert guard.handle_fault("loss") == "skip"  # nothing left to shed
+        assert guard.degraded_terms == ["vicreg", "coherence"]
+        assert [a for a in guard.actions if ":degrade:" in a] == [
+            "loss:degrade:vicreg",
+            "loss:degrade:coherence",
+        ]
+        assert guard.counts["degradations"] == 2
+
+    def test_capture_records_per_term_flags(self, tiny_corpus, fast_config):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        attach_objectives(
+            model, (ObjectiveSpec("coherence"), ObjectiveSpec("vicreg"))
+        )
+        model.fit(tiny_corpus)
+        model.objectives.disable_next()  # as if the guard shed "vicreg"
+        snapshot = capture_training_state(model)
+        assert snapshot["objective_terms"] == {
+            "coherence": True,
+            "vicreg": False,
+        }
+        assert snapshot["extra_loss_enabled"] is True  # any term still on
+
+    def test_restore_round_trips_degraded_flags(
+        self, tiny_corpus, fast_config, tmp_path
+    ):
+        model = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        attach_objectives(
+            model, (ObjectiveSpec("coherence"), ObjectiveSpec("vicreg"))
+        )
+        model.objectives.apply_flags({"vicreg": False})
+        callback = CheckpointCallback(tmp_path / "ckpt")
+        model.fit(tiny_corpus, callbacks=[callback])
+
+        clone = ProdLDA(tiny_corpus.vocab_size, fast_config)
+        attach_objectives(
+            clone, (ObjectiveSpec("coherence"), ObjectiveSpec("vicreg"))
+        )
+        clone.on_fit_start(tiny_corpus)
+        restore_training_state(
+            clone,
+            callback.last_good_path,
+            Adam(clone.parameters(), lr=fast_config.learning_rate),
+            np.random.default_rng(0),
+        )
+        assert clone.objectives.flags() == {"coherence": True, "vicreg": False}
 
 
 class TestGuardedFit:
